@@ -1,0 +1,96 @@
+"""ABLATE — design-choice ablations DESIGN.md calls out.
+
+Three switches in the implementation are not forced by the paper's
+text, and each earns its keep measurably:
+
+* **strip_derived** (upper merge): re-deriving implicit classes across
+  iterated merges is what makes the binary fold literally equal the
+  n-ary merge.  Ablating it leaves stale intermediate classes behind.
+* **origin-recording names** (vs the naive baseline's anonymous
+  classes): the other half of the associativity story.
+* **import_specializations** (lower merge): importing foreign ISA edges
+  during class completion preserves cross-schema hierarchy information
+  the default (isolated) completion must drop.
+"""
+
+from repro.baselines.naive import naive_merge_sequence
+from repro.core.lower import AnnotatedSchema, lower_merge
+from repro.core.merge import upper_merge
+from repro.core.names import ImplicitName
+from repro.figures import figure4_schemas
+from repro.generators.workloads import get_workload
+
+
+def test_ablate_strip_derived(benchmark):
+    g1, g2, g3 = figure4_schemas()
+
+    def both_variants():
+        stripped = upper_merge(upper_merge(g1, g2), g3)
+        unstripped = upper_merge(
+            upper_merge(g1, g2), g3, strip_derived=False
+        )
+        return stripped, unstripped
+
+    stripped, unstripped = benchmark(both_variants)
+    # With stripping: exactly the n-ary result.
+    assert stripped == upper_merge(g1, g2, g3)
+    # Without: the intermediate <D&E> survives as a stale extra class.
+    assert ImplicitName(["D", "E"]) in unstripped.classes
+    assert ImplicitName(["D", "E"]) not in stripped.classes
+    assert len(unstripped.classes) > len(stripped.classes)
+
+
+def test_ablate_origin_names_vs_anonymous(benchmark):
+    g1, g2, g3 = figure4_schemas()
+
+    def both_mergers():
+        ours = {
+            upper_merge(upper_merge(g1, g2), g3),
+            upper_merge(upper_merge(g1, g3), g2),
+            upper_merge(upper_merge(g2, g3), g1),
+        }
+        naive = {
+            naive_merge_sequence([g1, g2, g3]),
+            naive_merge_sequence([g1, g3, g2]),
+            naive_merge_sequence([g2, g3, g1]),
+        }
+        return ours, naive
+
+    ours, naive = benchmark(both_mergers)
+    assert len(ours) == 1
+    assert len(naive) >= 2
+
+
+def test_ablate_import_specializations(benchmark):
+    one = AnnotatedSchema.build(
+        arrows=[("Guide-dog", "name", "Str")],
+        spec=[("Guide-dog", "Dog")],
+    )
+    two = AnnotatedSchema.build(arrows=[("Dog", "name", "Str")])
+
+    def both_modes():
+        default = lower_merge(one, two)
+        imported = lower_merge(one, two, import_specializations=True)
+        return default, imported
+
+    default, imported = benchmark(both_modes)
+    # The ISA edge survives only with importing enabled.
+    assert not default.is_spec("Guide-dog", "Dog")
+    assert imported.is_spec("Guide-dog", "Dog")
+    # With the hierarchy intact, the required name-arrow of Dog
+    # propagates down to Guide-dog in the imported variant.
+    assert imported.present_arrows() >= default.present_arrows()
+
+
+def test_ablate_properization_share_of_merge_cost(benchmark):
+    schemas = get_workload("views-medium").schemas()
+    from repro.core.implicit import properize
+    from repro.core.merge import weak_merge
+
+    def staged():
+        weak = weak_merge(*schemas)
+        proper = properize(weak)
+        return weak, proper
+
+    weak, proper = benchmark(staged)
+    assert proper.classes >= weak.classes

@@ -1,0 +1,225 @@
+"""CORR — key-based cross-database object correspondence at scale (§5).
+
+Section 5's closing story: keys decide when an object in one database
+corresponds to an object in another.  These benches run the full
+fusion pipeline (keyed merge → shared-value federation → key
+identification) on synthetic Person databases with controlled overlap
+and assert the paper's three-case shape:
+
+* an **agreed** key deduplicates exactly down to distinct key values;
+* an **imposed** key (declared in one source only, arrows in both)
+  deduplicates just as thoroughly — the merge's "additional constraint
+  on the extents of G2";
+* an **undeterminable** key (no arrow in one source) identifies
+  nothing across that boundary.
+"""
+
+import random
+
+import pytest
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.schema import Schema
+from repro.generators.random_schemas import random_keyed_family
+from repro.instances.correspondence import (
+    CorrespondenceStatus,
+    analyze_correspondence,
+    fuse,
+)
+from repro.instances.instance import Instance
+
+
+def person_schema(with_key: bool, with_ssn_arrow: bool = True) -> KeyedSchema:
+    arrows = [("Person", "name", "Str")]
+    if with_ssn_arrow:
+        arrows.append(("Person", "ssn", "SSN"))
+    keys = (
+        {"Person": KeyFamily.of({"ssn"})}
+        if with_key and with_ssn_arrow
+        else {}
+    )
+    return KeyedSchema(Schema.build(arrows=arrows), keys)
+
+
+def person_database(
+    source: str, people: int, ssn_pool: int, seed: int, with_ssn: bool = True
+) -> Instance:
+    """A Person instance whose ssn values overlap across databases.
+
+    Names are unique per person (prefixed by the ssn value) so that
+    identifying two objects never forces contradictory attributes.
+    """
+    rng = random.Random(seed)
+    extents = {"Person": set(), "SSN": set(), "Str": set()}
+    values = {}
+    assigned = set()
+    for index in range(people):
+        oid = f"{source}-p{index}"
+        extents["Person"].add(oid)
+        if with_ssn:
+            ssn = f"ssn{rng.randrange(ssn_pool)}"
+            while ssn in assigned:  # unique within one database
+                ssn = f"ssn{rng.randrange(ssn_pool)}"
+            assigned.add(ssn)
+            extents["SSN"].add(ssn)
+            values[(oid, "ssn")] = ssn
+            name = f"name-of-{ssn}"
+        else:
+            name = f"{source}-name{index}"
+        extents["Str"].add(name)
+        values[(oid, "name")] = name
+    return Instance.build(extents=extents, values=values)
+
+
+VALUE_CLASSES = ["SSN", "Str"]
+
+
+@pytest.mark.parametrize("people", [50, 200])
+def test_corr_agreed_key_deduplicates(benchmark, people):
+    left = person_database("census", people, ssn_pool=3 * people, seed=1)
+    right = person_database("payroll", people, ssn_pool=3 * people, seed=2)
+    sources = [
+        (person_schema(with_key=True), left),
+        (person_schema(with_key=True), right),
+    ]
+
+    result = benchmark(fuse, sources, value_classes=VALUE_CLASSES)
+
+    distinct = {
+        inst.value(oid, "ssn")
+        for _schema, inst in sources
+        for oid in inst.extent("Person")
+    }
+    assert len(result.instance.extent("Person")) == len(distinct)
+    assert result.identified == 2 * people - len(distinct)
+    statuses = {row.status for row in result.correspondences}
+    assert CorrespondenceStatus.AGREED in statuses
+
+
+def test_corr_three_way_fusion_is_order_independent(benchmark):
+    """§5 at n = 3: fusing census, payroll and licensing in any order
+    leaves the same number of people — key-based identity composes."""
+    import itertools
+
+    databases = [
+        (person_schema(with_key=True),
+         person_database(source, 80, ssn_pool=120, seed=20 + i))
+        for i, source in enumerate(("census", "payroll", "licensing"))
+    ]
+
+    def all_orders():
+        return [
+            fuse(list(order), value_classes=VALUE_CLASSES)
+            for order in itertools.permutations(databases)
+        ]
+
+    results = benchmark(all_orders)
+
+    distinct = {
+        inst.value(oid, "ssn")
+        for _schema, inst in databases
+        for oid in inst.extent("Person")
+    }
+    sizes = {len(r.instance.extent("Person")) for r in results}
+    assert sizes == {len(distinct)}
+
+
+def test_corr_imposed_key_matches_agreed(benchmark):
+    """Declaring the key in only one source fuses identically: the
+    merged schema imposes it on the other source's extents."""
+    left = person_database("census", 120, ssn_pool=200, seed=3)
+    right = person_database("payroll", 120, ssn_pool=200, seed=4)
+
+    def run():
+        agreed = fuse(
+            [
+                (person_schema(with_key=True), left),
+                (person_schema(with_key=True), right),
+            ],
+            value_classes=VALUE_CLASSES,
+        )
+        imposed = fuse(
+            [
+                (person_schema(with_key=True), left),
+                (person_schema(with_key=False), right),
+            ],
+            value_classes=VALUE_CLASSES,
+        )
+        return agreed, imposed
+
+    agreed, imposed = benchmark(run)
+    assert imposed.instance == agreed.instance
+    assert {row.status for row in imposed.correspondences} >= {
+        CorrespondenceStatus.IMPOSED
+    }
+
+
+def test_corr_undeterminable_identifies_nothing(benchmark):
+    """No ssn arrow in one source ⇒ "there is not way to tell"."""
+    left = person_database("census", 120, ssn_pool=200, seed=5)
+    right = person_database(
+        "contacts", 120, ssn_pool=200, seed=6, with_ssn=False
+    )
+    sources = [
+        (person_schema(with_key=True), left),
+        (person_schema(with_key=True, with_ssn_arrow=False), right),
+    ]
+
+    result = benchmark(fuse, sources, value_classes=VALUE_CLASSES)
+
+    assert result.identified == 0
+    statuses = {row.status for row in result.correspondences}
+    assert CorrespondenceStatus.UNDETERMINABLE in statuses
+
+
+def test_corr_no_keys_is_plain_federation(benchmark):
+    left = person_database("census", 150, ssn_pool=150, seed=7)
+    right = person_database("payroll", 150, ssn_pool=150, seed=8)
+    sources = [
+        (person_schema(with_key=False), left),
+        (person_schema(with_key=False), right),
+    ]
+
+    result = benchmark(fuse, sources, value_classes=VALUE_CLASSES)
+
+    assert result.identified == 0
+    assert len(result.instance.extent("Person")) == 300
+
+
+def test_corr_ablate_value_sharing(benchmark):
+    """Ablation: disjointifying *everything* (as plain federation does)
+    silently defeats key identification — equal social-security numbers
+    from different databases become different oids, so nothing matches.
+    Sharing the designated value classes is what makes cross-database
+    keys meaningful."""
+    left = person_database("census", 100, ssn_pool=150, seed=9)
+    right = person_database("payroll", 100, ssn_pool=150, seed=10)
+    sources = [
+        (person_schema(with_key=True), left),
+        (person_schema(with_key=True), right),
+    ]
+
+    def run():
+        shared = fuse(sources, value_classes=VALUE_CLASSES)
+        fully_disjoint = fuse(sources, value_classes=[])
+        return shared, fully_disjoint
+
+    shared, fully_disjoint = benchmark(run)
+
+    assert shared.identified > 0  # the pools overlap by construction
+    assert fully_disjoint.identified == 0
+    assert len(fully_disjoint.instance.extent("Person")) == 200
+
+
+def test_corr_analysis_scales_over_random_family(benchmark):
+    """Correspondence analysis over a random keyed federation."""
+    family = random_keyed_family(
+        n_schemas=4, pool_size=24, n_classes=12, n_labels=6, seed=99
+    )
+
+    rows = benchmark(analyze_correspondence, family)
+
+    # Every row concerns a genuinely shared class and carries a verdict.
+    for row in rows:
+        assert len(row.holders) >= 2
+        assert isinstance(row.status, CorrespondenceStatus)

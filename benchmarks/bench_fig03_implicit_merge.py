@@ -1,0 +1,34 @@
+"""FIG3 — the merge that forces an implicit class (§3, Figure 3).
+
+The first schema asserts C ==> A1, C ==> A2; the second gives A1/A2
+``a``-arrows to B1/B2.  The merge must conclude that C's ``a``-arrow
+points into a common specialization of B1 and B2 — the implicit class.
+"""
+
+from repro.core.merge import merge_report, upper_merge, weak_merge
+from repro.core.names import ImplicitName
+from repro.core.proper import canonical_class, is_proper
+from repro.figures import figure3_expected_weak_merge, figure3_schemas
+
+
+def test_fig03_weak_merge_equals_drawing(benchmark):
+    one, two = figure3_schemas()
+    weak = benchmark(weak_merge, one, two)
+    assert weak == figure3_expected_weak_merge()
+
+
+def test_fig03_properization_introduces_the_class(benchmark):
+    one, two = figure3_schemas()
+    merged = benchmark(upper_merge, one, two)
+    imp = ImplicitName(["B1", "B2"])
+    assert is_proper(merged)
+    assert imp in merged.classes
+    assert merged.is_spec(imp, "B1") and merged.is_spec(imp, "B2")
+    assert canonical_class(merged, "C", "a") == imp
+
+
+def test_fig03_full_report(benchmark):
+    one, two = figure3_schemas()
+    report = benchmark(merge_report, one, two)
+    assert len(report.implicit_members) == 1
+    assert {str(m) for m in report.implicit_members[0]} == {"B1", "B2"}

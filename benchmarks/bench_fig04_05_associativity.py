@@ -1,0 +1,67 @@
+"""FIG4/FIG5 — naive merging is order-dependent; ours is not (§3).
+
+The paper's central methodological claim.  We fold the Figure 4
+schemas in every order through (a) the naive fresh-implicit baseline —
+which must produce ≥2 distinct schemas, reproducing Figure 5 — and
+(b) our merge — which must produce exactly 1, with the single implicit
+class below {D, E, F} the prose calls for.
+"""
+
+from itertools import permutations
+
+from repro.baselines.naive import naive_merge_sequence, order_sensitivity
+from repro.core.implicit import implicit_classes_of
+from repro.core.merge import upper_merge
+from repro.core.names import ImplicitName
+from repro.figures import figure4_schemas
+
+
+def test_fig05_naive_merge_is_order_dependent(benchmark):
+    schemas = list(figure4_schemas())
+    result = benchmark(order_sensitivity, schemas)
+    assert result["permutations"] == 6
+    # The paper's Figure 5: at least the (G1 G2)G3 vs (G1 G3)G2 orders
+    # differ; our run finds 3 distinct outcomes.
+    assert result["distinct_results"] >= 2
+
+
+def test_fig05_two_specific_orders_differ(benchmark):
+    g1, g2, g3 = figure4_schemas()
+
+    def both_orders():
+        left = naive_merge_sequence([g1, g2, g3])
+        right = naive_merge_sequence([g1, g3, g2])
+        return left, right
+
+    left, right = benchmark(both_orders)
+    assert left != right  # Figure 5, literally
+    # Both pile up two stacked anonymous classes (X? and Y?).
+    assert sum(1 for c in left.classes if str(c).startswith("?")) == 2
+    assert sum(1 for c in right.classes if str(c).startswith("?")) == 2
+
+
+def test_fig04_our_merge_is_order_independent(benchmark):
+    schemas = list(figure4_schemas())
+
+    def all_orders():
+        return {
+            upper_merge(*(schemas[i] for i in order))
+            for order in permutations(range(3))
+        }
+
+    results = benchmark(all_orders)
+    assert len(results) == 1
+    (merged,) = results
+    # "Clearly what we really want is one implicit class which is a
+    # specialization of all three of D, E and F."
+    assert implicit_classes_of(merged) == {ImplicitName(["D", "E", "F"])}
+
+
+def test_fig04_iterated_binary_equals_nary(benchmark):
+    g1, g2, g3 = figure4_schemas()
+
+    def iterated():
+        return upper_merge(upper_merge(g1, g2), g3)
+
+    merged = benchmark(iterated)
+    assert merged == upper_merge(g1, g2, g3)

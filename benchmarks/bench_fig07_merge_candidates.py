@@ -1,0 +1,57 @@
+"""FIG7 — G3 (the merge) vs G4 (an over-strong upper bound) (§3).
+
+The paper's argument for taking the *least* upper bound: G4 also
+presents all the information of G1 and G2 and has fewer classes than
+G3, but it asserts extra information (F's a-arrow lands in E) that
+neither input stated.  The benchmark rebuilds both candidates and
+checks every claim the prose makes about them.
+"""
+
+from repro.core.implicit import implicit_classes_of, properize
+from repro.core.merge import weak_merge
+from repro.core.names import BaseName
+from repro.core.ordering import is_sub
+from repro.core.proper import is_proper
+from repro.figures import (
+    figure6_schemas,
+    figure7_candidate_g3_description,
+    figure7_candidate_g4,
+)
+
+
+def test_fig07_g3_is_the_properized_merge(benchmark):
+    g1, g2 = figure6_schemas()
+    g3 = benchmark(lambda: properize(weak_merge(g1, g2)))
+    facts = figure7_candidate_g3_description()
+    assert is_proper(g3)
+    assert {
+        str(c) for c in g3.classes if isinstance(c, BaseName)
+    } == facts["base_classes"]
+    implicits = implicit_classes_of(g3)
+    assert len(implicits) == facts["implicit_count"]
+    (imp,) = implicits
+    assert {str(m) for m in imp.members} == facts["implicit_below"]
+
+
+def test_fig07_g4_is_an_upper_bound_with_fewer_classes(benchmark):
+    g1, g2 = figure6_schemas()
+
+    def build():
+        return figure7_candidate_g4(), properize(weak_merge(g1, g2))
+
+    g4, g3 = benchmark(build)
+    weak = weak_merge(g1, g2)
+    assert is_proper(g4)
+    assert is_sub(weak, g4)
+    assert len(g4.classes) < len(g3.classes)
+
+
+def test_fig07_g4_asserts_extra_information(benchmark):
+    g1, g2 = figure6_schemas()
+    g4 = benchmark(figure7_candidate_g4)
+    weak = weak_merge(g1, g2)
+    # G4 types F's a-arrow at E — neither input said that.
+    assert g4.has_arrow("F", "a", "E")
+    assert not weak.has_arrow("F", "a", "E")
+    assert not g1.has_class("F") or not g1.has_arrow("F", "a", "E")
+    assert not g2.has_arrow("F", "a", "E")

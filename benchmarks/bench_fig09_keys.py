@@ -1,0 +1,57 @@
+"""FIG9 — Advisor ==> Committee: keys express cardinalities (§5).
+
+Merging the Advisor view (one-to-many, key {victim}) with the Committee
+view (many-many, key {faculty, victim}) under the assertion
+Advisor ==> Committee must satisfy SK(Advisor) ⊇ SK(Committee) and
+reproduce exactly the paper's key families.
+"""
+
+from repro.core.assertions import isa
+from repro.core.keys import KeyFamily, merge_keyed
+from repro.figures import (
+    figure9_advisor_schema,
+    figure9_committee_schema,
+    figure9_keyed_schema,
+)
+from repro.models.er import ERRelationship, cardinality_keys
+
+
+def test_fig09_keyed_merge(benchmark):
+    advisor = figure9_advisor_schema()
+    committee = figure9_committee_schema()
+
+    merged = benchmark(
+        merge_keyed, advisor, committee,
+        assertions=[isa("Advisor", "Committee")],
+    )
+    expected = figure9_keyed_schema()
+    assert merged.schema == expected.schema
+    assert merged.keys_of("Advisor") == KeyFamily.of({"victim"})
+    assert merged.keys_of("Committee") == KeyFamily.of(
+        {"faculty", "victim"}
+    )
+    # The section 5 constraint, exactly as the paper states it:
+    # {{victim}, {faculty, victim}}-closure ⊇ {{faculty, victim}}-closure.
+    assert merged.keys_of("Advisor").contains_family(
+        merged.keys_of("Committee")
+    )
+
+
+def test_fig09_cardinality_to_key_rule(benchmark):
+    advisor = ERRelationship(
+        "Advisor",
+        roles={"faculty": "Faculty", "victim": "GS"},
+        cardinalities={"faculty": "1"},
+    )
+    committee = ERRelationship(
+        "Committee", roles={"faculty": "Faculty", "victim": "GS"}
+    )
+
+    def derive():
+        return cardinality_keys(advisor), cardinality_keys(committee)
+
+    advisor_keys, committee_keys = benchmark(derive)
+    # faculty edge labelled "1"  ⇔  {victim} is a key (the paper's rule).
+    assert advisor_keys == KeyFamily.of({"victim"})
+    # many-many  ⇔  full role set.
+    assert committee_keys == KeyFamily.of({"faculty", "victim"})

@@ -1,0 +1,114 @@
+"""FIG11 — the participation semilattice and lower merges (§6).
+
+Rebuilds Figure 11's order (0/1 below the incomparable 0 and 1),
+verifies the GLB table drives the lower merge (a required arrow merged
+with an absent one becomes optional — the Dog name/age/breed example of
+§6), and runs the federation scenario end to end: the union of
+instances of the inputs satisfies the lower merge.
+"""
+
+from repro.core.lower import (
+    AnnotatedSchema,
+    annotated_leq,
+    complete_classes,
+    lower_merge,
+    lower_properize,
+)
+from repro.core.names import BaseName, GenName
+from repro.core.participation import Participation, glb, leq, lub
+from repro.instances.instance import Instance
+from repro.instances.merging import federate
+from repro.instances.satisfaction import satisfies_annotated
+
+P0 = Participation.ABSENT
+P01 = Participation.OPTIONAL
+P1 = Participation.REQUIRED
+
+
+def test_fig11_semilattice_shape(benchmark):
+    def laws():
+        table = {}
+        for left in Participation:
+            for right in Participation:
+                table[(left, right)] = glb(left, right)
+        return table
+
+    table = benchmark(laws)
+    # Figure 11: 0/1 at the bottom, 0 and 1 maximal and incomparable.
+    assert leq(P01, P0) and leq(P01, P1)
+    assert not leq(P0, P1) and not leq(P1, P0)
+    assert table[(P0, P1)] == P01
+    assert table[(P1, P1)] == P1
+    assert lub(P0, P1) is None  # only a meet-semilattice
+
+
+def test_fig11_dog_example_lower_merge(benchmark):
+    # §6: "if one schema has the class Dog with arrows name and age,
+    # and another has Dog with arrows name and breed ... instances of
+    # the class Dog may have age-arrows and may have breed-arrows".
+    one = AnnotatedSchema.build(
+        arrows=[("Dog", "name", "Str"), ("Dog", "age", "Int")]
+    )
+    two = AnnotatedSchema.build(
+        arrows=[("Dog", "name", "Str"), ("Dog", "breed", "Breed")]
+    )
+    merged = benchmark(lower_merge, one, two)
+    assert merged.participation_of("Dog", "name", "Str") == P1
+    assert merged.participation_of("Dog", "age", "Int") == P01
+    assert merged.participation_of("Dog", "breed", "Breed") == P01
+    for completed in complete_classes([one, two]):
+        assert annotated_leq(merged, completed)
+
+
+def test_fig11_guide_dog_class_retained(benchmark):
+    # §6's second problem: a class present in only one schema must
+    # survive the lower merge.
+    one = AnnotatedSchema.build(
+        arrows=[("Guide-dog", "name", "Str")],
+        spec=[("Guide-dog", "Dog")],
+    )
+    two = AnnotatedSchema.build(arrows=[("Dog", "name", "Str")])
+    merged = benchmark(lower_merge, one, two)
+    assert BaseName("Guide-dog") in merged.classes
+
+
+def test_fig11_lower_properization_generalizes_upward(benchmark):
+    one = AnnotatedSchema.build(arrows=[("F", "a", "C")])
+    two = AnnotatedSchema.build(arrows=[("F", "a", "D")])
+
+    def pipeline():
+        return lower_properize(lower_merge(one, two))
+
+    proper = benchmark(pipeline)
+    gen = GenName(["C", "D"])
+    # "implicit classes are introduced above, rather than below".
+    assert gen in proper.classes
+    assert proper.is_spec("C", gen) and proper.is_spec("D", gen)
+
+
+def test_fig11_federation_end_to_end(benchmark):
+    one = AnnotatedSchema.build(
+        arrows=[("Dog", "name", "Str"), ("Dog", "age", "Int")]
+    )
+    two = AnnotatedSchema.build(
+        arrows=[("Dog", "name", "Str"), ("Dog", "breed", "Breed")]
+    )
+    inst_one = Instance.build(
+        extents={"Dog": {"rex"}, "Str": {"s"}, "Int": {"i"}},
+        values={("rex", "name"): "s", ("rex", "age"): "i"},
+    )
+    inst_two = Instance.build(
+        extents={"Dog": {"fido"}, "Str": {"t"}, "Breed": {"lab"}},
+        values={("fido", "name"): "t", ("fido", "breed"): "lab"},
+    )
+
+    def pipeline():
+        merged = lower_merge(one, two)
+        combined = federate([inst_one, inst_two])
+        return merged, combined
+
+    merged, combined = benchmark(pipeline)
+    assert satisfies_annotated(inst_one, one)
+    assert satisfies_annotated(inst_two, two)
+    assert satisfies_annotated(combined, merged)
+    assert len(combined.extent("Dog")) == 2

@@ -1,0 +1,77 @@
+"""IMPGROWTH — how many implicit classes can a merge introduce? (§7)
+
+The conclusion's open question, answered in both directions:
+
+* benign regimes (random view families, stacked diamonds) stay small —
+  linear at worst, confirming "we do not think these are likely to
+  occur in practice";
+* the NFA subset-construction adversary blows up exponentially
+  (|Imp| = 2^k - 1), confirming "it may be possible to construct
+  pathological examples".
+"""
+
+import pytest
+
+from repro.analysis.growth import (
+    adversarial_growth,
+    diamond_growth,
+    implicit_count,
+    random_growth,
+)
+from repro.core.merge import upper_merge
+from repro.generators.pathological import (
+    diamond_chain_schemas,
+    nfa_blowup_pair,
+)
+from repro.generators.workloads import get_workload
+
+
+def test_impgrowth_random_views_stay_modest(benchmark):
+    rows = benchmark(random_growth, sizes=(10, 20, 40), seed=7)
+    for _size, classes, implicit in rows:
+        # "Small" in the paper's sense is relative to the exponential
+        # worst case: on random views |Imp| stays within a polynomial
+        # envelope of the class count (measured: ~2× classes on the
+        # densest setting), nowhere near the 2^k adversary.
+        assert implicit < classes**2
+        assert implicit < 2 ** min(classes, 30)
+
+
+def test_impgrowth_diamonds_exactly_linear(benchmark):
+    rows = benchmark(diamond_growth, ks=(4, 8, 16, 32))
+    assert [imp for _k, _cls, imp in rows] == [4, 8, 16, 32]
+
+
+def test_impgrowth_adversary_exactly_exponential(benchmark):
+    rows = benchmark(adversarial_growth, ks=(4, 6, 8, 10))
+    assert [imp for _k, _cls, imp in rows] == [
+        2**4 - 1,
+        2**6 - 1,
+        2**8 - 1,
+        2**10 - 1,
+    ]
+
+
+@pytest.mark.parametrize("k", [6, 8])
+def test_impgrowth_adversarial_full_merge(benchmark, k):
+    # Full properization is measured only up to k=8 (the k=12 point
+    # takes minutes per round); the |Imp| sweep above carries the
+    # exponential-shape claim to larger k cheaply.
+    first, second = nfa_blowup_pair(k)
+    merged = benchmark(upper_merge, first, second)
+    # k+1 base classes plus 2^k - 1 implicit classes.
+    assert len(merged.classes) == (k + 1) + (2**k - 1)
+
+
+def test_impgrowth_named_workload_counts(benchmark):
+    def measure():
+        return {
+            name: implicit_count(get_workload(name).schemas())
+            for name in ("views-small", "diamonds-16", "nfa-8", "nfa-12")
+        }
+
+    counts = benchmark(measure)
+    assert counts["diamonds-16"] == 16
+    assert counts["nfa-8"] == 2**8 - 1
+    assert counts["nfa-12"] == 2**12 - 1
+    assert counts["views-small"] < 60

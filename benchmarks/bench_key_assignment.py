@@ -1,0 +1,49 @@
+"""KEYMIN — the minimal satisfactory key assignment (§5) at scale.
+
+Uniqueness/minimality is a theorem; here we measure the cost of the
+propagation on random keyed families and re-verify satisfaction and
+spec-monotonicity on every output.
+"""
+
+import pytest
+
+from repro.core.keys import (
+    is_satisfactory,
+    merge_keyed,
+    minimal_satisfactory_assignment,
+)
+from repro.generators.random_schemas import random_keyed_family
+
+
+@pytest.mark.parametrize("n_schemas", [2, 4])
+def test_keymin_propagation(benchmark, n_schemas):
+    inputs = random_keyed_family(
+        n_schemas=n_schemas, pool_size=24, n_classes=12, seed=17
+    )
+    merged = merge_keyed(*inputs)
+
+    assignment = benchmark(
+        minimal_satisfactory_assignment, merged.schema, inputs
+    )
+    assert is_satisfactory(merged.schema, assignment, inputs)
+
+
+def test_keymin_full_merge_pipeline(benchmark):
+    inputs = random_keyed_family(
+        n_schemas=3, pool_size=24, n_classes=12, seed=29
+    )
+    merged = benchmark(merge_keyed, *inputs)
+    for sub, sup in merged.schema.strict_spec():
+        assert merged.keys_of(sub).contains_family(merged.keys_of(sup))
+
+
+def test_keymin_order_independence(benchmark):
+    one, two, three = random_keyed_family(
+        n_schemas=3, pool_size=20, n_classes=10, seed=31
+    )
+
+    def two_orders():
+        return merge_keyed(one, two, three), merge_keyed(three, two, one)
+
+    left, right = benchmark(two_orders)
+    assert left == right

@@ -1,0 +1,54 @@
+"""LAWS — associativity/commutativity/idempotence at workload scale (§4).
+
+The qualitative claim FIG5 demonstrates on a toy example, re-verified on
+the named random workloads with timing: every merge order of every
+family yields one schema.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.merge import upper_merge
+from repro.generators.workloads import get_workload
+
+
+@pytest.mark.parametrize("workload", ["views-small", "federation-wide"])
+def test_laws_all_orders_agree(benchmark, workload):
+    schemas = get_workload(workload).schemas()[:4]
+
+    def all_orders():
+        return {
+            upper_merge(*(schemas[i] for i in order))
+            for order in permutations(range(len(schemas)))
+        }
+
+    results = benchmark(all_orders)
+    assert len(results) == 1
+
+
+@pytest.mark.parametrize("workload", ["views-small", "views-medium"])
+def test_laws_nary_equals_fold(benchmark, workload):
+    schemas = get_workload(workload).schemas()
+
+    def fold():
+        result = schemas[0]
+        for nxt in schemas[1:]:
+            result = upper_merge(result, nxt)
+        return result
+
+    folded = benchmark(fold)
+    assert folded == upper_merge(*schemas)
+
+
+def test_laws_idempotence_and_identity(benchmark):
+    schemas = get_workload("views-small").schemas()
+
+    def laws():
+        merged = upper_merge(*schemas)
+        again = upper_merge(merged, merged)
+        with_inputs = upper_merge(merged, *schemas)
+        return merged, again, with_inputs
+
+    merged, again, with_inputs = benchmark(laws)
+    assert merged == again == with_inputs

@@ -1,0 +1,243 @@
+"""MIDDLE — the in-between merge and the §6 validity criterion.
+
+Section 6 closes with two claims this bench makes concrete: that there
+"may well be valid and useful concepts of merges lying inbetween" the
+upper and lower merges, and that any valid merge concept "should have a
+definition in terms of an information ordering".  The annotated join
+(:func:`repro.core.framework.annotated_join_all`) is such an in-between
+concept; the generic law checkers are the criterion, run here over the
+library's three orderings on realistic samples.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.framework import (
+    ANNOTATED_ORDERING,
+    KEYED_ORDERING,
+    WEAK_ORDERING,
+    annotated_join,
+    annotated_join_all,
+    merge_law_violations,
+    ordering_violations,
+    validate_merge_concept,
+)
+from repro.core.keys import KeyedSchema, minimal_satisfactory_assignment
+from repro.core.lower import (
+    AnnotatedSchema,
+    annotated_leq,
+    complete_classes,
+    lower_merge,
+)
+from repro.datasets import retail_federation_scenario
+from repro.exceptions import IncompatibleSchemasError
+from repro.generators.random_schemas import (
+    random_annotated_schema,
+    random_schema_family,
+)
+
+
+def _restrict_annotated(
+    schema: AnnotatedSchema, keep
+) -> AnnotatedSchema:
+    """The induced annotated sub-schema on a class subset."""
+    kept = {cls for cls in schema.classes if str(cls) in set(keep)}
+    table = {
+        arrow: constraint
+        for arrow, constraint in schema.participation_table().items()
+        if arrow[0] in kept and arrow[2] in kept
+    }
+    spec = frozenset(
+        (p, q) for p, q in schema.spec if p in kept and q in kept
+    )
+    return AnnotatedSchema(frozenset(kept), spec, table)
+
+
+def test_middle_rejects_the_retail_federation(benchmark):
+    """The federation scenario carries a genuine 0-vs-1 conflict (one
+    source requires ``BulkOrder --customer--> Customer``, another knows
+    both classes and forbids the arrow).  The in-between merge refuses
+    — which is exactly why section 6 builds the *lower* merge for
+    federations: it weakens the disagreement to "optional" instead."""
+    sources = complete_classes(retail_federation_scenario())
+
+    def run():
+        try:
+            annotated_join_all(sources)
+        except IncompatibleSchemasError as error:
+            conflict = error
+        else:
+            conflict = None
+        return conflict, lower_merge(*sources)
+
+    conflict, lowered = benchmark(run)
+
+    assert conflict is not None and "participation" in str(conflict)
+    for source in sources:
+        assert annotated_leq(lowered, source)
+
+
+def test_middle_sandwich_on_compatible_views(benchmark):
+    """Lower merge ⊑ inputs ⊑ annotated join, on views of one database.
+
+    Restrictions of a single annotated schema never disagree where
+    they overlap, so the in-between merge of the *raw* views exists and
+    bounds every view from above, while the lower merge bounds the
+    class-completed views from below.  (The two merges are not directly
+    comparable in general: under the §6 ordering, class completion
+    *adds* negative information — constraint 0 on imported arrows —
+    that the join need not respect.  The in-between-ness is relative to
+    the inputs, which is the statement that matters.)
+    """
+    master = random_annotated_schema(n_classes=14, n_labels=5, seed=77)
+    names = sorted(str(c) for c in master.classes)
+    views = [
+        _restrict_annotated(master, names[:9]),
+        _restrict_annotated(master, names[5:]),
+        _restrict_annotated(master, names[3:12]),
+    ]
+
+    joined = benchmark(annotated_join_all, views)
+
+    lowered = lower_merge(*views)
+    for view, completed in zip(views, complete_classes(views)):
+        assert annotated_leq(lowered, completed)
+        assert annotated_leq(view, joined)
+    # Views of one master are also below its full annotation.
+    assert all(annotated_leq(view, master) for view in views)
+
+
+def test_middle_nary_is_order_independent(benchmark):
+    """Every presentation order of the collection merge agrees."""
+    family = [
+        random_annotated_schema(n_classes=8, seed=s) for s in (1, 2, 3)
+    ]
+
+    def all_orders():
+        results = []
+        for order in itertools.permutations(family):
+            try:
+                results.append(annotated_join_all(list(order)))
+            except IncompatibleSchemasError:
+                results.append(None)
+        return results
+
+    results = benchmark(all_orders)
+    assert all(
+        (result is None) == (results[0] is None) for result in results
+    )
+    if results[0] is not None:
+        assert all(result == results[0] for result in results)
+
+
+def test_middle_fold_vs_collection_witness(benchmark):
+    """Binary folding recreates the §3 order-dependence; the collection
+    merge does not (the reason the middle merge is n-ary)."""
+    a = AnnotatedSchema.build(classes=["Kennel"])
+    b = AnnotatedSchema.build(classes=["Dog"])
+    c = AnnotatedSchema.build(arrows=[("Dog", "home", "Kennel", "1")])
+
+    collection = benchmark(annotated_join_all, [a, b, c])
+
+    assert collection.participation_of("Dog", "home", "Kennel").value == "1"
+    with pytest.raises(IncompatibleSchemasError):
+        annotated_join(annotated_join(a, b), c)
+
+
+def test_middle_join_scales_on_wide_view_families(benchmark):
+    """The collection merge of many views of one database stays cheap:
+    it is a single pass over opinions plus one closure."""
+    master = random_annotated_schema(
+        n_classes=60, n_labels=8, arrow_density=0.08, seed=101
+    )
+    names = sorted(str(c) for c in master.classes)
+    width = len(names) // 3
+    views = [
+        _restrict_annotated(master, names[start : start + 2 * width])
+        for start in range(0, len(names) - width, width // 2)
+    ]
+
+    joined = benchmark(annotated_join_all, views)
+
+    for view in views:
+        assert annotated_leq(view, joined)
+    assert joined.classes == frozenset().union(
+        *(view.classes for view in views)
+    )
+
+
+def test_middle_weak_ordering_passes_the_criterion(benchmark):
+    """§6 criterion, run over a random view family: the weak ordering
+    is a partial order whose join is a law-abiding LUB."""
+    samples = random_schema_family(
+        n_schemas=4, pool_size=14, n_classes=7, n_labels=4,
+        arrow_density=0.2, spec_density=0.1, seed=17,
+    )
+
+    problems = benchmark(validate_merge_concept, WEAK_ORDERING, samples)
+
+    assert problems == []
+
+
+def test_middle_keyed_ordering_passes_the_criterion(benchmark):
+    """The §5 keyed ordering passes the same criterion once key
+    assignments are monotone (as every merged schema's is)."""
+    schemas = random_schema_family(
+        n_schemas=3, pool_size=12, n_classes=6, n_labels=4,
+        arrow_density=0.25, spec_density=0.1, seed=29,
+    )
+    samples = []
+    for schema in schemas:
+        raw = {}
+        for cls in schema.sorted_classes():
+            labels = sorted(schema.out_labels(cls))
+            if labels:
+                raw[cls] = [frozenset(labels[:1])]
+        seeded = KeyedSchema(schema, raw, check_spec_monotone=False)
+        samples.append(
+            KeyedSchema(
+                schema, minimal_satisfactory_assignment(schema, [seeded])
+            )
+        )
+
+    problems = benchmark(validate_merge_concept, KEYED_ORDERING, samples)
+
+    assert problems == []
+
+
+def test_middle_annotated_order_laws(benchmark):
+    """The annotated relation is a partial order, and its binary join —
+    where defined — is commutative and bound-respecting.  (Binary
+    *folds* are deliberately excluded: the n-ary collection merge is
+    the law-abiding operation, as the witness bench shows.)"""
+    samples = [
+        random_annotated_schema(n_classes=6, seed=s) for s in (11, 12, 13)
+    ]
+
+    problems = benchmark(ordering_violations, ANNOTATED_ORDERING, samples)
+
+    assert problems == []
+
+
+def test_middle_law_checkers_catch_a_broken_merge(benchmark):
+    """The criterion has teeth: an order-sensitive 'merge' fails it."""
+
+    class OrderSensitive(type(WEAK_ORDERING)):
+        name = "order-sensitive"
+
+        def join(self, left, right):
+            from repro.core.ordering import join
+
+            joined = join(left, right)
+            first = sorted(str(c) for c in left.classes)
+            return joined.with_class("Saw-" + first[0]) if first else joined
+
+    samples = random_schema_family(
+        n_schemas=3, pool_size=10, n_classes=5, n_labels=3,
+        arrow_density=0.2, spec_density=0.1, seed=43,
+    )
+
+    problems = benchmark(merge_law_violations, OrderSensitive(), samples)
+
+    assert problems  # commutativity and leastness must be flagged

@@ -1,0 +1,65 @@
+"""PROP41 — Proposition 4.1 at scale: bounded joins over random inputs.
+
+For every compatible family, the join must exist, be an upper bound and
+be least; for incompatible families it must fail with a witness cycle.
+The timed kernel measures join construction over the named workloads.
+"""
+
+import pytest
+
+from repro.core.ordering import (
+    compatibility_cycle,
+    is_sub,
+    join_all,
+)
+from repro.core.schema import Schema
+from repro.exceptions import IncompatibleSchemasError
+from repro.generators.random_schemas import random_schema_family
+from repro.generators.workloads import get_workload
+
+
+@pytest.mark.parametrize("workload", ["views-small", "views-medium"])
+def test_prop41_join_exists_and_is_lub(benchmark, workload):
+    schemas = get_workload(workload).schemas()
+    joined = benchmark(join_all, schemas)
+    for schema in schemas:
+        assert is_sub(schema, joined)
+    # Least: the join of (join, anything above) stays above; and the
+    # construction matches the proof (component unions + closure).
+    assert joined.classes == frozenset().union(
+        *(g.classes for g in schemas)
+    )
+
+
+def test_prop41_randomized_sweep(benchmark):
+    def sweep():
+        checked = 0
+        for seed in range(20):
+            family = random_schema_family(
+                n_schemas=3, pool_size=14, n_classes=7, seed=seed
+            )
+            joined = join_all(family)
+            assert all(is_sub(g, joined) for g in family)
+            checked += 1
+        return checked
+
+    assert benchmark(sweep) == 20
+
+
+def test_prop41_incompatibility_detected(benchmark):
+    one = Schema.build(spec=[("A", "B"), ("X", "Y")])
+    two = Schema.build(spec=[("B", "C")])
+    three = Schema.build(spec=[("C", "A")])
+
+    def attempt():
+        cycle = compatibility_cycle([one, two, three])
+        try:
+            join_all([one, two, three])
+        except IncompatibleSchemasError as exc:
+            return cycle, exc.cycle
+        return cycle, None
+
+    witness, raised = benchmark(attempt)
+    assert witness is not None
+    assert raised, "join_all must refuse incompatible families"
+    assert raised[0] == raised[-1]

@@ -1,0 +1,46 @@
+"""SCALE — merge and properization cost versus schema size (§7).
+
+The paper gives no complexity analysis; this sweep supplies the
+missing engineering numbers: wall-clock of the full merge pipeline as
+the class count grows, on the named view-integration workloads.
+"""
+
+import pytest
+
+from repro.core.implicit import properize
+from repro.core.merge import upper_merge, weak_merge
+from repro.generators.workloads import get_workload
+
+
+@pytest.mark.parametrize("workload", ["views-small", "views-medium"])
+def test_scale_full_merge(benchmark, workload):
+    # views-large takes ~1 minute per full merge; its weak stage is
+    # timed below and its properization cost is covered by IMPGROWTH.
+    schemas = get_workload(workload).schemas()
+    merged = benchmark(upper_merge, *schemas)
+    assert merged.classes >= frozenset().union(
+        *(g.classes for g in schemas)
+    )
+
+
+@pytest.mark.parametrize(
+    "workload", ["views-small", "views-medium", "views-large"]
+)
+def test_scale_weak_stage_only(benchmark, workload):
+    schemas = get_workload(workload).schemas()
+    weak = benchmark(weak_merge, *schemas)
+    assert len(weak.classes) >= max(len(g.classes) for g in schemas)
+
+
+@pytest.mark.parametrize("workload", ["views-small", "views-medium"])
+def test_scale_properization_stage_only(benchmark, workload):
+    schemas = get_workload(workload).schemas()
+    weak = weak_merge(*schemas)
+    proper = benchmark(properize, weak)
+    assert proper.classes >= weak.classes
+
+
+def test_scale_wide_federation(benchmark):
+    schemas = get_workload("federation-wide").schemas()
+    merged = benchmark(upper_merge, *schemas)
+    assert len(merged.classes) >= 10

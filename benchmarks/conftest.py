@@ -1,0 +1,11 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* its kernel (pytest-benchmark fixture) and
+*asserts* the paper's qualitative claim, so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction run recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Designing a merge concept with the §6 validity criterion.
+
+The paper ends section 6 with a rule: for a merge concept "to be valid
+and well defined, it should have a definition in terms of an
+information ordering".  This example uses the framework to (1) run the
+criterion over the library's own orderings, (2) expose a plausible but
+*broken* merge, and (3) drive the in-between annotated join, including
+the reason it must merge whole collections rather than fold.  Run
+with::
+
+    python examples/custom_merge_concept.py
+"""
+
+from repro import Schema
+from repro.core.framework import (
+    ANNOTATED_ORDERING,
+    KEYED_ORDERING,
+    WEAK_ORDERING,
+    WeakSchemaOrdering,
+    annotated_join,
+    annotated_join_all,
+    merge_law_violations,
+    validate_merge_concept,
+)
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema
+from repro.exceptions import IncompatibleSchemasError
+
+
+def sample_schemas():
+    registry = Schema.build(
+        arrows=[("Dog", "license", "LicenseNo"), ("Dog", "owner", "Person")]
+    )
+    clinic = Schema.build(
+        arrows=[("Dog", "age", "Int")], spec=[("Police-dog", "Dog")]
+    )
+    breeder = Schema.build(arrows=[("Dog", "kind", "Breed")])
+    return [registry, clinic, breeder]
+
+
+def main() -> None:
+    samples = sample_schemas()
+
+    print("=== 1. the shipped orderings pass the criterion ===")
+    for ordering in (WEAK_ORDERING, KEYED_ORDERING):
+        inputs = samples
+        if ordering is KEYED_ORDERING:
+            inputs = [KeyedSchema(schema) for schema in samples]
+            inputs[0] = KeyedSchema(
+                samples[0], {"Dog": KeyFamily.of({"license"})}
+            )
+        problems = validate_merge_concept(ordering, inputs)
+        verdict = "valid" if not problems else f"INVALID: {problems}"
+        print(f"{ordering.name}: {verdict}")
+    print()
+
+    print("=== 2. a plausible but broken merge fails it ===")
+
+    class FirstWins(WeakSchemaOrdering):
+        """'Merge' that resolves every overlap in favour of the first
+        operand — the shape of many ad-hoc integrators."""
+
+        name = "first-wins"
+
+        def join(self, left, right):
+            from repro.core.ordering import join
+
+            # Union, but drop the right schema's arrows on classes the
+            # left schema already has: left's view of shared classes
+            # "wins".  Looks reasonable; is not an upper bound.
+            kept = [
+                (s, a, t)
+                for (s, a, t) in right.arrows
+                if s not in left.classes
+            ]
+            return join(
+                left,
+                Schema.build(
+                    classes=right.classes, arrows=kept, spec=right.spec
+                ),
+            )
+
+    problems = merge_law_violations(FirstWins(), samples)
+    print(f"first-wins violations found: {len(problems)}; e.g.")
+    for line in problems[:3]:
+        print(f"  - {line}")
+    print()
+
+    print("=== 3. the in-between merge is n-ary by necessity ===")
+    kennel_only = AnnotatedSchema.build(classes=["Kennel"])
+    dog_only = AnnotatedSchema.build(classes=["Dog"])
+    homes = AnnotatedSchema.build(arrows=[("Dog", "home", "Kennel", "1")])
+
+    collection = annotated_join_all([kennel_only, dog_only, homes])
+    print(
+        "collection merge: Dog --home--> Kennel at constraint",
+        collection.participation_of("Dog", "home", "Kennel"),
+    )
+    try:
+        annotated_join(annotated_join(kennel_only, dog_only), homes)
+    except IncompatibleSchemasError as error:
+        print(f"binary fold fails: {error}")
+    print()
+    print(
+        "the fold's intermediate result knows both Dog and Kennel and "
+        "lacks the arrow — i.e. *forbids* it (constraint 0).  That is "
+        "the paper's section 3 phenomenon again: intermediate merges "
+        "asserting more than their inputs destroy order-independence, "
+        "and the remedy is the same — merge whole collections."
+    )
+    print()
+    print(
+        "annotated ordering (orders + binary-join laws):",
+        "valid"
+        if not validate_merge_concept(
+            ANNOTATED_ORDERING,
+            [homes, AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "0/1")])],
+        )
+        else "invalid",
+    )
+
+
+if __name__ == "__main__":
+    main()

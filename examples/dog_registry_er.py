@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Figures 1-2 end to end: merging two dog-registry ER diagrams (§2, §7).
+
+Two agencies model dogs as ER diagrams.  We translate both into the
+general model (the Figure 1 → Figure 2 step), merge there, check that
+strata were preserved, and translate back to a single ER diagram — the
+paper's merge-by-translation pipeline.  Run with::
+
+    python examples/dog_registry_er.py
+"""
+
+from repro import isa
+from repro.models.er import (
+    ERAttribute,
+    ERDiagram,
+    EREntity,
+    ERRelationship,
+    merge_er,
+    to_schema,
+)
+from repro.render.ascii_art import render_schema
+
+
+def main() -> None:
+    # Agency one: the paper's Figure 1, verbatim.
+    kennel_club = ERDiagram(
+        entities=[
+            EREntity(
+                "Dog",
+                attributes=[
+                    ERAttribute("owner", "Person"),
+                    ERAttribute("kind", "Breed"),
+                    ERAttribute("age", "Int"),
+                ],
+            ),
+            EREntity(
+                "Police-dog",
+                attributes=[ERAttribute("id-num", "Int")],
+                isa=["Dog"],
+            ),
+            EREntity("Guide-dog", isa=["Dog"]),
+            EREntity("Kennel", attributes=[ERAttribute("addr", "Place")]),
+        ],
+        relationships=[
+            ERRelationship("Lives", roles={"occ": "Dog", "home": "Kennel"})
+        ],
+    )
+
+    # Agency two: a vaccination registry with its own reading of Dog.
+    health_board = ERDiagram(
+        entities=[
+            EREntity(
+                "Dog",
+                attributes=[
+                    ERAttribute("chip", "ChipId"),
+                    ERAttribute("age", "Int"),
+                ],
+            ),
+            EREntity("Clinic", attributes=[ERAttribute("addr", "Place")]),
+        ],
+        relationships=[
+            ERRelationship(
+                "Vaccinated-at", roles={"dog": "Dog", "clinic": "Clinic"}
+            )
+        ],
+    )
+
+    print("agency 1 in the general model (the Figure 2 translation):")
+    print(render_schema(to_schema(kennel_club).schema))
+    print()
+
+    merged = merge_er(
+        kennel_club,
+        health_board,
+        assertions=[isa("Guide-dog", "Dog")],  # redundant, harmless
+    )
+
+    print("merged ER diagram:")
+    for entity in merged.entities:
+        attributes = ", ".join(
+            f"{a.name}:{a.domain}" for a in entity.attributes
+        )
+        parents = f" isa {', '.join(entity.isa)}" if entity.isa else ""
+        print(f"  entity {entity.name}({attributes}){parents}")
+    for relationship in merged.relationships:
+        roles = ", ".join(
+            f"{role}->{target}" for role, target in relationship.roles
+        )
+        print(f"  relationship {relationship.name}[{roles}]")
+
+    # The merged Dog has the union of both agencies' attributes.
+    dog = merged.entity("Dog")
+    names = {a.name for a in dog.attributes}
+    assert names == {"owner", "kind", "age", "chip"}
+    print("\nDog carries attributes from both agencies:", sorted(names))
+
+    # Police-dog inherited everything and kept its own id-num.
+    police = merged.entity("Police-dog")
+    assert {a.name for a in police.attributes} == {"id-num"}
+    assert police.isa == ("Dog",)
+    print("Police-dog still specializes Dog, declaring only id-num")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Entity resolution across databases via merged keys (section 5).
+
+A census bureau and a payroll system both track people.  Section 5 of
+the paper explains how keys decide when an object in one database
+corresponds to an object in the other — and what happens when only one
+database declares the key, or lacks its attributes entirely.  This
+example runs all three situations through the fusion pipeline.  Run
+with::
+
+    python examples/entity_resolution.py
+"""
+
+from repro import KeyFamily, KeyedSchema, Schema
+from repro.instances.correspondence import (
+    analyze_correspondence,
+    correspondence_report,
+    fuse,
+)
+from repro.instances.instance import Instance
+
+
+def census_schema() -> KeyedSchema:
+    """The census declares {ssn} a key for Person."""
+    return KeyedSchema(
+        Schema.build(
+            arrows=[("Person", "ssn", "SSN"), ("Person", "born", "Date")]
+        ),
+        {"Person": KeyFamily.of({"ssn"})},
+    )
+
+
+def payroll_schema(with_ssn: bool = True) -> KeyedSchema:
+    """Payroll has the ssn arrow but never declared it a key."""
+    arrows = [("Person", "name", "Str"), ("Person", "salary", "Money")]
+    if with_ssn:
+        arrows.append(("Person", "ssn", "SSN"))
+    return KeyedSchema(Schema.build(arrows=arrows))
+
+
+def census_data() -> Instance:
+    return Instance.build(
+        extents={
+            "Person": {"c-alice", "c-bob"},
+            "SSN": {"123-45", "678-90"},
+            "Date": {"1970-01-01", "1980-02-02"},
+        },
+        values={
+            ("c-alice", "ssn"): "123-45",
+            ("c-alice", "born"): "1970-01-01",
+            ("c-bob", "ssn"): "678-90",
+            ("c-bob", "born"): "1980-02-02",
+        },
+    )
+
+
+def payroll_data() -> Instance:
+    return Instance.build(
+        extents={
+            "Person": {"emp-1", "emp-2"},
+            "SSN": {"123-45", "555-55"},
+            "Str": {"Alice", "Carol"},
+            "Money": {"90k", "85k"},
+        },
+        values={
+            ("emp-1", "ssn"): "123-45",
+            ("emp-1", "name"): "Alice",
+            ("emp-1", "salary"): "90k",
+            ("emp-2", "ssn"): "555-55",
+            ("emp-2", "name"): "Carol",
+            ("emp-2", "salary"): "85k",
+        },
+    )
+
+
+VALUE_CLASSES = ["SSN", "Date", "Str", "Money"]
+
+
+def main() -> None:
+    census, payroll = census_schema(), payroll_schema()
+
+    print("=== correspondence analysis (the section 5 cases) ===")
+    print(correspondence_report(analyze_correspondence([census, payroll])))
+    print()
+
+    print("=== fusing census with payroll ===")
+    result = fuse(
+        [(census, census_data()), (payroll, payroll_data())],
+        value_classes=VALUE_CLASSES,
+    )
+    print(result.summary())
+    print()
+
+    # Alice appears in both databases; the merged key {ssn} — imposed
+    # on payroll's extents by the merge — identifies her, and the fused
+    # object carries attributes from *both* sources.
+    (alice,) = [
+        oid
+        for oid in result.instance.extent("Person")
+        if result.instance.value(oid, "ssn") == "123-45"
+    ]
+    print("the fused Alice object:")
+    for label in ("ssn", "born", "name", "salary"):
+        print(f"  {label}: {result.instance.value(alice, label)}")
+    print()
+
+    print("=== the undeterminable case ===")
+    contacts = KeyedSchema(
+        Schema.build(arrows=[("Person", "name", "Str")])
+    )
+    contacts_data = Instance.build(
+        extents={"Person": {"ct-1"}, "Str": {"Alice"}},
+        values={("ct-1", "name"): "Alice"},
+    )
+    blind = fuse(
+        [(census, census_data()), (contacts, contacts_data)],
+        value_classes=VALUE_CLASSES,
+    )
+    print(blind.summary())
+    print()
+    print(
+        "contacts has no ssn arrow, so — exactly as the paper says — "
+        '"there is not way to tell" whether ct-1 is the census Alice: '
+        f"{blind.identified} object(s) were identified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The Figure 9 scenario: integrating keyed university views (§5).
+
+The graduate office tracks thesis committees (many-many); the dean's
+office tracks advisors (one faculty member per student, expressed as
+the key {victim}).  Merging under the assertion Advisor ==> Committee
+derives the unique minimal satisfactory key assignment and enforces the
+paper's constraint SK(Advisor) ⊇ SK(Committee).  Run with::
+
+    python examples/university_views.py
+"""
+
+from repro import KeyFamily, KeyedSchema, Schema, isa, merge_keyed
+from repro.instances.instance import Instance
+from repro.instances.satisfaction import satisfies_keyed, violations_keyed
+from repro.render.ascii_art import render_keyed
+
+
+def main() -> None:
+    committee_view = KeyedSchema(
+        Schema.build(
+            arrows=[
+                ("Committee", "faculty", "Faculty"),
+                ("Committee", "victim", "GS"),
+            ]
+        ),
+        {"Committee": KeyFamily.of({"faculty", "victim"})},
+    )
+    advisor_view = KeyedSchema(
+        Schema.build(
+            arrows=[
+                ("Advisor", "faculty", "Faculty"),
+                ("Advisor", "victim", "GS"),
+            ]
+        ),
+        {"Advisor": KeyFamily.of({"victim"})},
+    )
+
+    merged = merge_keyed(
+        advisor_view,
+        committee_view,
+        assertions=[isa("Advisor", "Committee")],
+    )
+    print(render_keyed(merged, "merged university schema"))
+
+    # The section 5 key constraint holds in the merge:
+    assert merged.keys_of("Advisor").contains_family(
+        merged.keys_of("Committee")
+    )
+    print("\nSK(Advisor) ⊇ SK(Committee): every committee key is an "
+          "advisor superkey")
+
+    # Instance-level meaning: one advisor per student, but several
+    # committee memberships.
+    good = Instance.build(
+        extents={
+            "Faculty": {"dr-jones", "dr-lee"},
+            "GS": {"pat"},
+            "Advisor": {"adv1"},
+            "Committee": {"adv1", "com2"},
+        },
+        values={
+            ("adv1", "faculty"): "dr-jones",
+            ("adv1", "victim"): "pat",
+            ("com2", "faculty"): "dr-lee",
+            ("com2", "victim"): "pat",
+        },
+    )
+    assert satisfies_keyed(good, merged)
+    print("pat has one advisor and a two-member committee: OK")
+
+    # Two advisors for the same student violate the {victim} key.
+    bad = Instance.build(
+        extents={
+            "Faculty": {"dr-jones", "dr-lee"},
+            "GS": {"pat"},
+            "Advisor": {"adv1", "adv2"},
+            "Committee": {"adv1", "adv2"},
+        },
+        values={
+            ("adv1", "faculty"): "dr-jones",
+            ("adv1", "victim"): "pat",
+            ("adv2", "faculty"): "dr-lee",
+            ("adv2", "victim"): "pat",
+        },
+    )
+    problems = violations_keyed(bad, merged)
+    assert problems
+    print("\ntwo advisors for pat is rejected:")
+    for problem in problems:
+        print(f"  {problem}")
+
+
+if __name__ == "__main__":
+    main()

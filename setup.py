@@ -1,0 +1,24 @@
+"""Legacy-compatible build entry point.
+
+The offline environment ships a setuptools without PEP 517 wheel
+support; this thin ``setup.py`` lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) work there.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Theoretical Aspects of Schema Merging' "
+        "(Buneman, Davidson, Kosky; EDBT 1992)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": ["schema-merge=repro.tools.cli:main"],
+    },
+)

@@ -1,0 +1,1 @@
+"""Measurement helpers backing the benchmark harness."""

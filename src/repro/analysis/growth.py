@@ -1,0 +1,84 @@
+"""Implicit-class growth curves (the §7 open question, IMPGROWTH).
+
+"We must evaluate how many implicit classes can be introduced in the
+merge.  Although in the examples we have looked at this number has been
+small, it may be possible to construct pathological examples in which
+the number of implicit classes is very large; however, we do not think
+these are likely to occur in practice."
+
+:func:`growth_curve` measures ``|Imp|`` across a parameter sweep;
+:func:`random_growth` and :func:`adversarial_growth` instantiate it for
+the two regimes the sentence distinguishes, giving the benchmark both
+halves of the claim to verify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.implicit import implicit_sets
+from repro.core.merge import weak_merge
+from repro.core.schema import Schema
+from repro.generators.pathological import diamond_chain_schemas, nfa_blowup_pair
+from repro.generators.random_schemas import random_schema_family
+
+__all__ = [
+    "implicit_count",
+    "growth_curve",
+    "random_growth",
+    "adversarial_growth",
+    "diamond_growth",
+]
+
+
+def implicit_count(schemas: Sequence[Schema]) -> int:
+    """``|Imp|`` of the weak merge of *schemas*."""
+    return len(implicit_sets(weak_merge(*schemas)))
+
+
+def growth_curve(
+    parameters: Sequence[int],
+    family: Callable[[int], Sequence[Schema]],
+) -> List[Tuple[int, int, int]]:
+    """``(parameter, merged input classes, |Imp|)`` along a sweep."""
+    rows = []
+    for parameter in parameters:
+        schemas = list(family(parameter))
+        merged = weak_merge(*schemas)
+        rows.append(
+            (parameter, len(merged.classes), len(implicit_sets(merged)))
+        )
+    return rows
+
+
+def random_growth(
+    sizes: Sequence[int] = (10, 20, 40, 80),
+    seed: int = 7,
+) -> List[Tuple[int, int, int]]:
+    """Growth on random overlapping view families (the benign regime)."""
+    return growth_curve(
+        sizes,
+        lambda n: random_schema_family(
+            n_schemas=3,
+            pool_size=2 * n,
+            n_classes=n,
+            n_labels=max(3, n // 8),
+            arrow_density=0.12,
+            spec_density=0.08,
+            seed=seed,
+        ),
+    )
+
+
+def adversarial_growth(
+    ks: Sequence[int] = (4, 6, 8, 10),
+) -> List[Tuple[int, int, int]]:
+    """Growth on the NFA subset-construction adversary (exponential)."""
+    return growth_curve(ks, lambda k: nfa_blowup_pair(k))
+
+
+def diamond_growth(
+    ks: Sequence[int] = (4, 8, 16, 32),
+) -> List[Tuple[int, int, int]]:
+    """Growth on stacked diamonds (exactly linear: ``|Imp| == k``)."""
+    return growth_curve(ks, lambda k: diamond_chain_schemas(k))

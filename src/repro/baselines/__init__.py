@@ -1,0 +1,1 @@
+"""Baseline merging algorithms the paper argues against."""

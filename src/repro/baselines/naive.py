@@ -1,0 +1,148 @@
+"""The naive binary merger — the paper's Figure 5 counterexample.
+
+Section 3 shows what goes wrong if implicit classes are "given the same
+status as ordinary classes": each binary merge invents *fresh*,
+anonymous classes (the figure's ``X?``, ``Y?``), later merges cannot
+recognise them, and the final schema depends on the merge order —
+"binary merges are not associative".
+
+This module implements that strawman faithfully so the benchmarks can
+measure the failure the paper diagnoses:
+
+* :func:`naive_binary_merge` — weak join followed by a properization
+  that names implicit classes ``?1``, ``?2``, ... (anonymous
+  :class:`~repro.core.names.BaseName` classes, numbered per merge, with
+  no origin information);
+* :func:`naive_merge_sequence` — left-fold of the binary merge over a
+  given order;
+* :func:`order_sensitivity` — run every merge order and count the
+  distinct results; the paper's claim is that this exceeds 1 for the
+  Figure 4 schemas while our merge always yields exactly 1.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.implicit import implicit_sets
+from repro.core.merge import weak_merge
+from repro.core.names import BaseName, ClassName, Label, sort_key
+from repro.core.proper import check_proper
+from repro.core.schema import Schema
+
+__all__ = [
+    "naive_binary_merge",
+    "naive_merge_sequence",
+    "order_sensitivity",
+]
+
+
+def _fresh_name(schema_classes: FrozenSet[ClassName], counter: int) -> BaseName:
+    """The next anonymous class name (``?1``, ``?2``, ...) not in use."""
+    while True:
+        candidate = BaseName(f"?{counter}")
+        if candidate not in schema_classes:
+            return candidate
+        counter += 1
+
+
+def _naive_properize(schema: Schema) -> Schema:
+    """Properize with anonymous, origin-free implicit classes.
+
+    Identical to :func:`repro.core.implicit.properize` except that the
+    invented classes are numbered ``BaseName`` classes.  Because the
+    names carry no origin, a subsequent merge treats them as ordinary
+    user classes — precisely the behaviour that breaks associativity.
+    """
+    imp = implicit_sets(schema)
+    if not imp:
+        return check_proper(schema)
+    ordered_sets = sorted(
+        imp, key=lambda members: sorted(sort_key(m) for m in members)
+    )
+    name_of: Dict[FrozenSet[ClassName], BaseName] = {}
+    used = set(schema.classes)
+    counter = 1
+    for member_set in ordered_sets:
+        fresh = _fresh_name(frozenset(used), counter)
+        counter = int(fresh.value[1:]) + 1
+        used.add(fresh)
+        name_of[member_set] = fresh
+
+    new_classes = set(schema.classes) | set(name_of.values())
+    labels = schema.labels()
+
+    def reach_bar(node: ClassName, label: Label) -> FrozenSet[ClassName]:
+        for member_set, fresh in name_of.items():
+            if fresh == node:
+                return schema.reach_set(member_set, label)
+        return schema.reach(node, label)
+
+    new_arrows: Set[Tuple[ClassName, Label, ClassName]] = set()
+    for node in new_classes:
+        for label in labels:
+            reached = reach_bar(node, label)
+            if not reached:
+                continue
+            for target in reached:
+                new_arrows.add((node, label, target))
+            for member_set, fresh in name_of.items():
+                if member_set <= reached:
+                    new_arrows.add((node, label, fresh))
+
+    spec_pairs = schema.spec
+    new_spec: Set[Tuple[ClassName, ClassName]] = set(spec_pairs)
+    for x_members, x_name in name_of.items():
+        for y_members, y_name in name_of.items():
+            if x_name != y_name and all(
+                any((q, p) in spec_pairs for q in x_members)
+                for p in y_members
+            ):
+                new_spec.add((x_name, y_name))
+        for p in schema.classes:
+            if any((q, p) in spec_pairs for q in x_members):
+                new_spec.add((x_name, p))
+            if all((p, q) in spec_pairs for q in x_members):
+                new_spec.add((p, x_name))
+
+    return check_proper(
+        Schema.build(classes=new_classes, arrows=new_arrows, spec=new_spec)
+    )
+
+
+def naive_binary_merge(left: Schema, right: Schema) -> Schema:
+    """One naive binary merge: weak join + anonymous properization."""
+    return _naive_properize(weak_merge(left, right))
+
+
+def naive_merge_sequence(schemas: Sequence[Schema]) -> Schema:
+    """Left-fold the naive binary merge over *schemas* in the given order."""
+    if not schemas:
+        return Schema.empty()
+    result = schemas[0]
+    for nxt in schemas[1:]:
+        result = naive_binary_merge(result, nxt)
+    return result
+
+
+def order_sensitivity(schemas: Sequence[Schema]) -> Dict[str, object]:
+    """Measure how much the naive merge depends on merge order.
+
+    Runs :func:`naive_merge_sequence` over every permutation and
+    reports the number of distinct results, the class-count spread and
+    the permutation→result mapping sizes.  A deterministic, associative
+    merger scores ``distinct_results == 1``.
+    """
+    results: List[Schema] = []
+    for order in permutations(range(len(schemas))):
+        merged = naive_merge_sequence([schemas[i] for i in order])
+        results.append(merged)
+    distinct = set(results)
+    class_counts = sorted(len(r.classes) for r in distinct)
+    return {
+        "permutations": len(results),
+        "distinct_results": len(distinct),
+        "class_counts": class_counts,
+        "results": distinct,
+    }

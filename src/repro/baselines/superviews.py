@@ -1,0 +1,126 @@
+"""A heuristic sequential integrator in the style the paper surveys.
+
+The pre-1992 integration systems the paper cites — Motro's superviews
+[1], Multibase [2], Navathe-Elmasri-Larson [3] — integrate schemas
+*pairwise and heuristically*: when two views disagree about an
+attribute's class, the tool (or the designer, prompted by the tool)
+picks one.  The paper's criticism is that such choices make the result
+depend on integration order, so "user assertions" degrade into "guiding
+heuristics".
+
+:func:`heuristic_binary_merge` distils that behaviour into a minimal,
+deterministic strawman: union the two schemas, and wherever an arrow
+ends up with several minimal targets, *keep only the alphabetically
+least* (a stand-in for "the designer picked one").  It never invents
+classes, always returns a proper schema — and is both **lossy**
+(discarded targets are information the inputs asserted) and
+**order-sensitive** when folded over three or more schemas, which
+:func:`heuristic_order_sensitivity` quantifies for the benchmark
+comparing it against our merge.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Sequence, Set
+
+from repro.core import relations
+from repro.core.merge import weak_merge
+from repro.core.names import ClassName, sort_key
+from repro.core.proper import check_proper
+from repro.core.schema import Arrow, Schema
+
+__all__ = [
+    "heuristic_binary_merge",
+    "heuristic_merge_sequence",
+    "heuristic_order_sensitivity",
+    "lost_information",
+]
+
+
+def _prune_to_least_target(schema: Schema) -> Schema:
+    """Resolve every multi-minimal reach set by suppressing alternatives.
+
+    While some ``(p, a)`` has no least target, pick its alphabetically
+    least minimal target as the survivor and delete **every** arrow
+    labelled ``a`` into the specialization down-set of the losing
+    minimal targets.  Deleting a down-closed target set keeps the arrow
+    relation W1/W2-closed (an inherited or lifted copy of a surviving
+    arrow never lands in the deleted region), so the loop strictly
+    shrinks the arrow set and terminates with a proper schema.
+
+    This global suppression is exactly the cost the paper attributes to
+    heuristic integrators: information one view asserted is silently
+    discarded instead of being represented by a new class.
+    """
+    from repro.core.proper import properness_violations
+
+    current = schema
+    while True:
+        violations = properness_violations(current)
+        if not violations:
+            return current
+        source, label, minimal = violations[0]
+        ordered = sorted(minimal, key=sort_key)
+        losers = ordered[1:]
+        doomed: Set[ClassName] = set()
+        for loser in losers:
+            doomed |= current.specializations_of(loser)
+        kept = frozenset(
+            (s, a, t)
+            for (s, a, t) in current.arrows
+            if not (a == label and t in doomed)
+        )
+        current = Schema(current.classes, kept, current.spec)
+
+
+def heuristic_binary_merge(left: Schema, right: Schema) -> Schema:
+    """Union the schemas, then heuristically prune to a proper schema."""
+    return check_proper(_prune_to_least_target(weak_merge(left, right)))
+
+
+def heuristic_merge_sequence(schemas: Sequence[Schema]) -> Schema:
+    """Left-fold :func:`heuristic_binary_merge` in the given order."""
+    if not schemas:
+        return Schema.empty()
+    result = _prune_to_least_target(schemas[0])
+    for nxt in schemas[1:]:
+        result = heuristic_binary_merge(result, nxt)
+    return result
+
+
+def heuristic_order_sensitivity(
+    schemas: Sequence[Schema],
+) -> Dict[str, object]:
+    """Distinct results of the heuristic fold across all merge orders."""
+    results: List[Schema] = []
+    for order in permutations(range(len(schemas))):
+        results.append(
+            heuristic_merge_sequence([schemas[i] for i in order])
+        )
+    distinct = set(results)
+    return {
+        "permutations": len(results),
+        "distinct_results": len(distinct),
+        "arrow_counts": sorted(len(r.arrows) for r in distinct),
+        "results": distinct,
+    }
+
+
+def lost_information(
+    merged: Schema, inputs: Sequence[Schema]
+) -> List[Arrow]:
+    """Arrows some input asserted that *merged* silently dropped.
+
+    Our merge never loses arrows (it is an upper bound); the heuristic
+    baseline does, and this function itemises the damage for the
+    benchmark report.
+    """
+    lost: List[Arrow] = []
+    for schema in inputs:
+        for arrow in schema.arrows:
+            if arrow not in merged.arrows:
+                lost.append(arrow)
+    return sorted(
+        set(lost), key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2]))
+    )

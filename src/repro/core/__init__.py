@@ -1,0 +1,1 @@
+"""Core formalism: weak/proper schemas, orderings, merges, keys."""

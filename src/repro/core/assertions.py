@@ -1,0 +1,97 @@
+"""User assertions as elementary schemas (section 3).
+
+A key design point of the paper is that inter-schema constraints
+supplied by the designer — "class ``a1`` of schema ``G1`` specializes
+class ``a2`` of schema ``G2``" — need no special machinery: each
+assertion *is* a tiny schema, merged with the ordinary operation.
+Because the merge is associative and commutative, "an arbitrary set of
+constraints can be added in this fashion" and the result never depends
+on the order the designer states them in.
+
+This module provides constructors for those atomic schemas and a small
+:class:`AssertionSet` convenience for collecting them.  Equating two
+classes is deliberately *not* an assertion: the model's specialization
+order is antisymmetric, so identification must be done by renaming
+(:meth:`repro.core.schema.Schema.rename`), exactly as section 3
+prescribes ("if two classes in different schemas have the same name,
+then they are the same class").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from repro.core.names import ClassName, Label, check_label, name
+from repro.core.schema import Schema
+
+__all__ = [
+    "class_exists",
+    "isa",
+    "arrow",
+    "AssertionSet",
+]
+
+NameLike = Union[ClassName, str]
+
+
+def class_exists(cls: NameLike) -> Schema:
+    """The atomic schema asserting that class *cls* exists."""
+    return Schema.build(classes=[name(cls)])
+
+
+def isa(sub: NameLike, sup: NameLike) -> Schema:
+    """The atomic schema asserting ``sub ==> sup``.
+
+    This is the paper's canonical example: "we can treat ``a1 ==> a2``
+    as an atomic schema that is to be merged with ``G1`` and then with
+    ``G2``".
+    """
+    return Schema.build(spec=[(name(sub), name(sup))])
+
+
+def arrow(source: NameLike, label: Label, target: NameLike) -> Schema:
+    """The atomic schema asserting ``source --label--> target``."""
+    return Schema.build(arrows=[(name(source), check_label(label), name(target))])
+
+
+class AssertionSet:
+    """An unordered collection of assertions, itself usable as schemas.
+
+    The designer accumulates assertions over time; because each one is a
+    schema and the merge is order-independent, the set can be replayed
+    against any collection of schemas with a single merge call.
+    """
+
+    def __init__(self, assertions: Iterable[Schema] = ()):
+        self._assertions: List[Schema] = list(assertions)
+
+    def add_isa(self, sub: NameLike, sup: NameLike) -> "AssertionSet":
+        """Record ``sub ==> sup``; returns self for chaining."""
+        self._assertions.append(isa(sub, sup))
+        return self
+
+    def add_arrow(
+        self, source: NameLike, label: Label, target: NameLike
+    ) -> "AssertionSet":
+        """Record ``source --label--> target``; returns self for chaining."""
+        self._assertions.append(arrow(source, label, target))
+        return self
+
+    def add_class(self, cls: NameLike) -> "AssertionSet":
+        """Record the existence of *cls*; returns self for chaining."""
+        self._assertions.append(class_exists(cls))
+        return self
+
+    def add(self, schema: Schema) -> "AssertionSet":
+        """Record an arbitrary schema-valued assertion."""
+        self._assertions.append(schema)
+        return self
+
+    def __iter__(self) -> Iterator[Schema]:
+        return iter(tuple(self._assertions))
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    def __repr__(self) -> str:
+        return f"AssertionSet({len(self._assertions)} assertion(s))"

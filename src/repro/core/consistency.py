@@ -1,0 +1,118 @@
+"""The consistency relationship of section 4.2.
+
+Not every implicit class the merge invents corresponds to anything in
+the real world: an implicit class below ``{Person, Invoice}`` asserts
+that some objects are simultaneously people and invoices.  The paper's
+remedy is a *consistency relationship* on the underlying class names —
+a symmetric, reflexive compatibility predicate — together with the rule
+that the merge fails (:class:`~repro.exceptions.InconsistentSchemasError`)
+whenever some implicit class contains a pair of classes not related by
+it.  "Checking consistency would be very efficient, since it just
+requires examining the consistency relationship" — and indeed the check
+below is a pair-enumeration over the (small) member sets of ``Imp``.
+
+Two policies are provided because the paper leaves the default open:
+
+* :meth:`ConsistencyRelation.permissive` — everything is consistent
+  with everything (the merge never fails on consistency grounds);
+* an explicit relation built from consistent pairs, where *unlisted*
+  pairs are inconsistent.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Optional, Set, Tuple, Union
+
+from repro.core.names import BaseName, ClassName, base_members, name
+from repro.exceptions import InconsistentSchemasError
+
+__all__ = ["ConsistencyRelation", "check_consistency"]
+
+NameLike = Union[ClassName, str]
+
+
+class ConsistencyRelation:
+    """A symmetric, reflexive compatibility relation over base class names.
+
+    Composite (implicit/generalization) names are judged through their
+    underlying base members: an implicit class is real-world-meaningful
+    iff every pair of base classes it conflates is consistent.
+    """
+
+    def __init__(self, pairs: Iterable[Tuple[NameLike, NameLike]] = ()):
+        closed: Set[Tuple[BaseName, BaseName]] = set()
+        for left_raw, right_raw in pairs:
+            for left in base_members(name(left_raw)):
+                for right in base_members(name(right_raw)):
+                    closed.add((left, right))
+                    closed.add((right, left))
+        self._pairs: FrozenSet[Tuple[BaseName, BaseName]] = frozenset(closed)
+        self._permissive = False
+
+    @classmethod
+    def permissive(cls) -> "ConsistencyRelation":
+        """The total relation: every pair of classes is consistent."""
+        instance = cls()
+        instance._permissive = True
+        return instance
+
+    @classmethod
+    def from_groups(
+        cls, groups: Iterable[Iterable[NameLike]]
+    ) -> "ConsistencyRelation":
+        """Build a relation from clusters of mutually consistent classes.
+
+        Classes within one group are pairwise consistent; classes from
+        different groups are not (unless they also co-occur in another
+        group).
+        """
+        pairs = []
+        for group in groups:
+            members = [name(m) for m in group]
+            for i, left in enumerate(members):
+                for right in members[i:]:
+                    pairs.append((left, right))
+        return cls(pairs)
+
+    def consistent(self, left: NameLike, right: NameLike) -> bool:
+        """May classes *left* and *right* share instances?"""
+        if self._permissive:
+            return True
+        left_bases = base_members(name(left))
+        right_bases = base_members(name(right))
+        return all(
+            a == b or (a, b) in self._pairs
+            for a in left_bases
+            for b in right_bases
+        )
+
+    def __repr__(self) -> str:
+        if self._permissive:
+            return "ConsistencyRelation.permissive()"
+        return f"ConsistencyRelation({len(self._pairs)} pair(s))"
+
+
+def check_consistency(
+    implicit_member_sets: Iterable[AbstractSet[ClassName]],
+    relation: Optional[ConsistencyRelation],
+) -> None:
+    """Vet every would-be implicit class against *relation*.
+
+    *relation* being ``None`` means "no consistency information":
+    everything passes, matching the paper's baseline behaviour.  Raises
+    :class:`~repro.exceptions.InconsistentSchemasError` naming the first
+    offending pair otherwise.
+    """
+    if relation is None:
+        return
+    for member_set in implicit_member_sets:
+        members = sorted(member_set, key=str)
+        for i, left in enumerate(members):
+            for right in members[i + 1 :]:
+                if not relation.consistent(left, right):
+                    raise InconsistentSchemasError(
+                        "merge would create an implicit class conflating "
+                        f"{left} and {right}, which the consistency "
+                        "relationship forbids",
+                        offending_pair=(left, right),
+                    )

@@ -1,0 +1,160 @@
+"""Structural diffs between schemas.
+
+Interactive merging (section 1: "the operation is appropriate for the
+design of interactive programs") needs to *explain* results: what did
+the merge add relative to each input, what would be lost by a
+candidate, how far apart are two proposals.  :class:`SchemaDiff`
+captures the component-wise symmetric difference, and
+:func:`explain_merge` specialises it to the common question "what did
+the merge do to my schema".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from repro.core.names import ClassName, sort_key
+from repro.core.schema import Arrow, Schema, SpecEdge
+
+__all__ = ["SchemaDiff", "diff", "explain_merge"]
+
+
+@dataclass(frozen=True)
+class SchemaDiff:
+    """Everything present in one schema but not the other.
+
+    ``left_only``/``right_only`` tuples hold (classes, arrows, strict
+    specialization edges).  The diff is empty iff the schemas are
+    equal, and one side is empty iff the other schema is above in the
+    information ordering — both facts are exposed as predicates and
+    verified by tests against :func:`repro.core.ordering.is_sub`.
+    """
+
+    left_only_classes: FrozenSet[ClassName]
+    right_only_classes: FrozenSet[ClassName]
+    left_only_arrows: FrozenSet[Arrow]
+    right_only_arrows: FrozenSet[Arrow]
+    left_only_spec: FrozenSet[SpecEdge]
+    right_only_spec: FrozenSet[SpecEdge]
+
+    def is_empty(self) -> bool:
+        """Are the schemas structurally equal?"""
+        return not (
+            self.left_only_classes
+            or self.right_only_classes
+            or self.left_only_arrows
+            or self.right_only_arrows
+            or self.left_only_spec
+            or self.right_only_spec
+        )
+
+    def left_is_sub(self) -> bool:
+        """Is the left schema entirely contained in the right (``⊑``)?"""
+        return not (
+            self.left_only_classes
+            or self.left_only_arrows
+            or self.left_only_spec
+        )
+
+    def right_is_sub(self) -> bool:
+        """Is the right schema entirely contained in the left?"""
+        return not (
+            self.right_only_classes
+            or self.right_only_arrows
+            or self.right_only_spec
+        )
+
+    def summary_lines(self) -> List[str]:
+        """A human-readable itemisation, deterministic order."""
+        lines: List[str] = []
+        for title, classes in (
+            ("only in left", self.left_only_classes),
+            ("only in right", self.right_only_classes),
+        ):
+            for cls in sorted(classes, key=sort_key):
+                lines.append(f"class {title}: {cls}")
+        for title, arrows in (
+            ("only in left", self.left_only_arrows),
+            ("only in right", self.right_only_arrows),
+        ):
+            for source, label, target in sorted(
+                arrows, key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2]))
+            ):
+                lines.append(
+                    f"arrow {title}: {source} --{label}--> {target}"
+                )
+        for title, spec in (
+            ("only in left", self.left_only_spec),
+            ("only in right", self.right_only_spec),
+        ):
+            for sub, sup in sorted(
+                spec, key=lambda e: (sort_key(e[0]), sort_key(e[1]))
+            ):
+                lines.append(f"spec {title}: {sub} ==> {sup}")
+        if not lines:
+            lines.append("schemas are identical")
+        return lines
+
+
+def diff(left: Schema, right: Schema) -> SchemaDiff:
+    """The component-wise symmetric difference of two schemas."""
+    return SchemaDiff(
+        left_only_classes=left.classes - right.classes,
+        right_only_classes=right.classes - left.classes,
+        left_only_arrows=left.arrows - right.arrows,
+        right_only_arrows=right.arrows - left.arrows,
+        left_only_spec=left.strict_spec() - right.strict_spec(),
+        right_only_spec=right.strict_spec() - left.strict_spec(),
+    )
+
+
+def explain_merge(merged: Schema, original: Schema) -> List[str]:
+    """What the merge added on top of *original* (never: removed).
+
+    For an upper merge the 'only in original' side is empty by the
+    upper-bound property; if it is not, the caller compared against the
+    wrong merge and the discrepancy is reported loudly first.
+    """
+    delta = diff(original, merged)
+    lines: List[str] = []
+    if not delta.left_is_sub():
+        lines.append(
+            "WARNING: the 'merged' schema is missing parts of the "
+            "original — it is not an upper bound:"
+        )
+        for cls in sorted(delta.left_only_classes, key=sort_key):
+            lines.append(f"  missing class {cls}")
+        for source, label, target in sorted(
+            delta.left_only_arrows,
+            key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2])),
+        ):
+            lines.append(f"  missing arrow {source} --{label}--> {target}")
+        for sub, sup in sorted(
+            delta.left_only_spec,
+            key=lambda e: (sort_key(e[0]), sort_key(e[1])),
+        ):
+            lines.append(f"  missing spec {sub} ==> {sup}")
+    added_classes = sorted(delta.right_only_classes, key=sort_key)
+    if added_classes:
+        lines.append(f"classes added ({len(added_classes)}):")
+        lines.extend(f"  {cls}" for cls in added_classes)
+    added_arrows = sorted(
+        delta.right_only_arrows,
+        key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2])),
+    )
+    if added_arrows:
+        lines.append(f"arrows added ({len(added_arrows)}):")
+        lines.extend(
+            f"  {s} --{label}--> {t}" for s, label, t in added_arrows
+        )
+    added_spec = sorted(
+        delta.right_only_spec,
+        key=lambda e: (sort_key(e[0]), sort_key(e[1])),
+    )
+    if added_spec:
+        lines.append(f"specializations added ({len(added_spec)}):")
+        lines.extend(f"  {sub} ==> {sup}" for sub, sup in added_spec)
+    if not lines:
+        lines.append("merge added nothing (original was already complete)")
+    return lines

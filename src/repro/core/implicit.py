@@ -1,0 +1,179 @@
+"""Properization: turning a weak schema into a proper one (section 4.2).
+
+The upper merge of two proper schemas is in general only *weak*: a class
+may acquire ``a``-arrows to several incomparable targets (Figure 3's
+``C`` inherits ``a``-arrows to both ``B1`` and ``B2``).  The paper
+repairs this by introducing *implicit classes*, one for each set of
+minimal classes jointly reachable along arrows:
+
+.. code-block:: text
+
+    I0   = { {p} | p ∈ C }
+    In+1 = { R(X, a) | X ∈ In, a ∈ L }
+    I∞   = ⋃ n≥1  In
+    Imp  = { MinS(X) | X ∈ I∞, |MinS(X)| > 1 }
+
+For each ``X ∈ Imp`` a fresh class ``X̄`` (here
+:class:`~repro.core.names.ImplicitName`) is added below the members of
+``X``, arrows are re-targeted at the new classes, and specialization
+edges between implicit classes are filled in.  The result ``Ḡ`` is a
+proper schema with ``G ⊑ Ḡ``, and — because implicit names record their
+origin — repeating the construction across successive merges stays
+associative (the Figure 4/5 example).
+
+This module implements the construction exactly, plus the helpers the
+rest of the library needs: detecting/stripping implicit classes and
+computing ``Imp`` on its own (used by the growth benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.names import ClassName, GenName, ImplicitName, Label
+from repro.core.proper import check_proper
+from repro.core.schema import Schema
+
+__all__ = [
+    "reachable_sets",
+    "implicit_sets",
+    "properize",
+    "strip_implicits",
+    "implicit_classes_of",
+    "is_implicit",
+]
+
+
+def is_implicit(cls: ClassName) -> bool:
+    """Is *cls* a class invented by (upper or lower) properization?"""
+    return isinstance(cls, (ImplicitName, GenName))
+
+
+def implicit_classes_of(schema: Schema) -> FrozenSet[ClassName]:
+    """All invented classes currently present in *schema*."""
+    return frozenset(c for c in schema.classes if is_implicit(c))
+
+
+def strip_implicits(schema: Schema) -> Schema:
+    """The restriction of *schema* to its user-supplied classes.
+
+    The paper notes implicit classes "have no additional information
+    associated with them"; stripping and re-deriving them is therefore
+    lossless, a fact the property tests verify (properize ∘ strip ∘
+    properize == properize on merge results).
+    """
+    return schema.restrict(schema.classes - implicit_classes_of(schema))
+
+
+def reachable_sets(schema: Schema) -> Set[FrozenSet[ClassName]]:
+    """The paper's ``I∞``: every ``R(X, a)`` reachable from a singleton.
+
+    Computed as a worklist fixpoint.  Only non-empty reach sets are kept
+    (empty sets have ``|MinS| = 0`` and can never contribute an implicit
+    class, and dropping them keeps the fixpoint small).
+    """
+    seen: Set[FrozenSet[ClassName]] = set()
+    frontier: List[FrozenSet[ClassName]] = [
+        frozenset({p}) for p in schema.classes
+    ]
+    labels = schema.labels()
+    while frontier:
+        current = frontier.pop()
+        for label in labels:
+            reached = schema.reach_set(current, label)
+            if reached and reached not in seen:
+                seen.add(reached)
+                frontier.append(reached)
+    return seen
+
+
+def implicit_sets(schema: Schema) -> Set[FrozenSet[ClassName]]:
+    """The paper's ``Imp``: minimal-element sets of size > 1 in ``I∞``."""
+    result: Set[FrozenSet[ClassName]] = set()
+    for reached in reachable_sets(schema):
+        minimal = schema.min_classes(reached)
+        if len(minimal) > 1:
+            result.add(minimal)
+    return result
+
+
+def properize(schema: Schema) -> Schema:
+    """The paper's ``G ↦ Ḡ``: embed a weak schema into a proper one.
+
+    Follows section 4.2 step by step:
+
+    1. compute ``Imp`` (:func:`implicit_sets`);
+    2. ``C̄ = C ∪ {X̄ | X ∈ Imp}``;
+    3. ``Ē`` keeps every original arrow, points ``x --a--> X̄``
+       whenever ``X ⊆ R(x, a)``, and gives each implicit class the
+       arrows of its member set (``R̄(X̄, a) = R(X, a)``);
+    4. ``S̄`` adds ``X̄ ==> Ȳ`` when every class of ``Y`` has a
+       specialization in ``X``, ``X̄ ==> p`` when some member of ``X``
+       specializes ``p``, and ``p ==> X̄`` when ``p`` specializes every
+       member of ``X``.
+
+    The result is a proper schema with ``schema ⊑ properize(schema)``;
+    both facts are asserted here (cheaply — properness witnesses come
+    for free) and re-checked at scale by the property tests.  A schema
+    that is already proper and has no multi-minimal reach sets is
+    returned unchanged (the construction is idempotent).
+    """
+    imp = implicit_sets(schema)
+    if not imp:
+        return check_proper(schema)
+
+    name_of: Dict[FrozenSet[ClassName], ImplicitName] = {
+        member_set: ImplicitName(member_set) for member_set in imp
+    }
+    # Deduplicate by name: flattening may identify member sets; keep the
+    # minimal classes of their union as the single definition.
+    members_of: Dict[ImplicitName, FrozenSet[ClassName]] = {}
+    for member_set, label in name_of.items():
+        if label in members_of:
+            members_of[label] = schema.min_classes(
+                members_of[label] | member_set
+            )
+        else:
+            members_of[label] = member_set
+
+    new_classes = set(schema.classes) | set(members_of)
+
+    # --- arrows -------------------------------------------------------
+    def reach_bar(node: ClassName, label: Label) -> FrozenSet[ClassName]:
+        if isinstance(node, ImplicitName) and node in members_of:
+            return schema.reach_set(members_of[node], label)
+        return schema.reach(node, label)
+
+    labels = schema.labels()
+    new_arrows: Set[Tuple[ClassName, Label, ClassName]] = set()
+    for node in new_classes:
+        for label in labels:
+            reached = reach_bar(node, label)
+            if not reached:
+                continue
+            for target in reached:
+                new_arrows.add((node, label, target))
+            reached_size = len(reached)
+            for imp_label, imp_members in members_of.items():
+                if len(imp_members) <= reached_size and imp_members <= reached:
+                    new_arrows.add((node, label, imp_label))
+
+    # --- specializations ----------------------------------------------
+    new_spec: Set[Tuple[ClassName, ClassName]] = set(schema.spec)
+    spec_pairs = schema.spec
+    for x_label, x_members in members_of.items():
+        for y_label, y_members in members_of.items():
+            if x_label != y_label and all(
+                any((q, p) in spec_pairs for q in x_members) for p in y_members
+            ):
+                new_spec.add((x_label, y_label))
+        for p in schema.classes:
+            if any((q, p) in spec_pairs for q in x_members):
+                new_spec.add((x_label, p))
+            if all((p, q) in spec_pairs for q in x_members):
+                new_spec.add((p, x_label))
+
+    result = Schema.build(
+        classes=new_classes, arrows=new_arrows, spec=new_spec
+    )
+    return check_proper(result)

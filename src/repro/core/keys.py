@@ -1,0 +1,353 @@
+"""Key constraints and their behaviour under merging (section 5).
+
+A *key* of a class ``p`` is a set of labels of arrows out of ``p`` whose
+values jointly determine object identity; a *superkey* is any superset
+of a key.  The paper works with the family ``SK(p)`` of all superkeys,
+which is upward closed; we represent such a family compactly by its
+antichain of minimal elements (:class:`KeyFamily`).
+
+The interaction with specialization is the single constraint
+
+    ``p ==> q``  implies  ``SK(p) ⊇ SK(q)``
+
+("all the keys for q are keys (or superkeys) for p").  For a merge the
+paper defines an assignment ``SK`` to be *satisfactory* when it contains
+every input assignment pointwise and satisfies the constraint, observes
+that satisfactory assignments are closed under pointwise intersection,
+and concludes there is a unique minimal one.  We compute it directly
+(:func:`minimal_satisfactory_assignment`) as the downward propagation of
+input keys along the merged specialization order, and the property tests
+verify both satisfaction and minimality against the definition.
+
+:class:`KeyedSchema` bundles a schema with a key assignment and
+validates the structural side conditions (keys mention only labels of
+arrows out of the class; specialization monotonicity).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.consistency import ConsistencyRelation
+from repro.core.merge import upper_merge
+from repro.core.names import ClassName, Label, name
+from repro.core.schema import Schema
+from repro.exceptions import KeyConstraintError
+
+__all__ = [
+    "KeyFamily",
+    "KeyedSchema",
+    "minimal_satisfactory_assignment",
+    "is_satisfactory",
+    "merge_keyed",
+]
+
+NameLike = Union[ClassName, str]
+KeySet = FrozenSet[Label]
+
+
+def _freeze_key(key: Iterable[Label]) -> KeySet:
+    frozen = frozenset(key)
+    for label in frozen:
+        if not isinstance(label, str) or not label:
+            raise KeyConstraintError(
+                f"key components must be non-empty labels, got {label!r}"
+            )
+    return frozen
+
+
+def _minimize(keys: Iterable[KeySet]) -> FrozenSet[KeySet]:
+    """Keep only the ⊆-minimal sets: the antichain representing the family."""
+    key_list = sorted(set(keys), key=lambda k: (len(k), sorted(k)))
+    kept: list = []
+    for key in key_list:
+        if not any(existing <= key for existing in kept):
+            kept.append(key)
+    return frozenset(kept)
+
+
+class KeyFamily:
+    """An upward-closed family of superkeys, stored as its minimal antichain.
+
+    ``KeyFamily([])`` is the *empty* family — the class has no key at
+    all, which is how the paper models object identity ("by relaxing
+    this constraint... we can capture models in which there is a notion
+    of object identity").  ``KeyFamily([set()])`` is the family of *all*
+    label sets (the empty set is a key: at most one instance exists).
+    """
+
+    __slots__ = ("_min_keys",)
+
+    def __init__(self, keys: Iterable[Iterable[Label]] = ()):
+        object.__setattr__(
+            self, "_min_keys", _minimize(_freeze_key(k) for k in keys)
+        )
+
+    @classmethod
+    def none(cls) -> "KeyFamily":
+        """The empty family: pure object identity, no keys."""
+        return cls()
+
+    @classmethod
+    def of(cls, *keys: Iterable[Label]) -> "KeyFamily":
+        """Convenience variadic constructor: ``KeyFamily.of({"ssn"})``."""
+        return cls(keys)
+
+    @property
+    def min_keys(self) -> FrozenSet[KeySet]:
+        """The antichain of minimal keys."""
+        return self._min_keys
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("KeyFamily is immutable")
+
+    def is_empty(self) -> bool:
+        """Is this the no-keys family?"""
+        return not self._min_keys
+
+    def is_superkey(self, labels: Iterable[Label]) -> bool:
+        """Does *labels* belong to the (upward-closed) family?"""
+        label_set = frozenset(labels)
+        return any(key <= label_set for key in self._min_keys)
+
+    def labels_used(self) -> FrozenSet[Label]:
+        """Every label mentioned by some minimal key."""
+        return frozenset(l for key in self._min_keys for l in key)
+
+    def union(self, other: "KeyFamily") -> "KeyFamily":
+        """The smallest family containing both — pointwise ``SK ∪ SK'``."""
+        return KeyFamily(self._min_keys | other._min_keys)
+
+    def intersection(self, other: "KeyFamily") -> "KeyFamily":
+        """The family ``SK ∩ SK'`` used in the paper's minimality argument.
+
+        A label set is in the intersection iff it extends a key of each
+        family, so the minimal antichain consists of the minimized
+        pairwise unions.
+        """
+        return KeyFamily(
+            k1 | k2 for k1 in self._min_keys for k2 in other._min_keys
+        )
+
+    def __or__(self, other: "KeyFamily") -> "KeyFamily":
+        return self.union(other)
+
+    def __and__(self, other: "KeyFamily") -> "KeyFamily":
+        return self.intersection(other)
+
+    def contains_family(self, other: "KeyFamily") -> bool:
+        """Is ``other ⊆ self`` as upward-closed families (``self ⊇ other``)?"""
+        return all(self.is_superkey(key) for key in other._min_keys)
+
+    def __le__(self, other: "KeyFamily") -> bool:
+        return other.contains_family(self)
+
+    def __ge__(self, other: "KeyFamily") -> bool:
+        return self.contains_family(other)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, KeyFamily):
+            return NotImplemented
+        return self._min_keys == other._min_keys
+
+    def __hash__(self) -> int:
+        return hash(("KeyFamily", self._min_keys))
+
+    def __iter__(self) -> Iterator[KeySet]:
+        return iter(sorted(self._min_keys, key=lambda k: (len(k), sorted(k))))
+
+    def __len__(self) -> int:
+        return len(self._min_keys)
+
+    def __repr__(self) -> str:
+        pretty = ", ".join(
+            "{" + ", ".join(sorted(k)) + "}"
+            for k in sorted(self._min_keys, key=lambda k: (len(k), sorted(k)))
+        )
+        return f"KeyFamily([{pretty}])"
+
+
+Assignment = Dict[ClassName, KeyFamily]
+
+
+def _coerce_assignment(
+    schema: Schema, assignment: Mapping[NameLike, KeyFamily]
+) -> Assignment:
+    table: Assignment = {}
+    for cls_raw, family in assignment.items():
+        cls = name(cls_raw)
+        if cls not in schema.classes:
+            raise KeyConstraintError(
+                f"key assignment mentions unknown class {cls}"
+            )
+        if not isinstance(family, KeyFamily):
+            family = KeyFamily(family)
+        available = schema.out_labels(cls)
+        for key in family.min_keys:
+            if not key <= available:
+                missing = sorted(key - available)
+                raise KeyConstraintError(
+                    f"key {sorted(key)} of {cls} uses label(s) {missing} "
+                    f"that are not arrows out of {cls}"
+                )
+        table[cls] = family
+    return table
+
+
+class KeyedSchema:
+    """A schema together with a key assignment ``SK``.
+
+    Classes missing from the assignment have the empty family (object
+    identity).  Construction validates the section-5 side conditions;
+    pass ``check_spec_monotone=False`` to skip the
+    ``p ==> q ⟹ SK(p) ⊇ SK(q)`` check when building raw inputs whose
+    assignment will only become monotone after merging.
+    """
+
+    __slots__ = ("_schema", "_keys")
+
+    def __init__(
+        self,
+        schema: Schema,
+        keys: Mapping[NameLike, KeyFamily] = (),
+        check_spec_monotone: bool = True,
+    ):
+        keys = dict(keys) if not isinstance(keys, Mapping) else keys
+        table = _coerce_assignment(schema, keys)
+        if check_spec_monotone:
+            for sub, sup in schema.strict_spec():
+                sub_family = table.get(sub, KeyFamily.none())
+                sup_family = table.get(sup, KeyFamily.none())
+                if not sub_family.contains_family(sup_family):
+                    raise KeyConstraintError(
+                        f"{sub} ==> {sup} but SK({sub}) does not contain "
+                        f"SK({sup}) = {sup_family!r}"
+                    )
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_keys", table)
+
+    @property
+    def schema(self) -> Schema:
+        """The underlying schema."""
+        return self._schema
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("KeyedSchema is immutable")
+
+    def keys_of(self, cls: NameLike) -> KeyFamily:
+        """``SK(cls)`` (the empty family when no keys were declared)."""
+        return self._keys.get(name(cls), KeyFamily.none())
+
+    def declared_classes(self) -> FrozenSet[ClassName]:
+        """Classes with a non-empty key family."""
+        return frozenset(c for c, f in self._keys.items() if not f.is_empty())
+
+    def assignment(self) -> Assignment:
+        """A copy of the full assignment table."""
+        return dict(self._keys)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, KeyedSchema):
+            return NotImplemented
+        mine = {c: f for c, f in self._keys.items() if not f.is_empty()}
+        theirs = {c: f for c, f in other._keys.items() if not f.is_empty()}
+        return self._schema == other._schema and mine == theirs
+
+    def __hash__(self) -> int:
+        mine = frozenset(
+            (c, f) for c, f in self._keys.items() if not f.is_empty()
+        )
+        return hash((self._schema, mine))
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyedSchema({self._schema!r}, "
+            f"{len(self.declared_classes())} keyed class(es))"
+        )
+
+
+def is_satisfactory(
+    merged: Schema,
+    assignment: Mapping[ClassName, KeyFamily],
+    inputs: Sequence[KeyedSchema],
+) -> bool:
+    """Is *assignment* satisfactory for the merge of *inputs* (section 5)?
+
+    Checks the paper's three conditions: each input assignment is
+    contained pointwise, and ``SK(p) ⊇ SK(q)`` whenever ``p ==> q`` in
+    the merged schema.
+    """
+
+    def family(cls: ClassName) -> KeyFamily:
+        return assignment.get(cls, KeyFamily.none())
+
+    for keyed in inputs:
+        for cls in keyed.schema.classes:
+            if not family(cls).contains_family(keyed.keys_of(cls)):
+                return False
+    for sub, sup in merged.strict_spec():
+        if not family(sub).contains_family(family(sup)):
+            return False
+    return True
+
+
+def minimal_satisfactory_assignment(
+    merged: Schema, inputs: Sequence[KeyedSchema]
+) -> Assignment:
+    """The unique minimal satisfactory assignment for a merged schema.
+
+    ``SK(p)`` is the union of every input's key family at every class
+    ``q`` with ``p ==> q`` — the least fixpoint of the two satisfaction
+    conditions.  Because the merged specialization order is transitive
+    and reflexive, one pass over ``S`` suffices.
+    """
+    result: Assignment = {}
+    for p, q in merged.spec:  # includes (p, p): the pointwise condition
+        combined = result.get(p, KeyFamily.none())
+        for keyed in inputs:
+            if q in keyed.schema.classes:
+                combined = combined | keyed.keys_of(q)
+        if not combined.is_empty():
+            result[p] = combined
+    # Validate structurally: propagated keys must still be arrow labels.
+    for cls, family in result.items():
+        available = merged.out_labels(cls)
+        for key in family.min_keys:
+            if not key <= available:
+                raise KeyConstraintError(
+                    f"propagated key {sorted(key)} of {cls} is not a set of "
+                    f"arrow labels out of {cls} in the merged schema"
+                )
+    return result
+
+
+def merge_keyed(
+    *inputs: KeyedSchema,
+    assertions: Iterable[Schema] = (),
+    consistency: Optional[ConsistencyRelation] = None,
+) -> KeyedSchema:
+    """Merge keyed schemas: upper merge + minimal satisfactory keys.
+
+    The schema part is the ordinary upper merge of section 4; the key
+    part is the unique minimal satisfactory assignment of section 5.
+    Implicit classes acquire keys through the specialization condition
+    (they specialize their member classes, whose arrows — hence key
+    labels — they inherit).
+    """
+    merged = upper_merge(
+        *(keyed.schema for keyed in inputs),
+        assertions=assertions,
+        consistency=consistency,
+    )
+    assignment = minimal_satisfactory_assignment(merged, list(inputs))
+    return KeyedSchema(merged, assignment)

@@ -1,0 +1,171 @@
+"""The information ordering on weak schemas and its lattice operations.
+
+Section 4.1 orders weak schemas component-wise:
+
+    ``G1 ⊑ G2``  iff  ``C1 ⊆ C2``, ``E1 ⊆ E2`` and ``S1 ⊆ S2``.
+
+Reading: everything ``G1`` asserts (class existence, arrow obligations,
+specializations) is also asserted by ``G2``.  The order is *bounded
+complete* (Proposition 4.1): whenever two weak schemas have any common
+upper bound they have a least one, computed by unioning the components
+and closing — :func:`join`.  Dually, intersections of weak schemas are
+always weak schemas, giving unconditional meets — :func:`meet`.
+
+Because :func:`join` is a least upper bound in a partial order, the
+induced merge is automatically associative, commutative and idempotent;
+those laws are machine-checked in the property-test suite rather than
+trusted.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import relations
+from repro.core.names import ClassName
+from repro.core.schema import Schema
+from repro.exceptions import IncompatibleSchemasError
+
+__all__ = [
+    "is_sub",
+    "is_strict_sub",
+    "comparable",
+    "compatible",
+    "compatibility_cycle",
+    "join",
+    "join_all",
+    "meet",
+    "meet_all",
+    "is_upper_bound",
+    "is_lower_bound",
+]
+
+
+def is_sub(left: Schema, right: Schema) -> bool:
+    """Does ``left ⊑ right`` hold in the information ordering?"""
+    return (
+        left.classes <= right.classes
+        and left.arrows <= right.arrows
+        and left.spec <= right.spec
+    )
+
+
+def is_strict_sub(left: Schema, right: Schema) -> bool:
+    """``left ⊑ right`` and ``left != right``."""
+    return is_sub(left, right) and left != right
+
+
+def comparable(left: Schema, right: Schema) -> bool:
+    """Are the two schemas related (either way) by ``⊑``?"""
+    return is_sub(left, right) or is_sub(right, left)
+
+
+def is_upper_bound(candidate: Schema, schemas: Iterable[Schema]) -> bool:
+    """Is *candidate* above every schema in *schemas*?"""
+    return all(is_sub(g, candidate) for g in schemas)
+
+
+def is_lower_bound(candidate: Schema, schemas: Iterable[Schema]) -> bool:
+    """Is *candidate* below every schema in *schemas*?"""
+    return all(is_sub(candidate, g) for g in schemas)
+
+
+def _union_spec_closure(
+    schemas: Sequence[Schema],
+) -> Tuple[frozenset, frozenset]:
+    all_classes = frozenset().union(*(g.classes for g in schemas)) if schemas else frozenset()
+    union_spec = set()
+    for g in schemas:
+        union_spec |= g.spec
+    closed = relations.reflexive_transitive_closure(union_spec, all_classes)
+    return all_classes, closed
+
+
+def compatibility_cycle(
+    schemas: Sequence[Schema],
+) -> Optional[Tuple[ClassName, ...]]:
+    """A witness cycle in ``(S1 ∪ .. ∪ Sn)*`` if one exists, else ``None``.
+
+    Section 4.1: the collection is *compatible* iff this closure is
+    antisymmetric.
+    """
+    _classes, closed = _union_spec_closure(list(schemas))
+    if relations.is_antisymmetric(closed):
+        return None
+    return relations.find_cycle(closed)
+
+
+def compatible(*schemas: Schema) -> bool:
+    """Is the collection compatible (i.e. does the upper merge exist)?"""
+    return compatibility_cycle(list(schemas)) is None
+
+
+def join(left: Schema, right: Schema) -> Schema:
+    """The least upper bound ``G1 ⊔ G2`` of Proposition 4.1.
+
+    Raises :class:`~repro.exceptions.IncompatibleSchemasError` when the
+    schemas are incompatible (no upper bound exists).
+    """
+    return join_all([left, right])
+
+
+def join_all(schemas: Iterable[Schema]) -> Schema:
+    """The least upper bound of a finite collection of weak schemas.
+
+    Construction from the proof of Proposition 4.1:
+
+    * ``C = C1 ∪ .. ∪ Cn``,
+    * ``S = (S1 ∪ .. ∪ Sn)*`` — must be antisymmetric, else incompatible,
+    * ``E`` = the W1/W2 closure of ``E1 ∪ .. ∪ En`` under the new ``S``.
+
+    ``join_all([])`` is the empty schema, the bottom of the ordering, so
+    the operation is a total monoid on compatible families.
+    """
+    schema_list: List[Schema] = list(schemas)
+    if not schema_list:
+        return Schema.empty()
+    cycle = compatibility_cycle(schema_list)
+    if cycle is not None:
+        raise IncompatibleSchemasError(
+            "schemas are incompatible; their combined specializations "
+            "contain the cycle " + " ==> ".join(str(c) for c in cycle),
+            cycle=cycle,
+        )
+    all_arrows = set()
+    all_classes = set()
+    all_spec = set()
+    for g in schema_list:
+        all_arrows |= g.arrows
+        all_classes |= g.classes
+        all_spec |= g.spec
+    return Schema.build(classes=all_classes, arrows=all_arrows, spec=all_spec)
+
+
+def meet(left: Schema, right: Schema) -> Schema:
+    """The greatest lower bound ``G1 ⊓ G2`` under plain ``⊑``.
+
+    Intersections of weak schemas are weak schemas (closure conditions
+    are universally-quantified Horn implications, hence intersection-
+    stable), so the meet always exists.  Note section 6's caveat: this
+    *plain* meet discards everything the schemas disagree on; the
+    participation-aware lower merge in :mod:`repro.core.lower` is the
+    remedy.
+    """
+    return Schema(
+        left.classes & right.classes,
+        left.arrows & right.arrows,
+        left.spec & right.spec,
+    )
+
+
+def meet_all(schemas: Iterable[Schema]) -> Schema:
+    """The greatest lower bound of a non-empty collection.
+
+    Raises :class:`ValueError` on an empty collection — the ordering has
+    no top element to serve as the empty meet.
+    """
+    schema_list = list(schemas)
+    if not schema_list:
+        raise ValueError("meet of an empty collection is undefined (no top)")
+    return reduce(meet, schema_list)

@@ -1,0 +1,94 @@
+"""The semilattice of participation constraints (section 6, Figure 11).
+
+Lower merges need to express that an arrow *may* be present without
+being required.  The paper attaches one of three constraints to every
+arrow:
+
+* ``1``   — every instance of the source **must** have the arrow;
+* ``0/1`` — an instance **may** have the arrow;
+* ``0``   — an instance **may not** (must not) have the arrow, which is
+  also the reading of an arrow that is simply absent from a schema.
+
+Ordered by information content, ``0/1`` is the bottom (it permits every
+behaviour) and ``0`` and ``1`` are the two maximal, mutually
+incomparable elements — Figure 11's ∨-shaped semilattice.  The merge
+rule of section 6 takes the **greatest lower bound**: a required arrow
+merged with a forbidden one becomes optional, matching the intuition
+that the lower merge must admit the instances of both schemas.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+from repro.exceptions import ParticipationError
+
+__all__ = ["Participation", "glb", "lub", "leq", "glb_all"]
+
+
+class Participation(enum.Enum):
+    """One of the three participation constraints of Figure 11."""
+
+    ABSENT = "0"
+    OPTIONAL = "0/1"
+    REQUIRED = "1"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "Participation":
+        """Parse ``"0"``, ``"0/1"`` or ``"1"`` (as the paper writes them)."""
+        for member in cls:
+            if member.value == text:
+                return member
+        raise ParticipationError(
+            f"not a participation constraint: {text!r} (expected 0, 0/1 or 1)"
+        )
+
+
+#: The strict order: OPTIONAL is below both maximal elements.
+_STRICTLY_BELOW = {
+    (Participation.OPTIONAL, Participation.ABSENT),
+    (Participation.OPTIONAL, Participation.REQUIRED),
+}
+
+
+def leq(left: Participation, right: Participation) -> bool:
+    """The Figure 11 order: ``left ≤ right`` (right is at least as informative)."""
+    return left == right or (left, right) in _STRICTLY_BELOW
+
+
+def glb(left: Participation, right: Participation) -> Participation:
+    """Greatest lower bound — the section 6 merge rule for arrows.
+
+    ``glb(x, x) = x`` and any disagreement resolves to ``OPTIONAL``.
+    """
+    if left == right:
+        return left
+    return Participation.OPTIONAL
+
+
+def glb_all(values: Iterable[Participation]) -> Participation:
+    """GLB of a non-empty collection of constraints."""
+    collected = list(values)
+    if not collected:
+        raise ParticipationError("glb of an empty collection is undefined")
+    first = collected[0]
+    return first if all(v == first for v in collected[1:]) else Participation.OPTIONAL
+
+
+def lub(left: Participation, right: Participation) -> Optional[Participation]:
+    """Least upper bound, when it exists.
+
+    ``ABSENT`` and ``REQUIRED`` have no common upper bound (a schema
+    cannot simultaneously require and forbid an arrow), so the function
+    returns ``None`` there — the order is only a meet-semilattice, which
+    is exactly why the paper builds *lower* merges from it.
+    """
+    if leq(left, right):
+        return right
+    if leq(right, left):
+        return left
+    return None

@@ -1,0 +1,204 @@
+"""Proper schemas: canonical classes and the D1/D2 functional presentation.
+
+Section 2 defines a (proper) schema as a weak schema whose arrow
+relation additionally satisfies
+
+* **Condition 1** — if ``p --a--> q1`` and ``p --a--> q2`` then there is
+  a class ``s`` with ``s ==> q1``, ``s ==> q2`` and ``p --a--> s``.
+
+Together with W1/W2-closedness this says every non-empty reach set
+``R(p, a)`` has a **least** element: the *canonical class* of the
+``a``-arrow of ``p``, written ``p -a⇀ s``.
+
+The paper also gives an equivalent *functional* presentation in which
+the canonical arrow ``⇀`` is primitive (this is how Motro [1] and
+Multibase [2] axiomatise functional schemas):
+
+* **D1** — ``p -a⇀ q1`` and ``p -a⇀ q2`` imply ``q1 = q2`` (the arrow is
+  a partial function), and
+* **D2** — ``q -a⇀ s`` and ``p ==> q`` imply there is ``r ==> s`` with
+  ``p -a⇀ r`` (specializations refine inherited arrows).
+
+This module implements both directions of that equivalence —
+:func:`canonical_arrows` extracts ``⇀`` from a proper schema, and
+:func:`from_canonical` rebuilds the full relation via
+``p --a--> q  iff  ∃s . s ==> q and p -a⇀ s`` — plus the predicates and
+diagnostics for properness itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core import relations
+from repro.core.names import ClassName, Label, name, names, sort_key
+from repro.core.schema import Schema, SpecEdge
+from repro.exceptions import NotProperError, SchemaValidationError
+
+__all__ = [
+    "canonical_class",
+    "canonical_arrows",
+    "properness_violations",
+    "is_proper",
+    "check_proper",
+    "from_canonical",
+    "check_d2",
+]
+
+CanonicalMap = Mapping[Tuple[ClassName, Label], ClassName]
+
+
+def canonical_class(
+    schema: Schema, cls: Union[ClassName, str], label: Label
+) -> Optional[ClassName]:
+    """The canonical class of the *label*-arrow of *cls*, if one exists.
+
+    Returns the least element of ``R(cls, label)`` under the
+    specialization order, or ``None`` when the reach set is empty.
+    Raises :class:`~repro.exceptions.NotProperError` when the reach set
+    is non-empty but has no least element (the schema is only weak at
+    this arrow).
+    """
+    targets = schema.reach(cls, label)
+    if not targets:
+        return None
+    least = relations.least_element(targets, schema.spec)
+    if least is None:
+        minimal = sorted(schema.min_classes(targets), key=sort_key)
+        raise NotProperError(
+            f"{name(cls)} --{label}--> has no canonical class; minimal "
+            f"targets are {{{', '.join(map(str, minimal))}}}"
+        )
+    return least
+
+
+def properness_violations(
+    schema: Schema,
+) -> List[Tuple[ClassName, Label, FrozenSet[ClassName]]]:
+    """Every ``(p, a, MinS(R(p, a)))`` where condition 1 fails.
+
+    The returned minimal-target sets are exactly the witnesses that the
+    properization of section 4.2 turns into implicit classes.
+    """
+    found = []
+    spec = schema.spec
+    for (cls, label), targets in sorted(
+        schema._reach_index().items(),
+        key=lambda item: (sort_key(item[0][0]), item[0][1]),
+    ):
+        if relations.least_element(targets, spec) is None:
+            found.append(
+                (cls, label, relations.minimal_elements(targets, spec))
+            )
+    return found
+
+
+def is_proper(schema: Schema) -> bool:
+    """Does *schema* satisfy condition 1 everywhere?
+
+    Conditions 2 and 3 of section 2 coincide with W1 and W2, which every
+    :class:`~repro.core.schema.Schema` enforces by construction, so
+    properness reduces to the existence of canonical classes.
+    """
+    return not properness_violations(schema)
+
+
+def check_proper(schema: Schema) -> Schema:
+    """Return *schema* unchanged, or raise with the first violation."""
+    violations = properness_violations(schema)
+    if violations:
+        cls, label, minimal = violations[0]
+        pretty = ", ".join(str(m) for m in sorted(minimal, key=sort_key))
+        raise NotProperError(
+            f"schema is not proper: {cls} --{label}--> has minimal targets "
+            f"{{{pretty}}} with no least element "
+            f"({len(violations)} violation(s) in total)"
+        )
+    return schema
+
+
+def canonical_arrows(schema: Schema) -> Dict[Tuple[ClassName, Label], ClassName]:
+    """Extract the partial function ``⇀`` from a proper schema.
+
+    The result maps ``(p, a)`` to the canonical class of the ``a``-arrow
+    of ``p``.  D1 holds by construction (it is a dict); D2 holds because
+    the schema is proper and W1-closed — both facts are exercised by the
+    property tests.
+    """
+    check_proper(schema)
+    table: Dict[Tuple[ClassName, Label], ClassName] = {}
+    for cls in schema.classes:
+        for label in schema.out_labels(cls):
+            least = canonical_class(schema, cls, label)
+            if least is not None:
+                table[(cls, label)] = least
+    return table
+
+
+def check_d2(
+    classes: Iterable[Union[ClassName, str]],
+    spec: FrozenSet[SpecEdge],
+    canon: CanonicalMap,
+) -> None:
+    """Verify condition D2 for a functional presentation, raising otherwise.
+
+    D2: if ``q -a⇀ s`` and ``p ==> q`` then some ``r`` with ``r ==> s``
+    has ``p -a⇀ r``.
+    """
+    class_set = names(classes)
+    for (q, a), s in canon.items():
+        for p in relations.down_set(q, spec):
+            r = canon.get((p, a))
+            if r is None or (r, s) not in spec:
+                raise SchemaValidationError(
+                    f"D2 fails: {p} ==> {q} and {q} -{a}⇀ {s}, but "
+                    + (
+                        f"{p} has no {a}-arrow"
+                        if r is None
+                        else f"{p} -{a}⇀ {r} and {r} =/=> {s}"
+                    )
+                )
+    for (p, _a), s in canon.items():
+        if p not in class_set or s not in class_set:
+            raise SchemaValidationError(
+                f"canonical arrow {p} ⇀ {s} mentions a class outside C"
+            )
+
+
+def from_canonical(
+    classes: Iterable[Union[ClassName, str]],
+    spec: Iterable[Tuple[Union[ClassName, str], Union[ClassName, str]]],
+    canon: Mapping[Tuple[Union[ClassName, str], Label], Union[ClassName, str]],
+) -> Schema:
+    """Build the proper schema determined by a functional presentation.
+
+    Given classes, specialization edges (closed automatically) and a
+    canonical-arrow map satisfying D1 (by construction) and D2 (checked),
+    this realises the paper's translation: ``p --a--> q`` iff there is
+    ``s ==> q`` with ``p -a⇀ s``.  The result is guaranteed proper.
+    """
+    class_set = set(names(classes))
+    canon_table: Dict[Tuple[ClassName, Label], ClassName] = {}
+    for (p_raw, label), s_raw in canon.items():
+        p, s = name(p_raw), name(s_raw)
+        class_set.add(p)
+        class_set.add(s)
+        canon_table[(p, label)] = s
+    spec_pairs = {(name(a), name(b)) for a, b in spec}
+    for a, b in spec_pairs:
+        class_set.add(a)
+        class_set.add(b)
+    closed_spec = relations.reflexive_transitive_closure(spec_pairs, class_set)
+    if not relations.is_antisymmetric(closed_spec):
+        cycle = relations.find_cycle(closed_spec) or ()
+        raise SchemaValidationError(
+            "specialization edges form a cycle: "
+            + " ==> ".join(str(c) for c in cycle)
+        )
+    check_d2(class_set, closed_spec, canon_table)
+    arrows = set()
+    for (p, label), s in canon_table.items():
+        for q in relations.up_set(s, closed_spec):
+            arrows.add((p, label, q))
+    schema = Schema(frozenset(class_set), frozenset(arrows), closed_spec)
+    return check_proper(schema)

@@ -1,0 +1,538 @@
+"""Weak schemas — the central data structure of the reproduction.
+
+Section 4.1 of the paper defines a *weak schema* over ``N, L`` as a
+triple ``(C, E, S)`` where
+
+* ``C ⊆ N`` is a finite set of classes,
+* ``S`` is a partial order on ``C`` (reflexive, transitive,
+  antisymmetric) — the *specialization* relation, written ``p ==> q``,
+* ``E ⊆ C × L × C`` is the *arrow* relation, written ``p --a--> q``,
+  satisfying the two closure conditions
+
+  * **W1** if ``p ==> q`` and ``q --a--> r`` then ``p --a--> r``
+    (arrows are inherited by specializations), and
+  * **W2** if ``p --a--> s`` and ``s ==> r`` then ``p --a--> r``
+    (arrows to a class also reach its generalizations).
+
+:class:`Schema` represents exactly this, as an immutable, structurally
+hashable value.  Its *constructor* validates that the given triple
+already is a weak schema; the far more convenient classmethod
+:meth:`Schema.build` accepts un-closed user input (strings for names,
+missing reflexive edges, un-inherited arrows) and computes the closures,
+which is how every example in the paper is written down.
+
+Proper schemas (section 2) are weak schemas satisfying an extra
+canonicality condition; see :mod:`repro.core.proper`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Tuple,
+    Union,
+)
+
+from repro.core import relations
+from repro.core.names import (
+    BaseName,
+    ClassName,
+    GenName,
+    ImplicitName,
+    Label,
+    check_label,
+    name,
+    names,
+    sort_key,
+)
+from repro.exceptions import (
+    IncompatibleSchemasError,
+    SchemaValidationError,
+)
+
+__all__ = ["Arrow", "SpecEdge", "Schema"]
+
+
+Arrow = Tuple[ClassName, Label, ClassName]
+SpecEdge = Tuple[ClassName, ClassName]
+
+NameLike = Union[ClassName, str]
+ArrowLike = Tuple[NameLike, Label, NameLike]
+SpecLike = Tuple[NameLike, NameLike]
+
+
+def _coerce_arrow(edge: ArrowLike) -> Arrow:
+    try:
+        source, label, target = edge
+    except (TypeError, ValueError) as exc:
+        raise SchemaValidationError(
+            f"arrows must be (source, label, target) triples, got {edge!r}"
+        ) from exc
+    return (name(source), check_label(label), name(target))
+
+
+def _coerce_spec(edge: SpecLike) -> SpecEdge:
+    try:
+        sub, sup = edge
+    except (TypeError, ValueError) as exc:
+        raise SchemaValidationError(
+            f"specializations must be (sub, super) pairs, got {edge!r}"
+        ) from exc
+    return (name(sub), name(sup))
+
+
+def _arrow_closure(
+    arrows: AbstractSet[Arrow], spec: AbstractSet[SpecEdge]
+) -> FrozenSet[Arrow]:
+    """Close an arrow set under W1 and W2 given a transitive, reflexive spec.
+
+    With ``S`` already reflexive and transitive a single pass suffices:
+    every arrow ``q --a--> s`` induces ``p --a--> r`` for all ``p ==> q``
+    and ``s ==> r``.
+    """
+    below = relations.predecessors_map(spec)
+    above = relations.successors_map(spec)
+    closed = set()
+    for source, label, target in arrows:
+        for sub in below.get(source, {source}):
+            for sup in above.get(target, {target}):
+                closed.add((sub, label, sup))
+    return frozenset(closed)
+
+
+class Schema:
+    """An immutable weak schema ``(C, E, S)``.
+
+    Use :meth:`Schema.build` to construct one from raw, un-closed data;
+    the plain constructor insists the input is already a valid weak
+    schema and raises :class:`~repro.exceptions.SchemaValidationError`
+    otherwise.
+
+    Equality and hashing are structural, so two independently built
+    schemas with the same classes, arrows and specializations compare
+    equal — which is what lets the test suite assert "our merge equals
+    the paper's figure" directly.
+    """
+
+    __slots__ = ("_classes", "_arrows", "_spec", "_hash", "_reach_cache")
+
+    def __init__(
+        self,
+        classes: AbstractSet[ClassName],
+        arrows: AbstractSet[Arrow],
+        spec: AbstractSet[SpecEdge],
+    ):
+        classes = frozenset(classes)
+        arrows = frozenset(arrows)
+        spec = frozenset(spec)
+        self._validate(classes, arrows, spec)
+        object.__setattr__(self, "_classes", classes)
+        object.__setattr__(self, "_arrows", arrows)
+        object.__setattr__(self, "_spec", spec)
+        object.__setattr__(self, "_hash", hash((classes, arrows, spec)))
+        object.__setattr__(self, "_reach_cache", None)
+
+    @classmethod
+    def _from_closed(
+        cls,
+        classes: FrozenSet[ClassName],
+        arrows: FrozenSet[Arrow],
+        spec: FrozenSet[SpecEdge],
+    ) -> "Schema":
+        """Internal: wrap components already known to be valid.
+
+        Used by :meth:`build` (which has just computed the closures
+        itself) to avoid re-deriving them during validation — the
+        dominant cost on large merges.  Library-internal only; every
+        public path still validates.
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "_classes", classes)
+        object.__setattr__(instance, "_arrows", arrows)
+        object.__setattr__(instance, "_spec", spec)
+        object.__setattr__(instance, "_hash", hash((classes, arrows, spec)))
+        object.__setattr__(instance, "_reach_cache", None)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate(
+        classes: FrozenSet[ClassName],
+        arrows: FrozenSet[Arrow],
+        spec: FrozenSet[SpecEdge],
+    ) -> None:
+        for cls in classes:
+            if not isinstance(cls, (BaseName, ImplicitName, GenName)):
+                raise SchemaValidationError(f"not a class name: {cls!r}")
+        for source, label, target in arrows:
+            check_label(label)
+            if source not in classes or target not in classes:
+                raise SchemaValidationError(
+                    f"arrow {source} --{label}--> {target} mentions a class "
+                    "outside C"
+                )
+        for sub, sup in spec:
+            if sub not in classes or sup not in classes:
+                raise SchemaValidationError(
+                    f"specialization {sub} ==> {sup} mentions a class outside C"
+                )
+        if not relations.is_reflexive(spec, classes):
+            raise SchemaValidationError(
+                "specialization relation is not reflexive over C"
+            )
+        if not relations.is_transitive(spec):
+            raise SchemaValidationError(
+                "specialization relation is not transitive"
+            )
+        if not relations.is_antisymmetric(spec):
+            cycle = relations.find_cycle(spec) or ()
+            raise SchemaValidationError(
+                "specialization relation is not antisymmetric; cycle: "
+                + " ==> ".join(str(c) for c in cycle)
+            )
+        # W1 and W2 in one check: arrows must already be their own closure.
+        if _arrow_closure(arrows, spec) != arrows:
+            missing = _arrow_closure(arrows, spec) - arrows
+            sample = sorted(missing, key=lambda e: (sort_key(e[0]), e[1]))[:3]
+            pretty = ", ".join(f"{s} --{a}--> {t}" for s, a, t in sample)
+            raise SchemaValidationError(
+                f"arrow relation is not W1/W2-closed; missing e.g. {pretty}"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        classes: Iterable[NameLike] = (),
+        arrows: Iterable[ArrowLike] = (),
+        spec: Iterable[SpecLike] = (),
+    ) -> "Schema":
+        """Build a weak schema from raw data, computing all closures.
+
+        * strings are accepted wherever class names are expected;
+        * classes mentioned only in edges are added to ``C``;
+        * the specialization relation is closed reflexively and
+          transitively (raising
+          :class:`~repro.exceptions.IncompatibleSchemasError` if that
+          closure has a non-trivial cycle);
+        * the arrow relation is closed under W1/W2.
+
+        This mirrors how the paper draws schemas: "edges in E implied by
+        constraint 2 will be omitted" — the reader (here: the builder)
+        restores them.
+        """
+        class_set = set(names(classes))
+        arrow_set = {_coerce_arrow(edge) for edge in arrows}
+        spec_set = {_coerce_spec(edge) for edge in spec}
+        for source, _label, target in arrow_set:
+            class_set.add(source)
+            class_set.add(target)
+        for sub, sup in spec_set:
+            class_set.add(sub)
+            class_set.add(sup)
+        closed_spec = relations.reflexive_transitive_closure(spec_set, class_set)
+        if not relations.is_antisymmetric(closed_spec):
+            cycle = relations.find_cycle(closed_spec) or ()
+            raise IncompatibleSchemasError(
+                "specialization edges form a cycle: "
+                + " ==> ".join(str(c) for c in cycle),
+                cycle=cycle,
+            )
+        closed_arrows = _arrow_closure(arrow_set, closed_spec)
+        return cls._from_closed(
+            frozenset(class_set), closed_arrows, closed_spec
+        )
+
+    @classmethod
+    def empty(cls) -> "Schema":
+        """The schema with no classes — the bottom of the information order."""
+        return cls(frozenset(), frozenset(), frozenset())
+
+    # ------------------------------------------------------------------
+    # Primitive accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def classes(self) -> FrozenSet[ClassName]:
+        """The class set ``C``."""
+        return self._classes
+
+    @property
+    def arrows(self) -> FrozenSet[Arrow]:
+        """The full (W1/W2-closed) arrow relation ``E``."""
+        return self._arrows
+
+    @property
+    def spec(self) -> FrozenSet[SpecEdge]:
+        """The specialization partial order ``S`` (reflexive & transitive)."""
+        return self._spec
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("Schema is immutable")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._classes == other._classes
+            and self._arrows == other._arrows
+            and self._spec == other._spec
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema(|C|={len(self._classes)}, |E|={len(self._arrows)}, "
+            f"|S|={len(self._spec)})"
+        )
+
+    def __contains__(self, cls: NameLike) -> bool:
+        return name(cls) in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self) -> Iterator[ClassName]:
+        return iter(sorted(self._classes, key=sort_key))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def has_class(self, cls: NameLike) -> bool:
+        """Is *cls* a class of this schema?"""
+        return name(cls) in self._classes
+
+    def has_arrow(self, source: NameLike, label: Label, target: NameLike) -> bool:
+        """Does ``source --label--> target`` hold (in the closed relation)?"""
+        return (name(source), label, name(target)) in self._arrows
+
+    def is_spec(self, sub: NameLike, sup: NameLike) -> bool:
+        """Does ``sub ==> sup`` hold?"""
+        return (name(sub), name(sup)) in self._spec
+
+    def strict_spec(self) -> FrozenSet[SpecEdge]:
+        """The specialization pairs with distinct endpoints."""
+        return frozenset((p, q) for p, q in self._spec if p != q)
+
+    def spec_covers(self) -> FrozenSet[SpecEdge]:
+        """The Hasse edges of ``S`` — what the paper's figures draw."""
+        return relations.covers(self._spec)
+
+    def labels(self) -> FrozenSet[Label]:
+        """Every arrow label used in the schema."""
+        return frozenset(label for _s, label, _t in self._arrows)
+
+    def _reach_index(self) -> Dict[Tuple[ClassName, Label], FrozenSet[ClassName]]:
+        """``R(p, a)`` for every populated pair, built once per schema.
+
+        The index is derived data over an immutable value, so caching
+        it is observationally pure; it turns the hot ``reach`` queries
+        of properization and satisfaction checking from O(|E|) scans
+        into dictionary lookups.
+        """
+        cached = self._reach_cache
+        if cached is None:
+            collected: Dict[Tuple[ClassName, Label], set] = {}
+            for source, label, target in self._arrows:
+                collected.setdefault((source, label), set()).add(target)
+            cached = {
+                key: frozenset(targets)
+                for key, targets in collected.items()
+            }
+            object.__setattr__(self, "_reach_cache", cached)
+        return cached
+
+    def out_labels(self, cls: NameLike) -> FrozenSet[Label]:
+        """Labels of arrows leaving *cls* — the candidate key components of §5."""
+        p = name(cls)
+        return frozenset(
+            label for (source, label) in self._reach_index() if source == p
+        )
+
+    def arrows_from(self, cls: NameLike) -> FrozenSet[Arrow]:
+        """All arrows whose source is *cls*."""
+        p = name(cls)
+        return frozenset(
+            (p, label, target)
+            for (source, label), targets in self._reach_index().items()
+            if source == p
+            for target in targets
+        )
+
+    def arrows_into(self, cls: NameLike) -> FrozenSet[Arrow]:
+        """All arrows whose target is *cls*."""
+        q = name(cls)
+        return frozenset(a for a in self._arrows if a[2] == q)
+
+    def reach(self, cls: NameLike, label: Label) -> FrozenSet[ClassName]:
+        """The paper's ``R(p, a)``: all classes reachable from *cls* by *label*."""
+        return self._reach_index().get((name(cls), label), frozenset())
+
+    def reach_set(
+        self, subset: Iterable[NameLike], label: Label
+    ) -> FrozenSet[ClassName]:
+        """The paper's ``R(X, a)``: union of ``R(p, a)`` over ``p ∈ X``."""
+        index = self._reach_index()
+        combined: set = set()
+        for member in names(subset):
+            combined |= index.get((member, label), frozenset())
+        return frozenset(combined)
+
+    def min_classes(self, subset: Iterable[NameLike]) -> FrozenSet[ClassName]:
+        """The paper's ``MinS(X)`` relative to this schema's order."""
+        return relations.minimal_elements(names(subset), self._spec)
+
+    def specializations_of(self, cls: NameLike) -> FrozenSet[ClassName]:
+        """All ``p`` with ``p ==> cls`` (the down-set; includes *cls*)."""
+        return relations.down_set(name(cls), self._spec)
+
+    def generalizations_of(self, cls: NameLike) -> FrozenSet[ClassName]:
+        """All ``q`` with ``cls ==> q`` (the up-set; includes *cls*)."""
+        return relations.up_set(name(cls), self._spec)
+
+    def root_classes(self) -> FrozenSet[ClassName]:
+        """Classes with no strict generalization."""
+        return relations.maximal_elements(self._classes, self._spec)
+
+    def leaf_classes(self) -> FrozenSet[ClassName]:
+        """Classes with no strict specialization."""
+        return relations.minimal_elements(self._classes, self._spec)
+
+    def is_empty(self) -> bool:
+        """Is this the empty schema?"""
+        return not self._classes
+
+    # ------------------------------------------------------------------
+    # Derived schemas
+    # ------------------------------------------------------------------
+
+    def restrict(self, keep: Iterable[NameLike]) -> "Schema":
+        """The induced sub-schema on ``C ∩ keep``.
+
+        Restriction preserves weak-schema-hood: W1/W2 are universally
+        quantified implications over present edges, and restricting a
+        partial order keeps it one.
+        """
+        kept = names(keep) & self._classes
+        return Schema(
+            kept,
+            frozenset(
+                (s, a, t) for s, a, t in self._arrows if s in kept and t in kept
+            ),
+            relations.restrict(self._spec, kept),
+        )
+
+    def without_classes(self, drop: Iterable[NameLike]) -> "Schema":
+        """The induced sub-schema with *drop* removed."""
+        return self.restrict(self._classes - names(drop))
+
+    def rename(self, mapping: Mapping[NameLike, NameLike]) -> "Schema":
+        """Apply a class-renaming map (the manual prep step of section 3).
+
+        The map may be partial; unmentioned classes keep their names.
+        Raises :class:`~repro.exceptions.SchemaValidationError` if the
+        renaming collapses two distinct classes onto one name, since
+        identification of classes must go through the merge (where it is
+        an explicit, order-independent assertion), not through renaming.
+        """
+        table: Dict[ClassName, ClassName] = {
+            name(old): name(new) for old, new in mapping.items()
+        }
+
+        def sub(cls: ClassName) -> ClassName:
+            return table.get(cls, cls)
+
+        new_classes = {sub(c) for c in self._classes}
+        if len(new_classes) != len(self._classes):
+            raise SchemaValidationError(
+                "renaming collapses distinct classes; merge them via "
+                "assertions instead"
+            )
+        return Schema(
+            frozenset(new_classes),
+            frozenset((sub(s), a, sub(t)) for s, a, t in self._arrows),
+            frozenset((sub(p), sub(q)) for p, q in self._spec),
+        )
+
+    def rename_labels(self, mapping: Mapping[Label, Label]) -> "Schema":
+        """Apply an arrow-label renaming map (synonym resolution, section 3)."""
+        for old, new in mapping.items():
+            check_label(old)
+            check_label(new)
+        return Schema(
+            self._classes,
+            frozenset(
+                (s, mapping.get(a, a), t) for s, a, t in self._arrows
+            ),
+            self._spec,
+        )
+
+    def with_arrow(
+        self, source: NameLike, label: Label, target: NameLike
+    ) -> "Schema":
+        """A new schema with one more arrow (closures recomputed)."""
+        return Schema.build(
+            classes=self._classes,
+            arrows=set(self._arrows) | {(name(source), check_label(label), name(target))},
+            spec=self._spec,
+        )
+
+    def with_spec(self, sub: NameLike, sup: NameLike) -> "Schema":
+        """A new schema with one more specialization edge (closures recomputed)."""
+        return Schema.build(
+            classes=self._classes,
+            arrows=self._arrows,
+            spec=set(self._spec) | {(name(sub), name(sup))},
+        )
+
+    def with_class(self, cls: NameLike) -> "Schema":
+        """A new schema with one more (isolated) class."""
+        extra = name(cls)
+        if extra in self._classes:
+            return self
+        return Schema(
+            self._classes | {extra},
+            self._arrows,
+            self._spec | {(extra, extra)},
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection niceties
+    # ------------------------------------------------------------------
+
+    def sorted_classes(self) -> Tuple[ClassName, ...]:
+        """Classes in the library's canonical (deterministic) order."""
+        return tuple(sorted(self._classes, key=sort_key))
+
+    def sorted_arrows(self) -> Tuple[Arrow, ...]:
+        """Arrows in a deterministic order."""
+        return tuple(
+            sorted(
+                self._arrows,
+                key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2])),
+            )
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics used by the analysis and benchmark layers."""
+        implicit = sum(1 for c in self._classes if isinstance(c, ImplicitName))
+        general = sum(1 for c in self._classes if isinstance(c, GenName))
+        return {
+            "classes": len(self._classes),
+            "base_classes": len(self._classes) - implicit - general,
+            "implicit_classes": implicit,
+            "generalization_classes": general,
+            "arrows": len(self._arrows),
+            "spec_edges": len(self.strict_spec()),
+            "labels": len(self.labels()),
+        }

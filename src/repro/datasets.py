@@ -1,0 +1,237 @@
+"""Curated example scenarios beyond the paper's figures.
+
+The figures are minimal by design; realistic integration exercises need
+schemas with a few dozen classes, genuine overlap, keys and
+participation data.  Three scenarios are provided, each a function
+returning fresh objects so callers can mutate-by-rebuilding freely:
+
+* :func:`university_scenario` — three administrative views of one
+  university (registrar, graduate office, payroll) with keys;
+* :func:`veterinary_scenario` — the paper's dog theme at clinic scale:
+  clinic, registry and breeder views plus designer assertions;
+* :func:`retail_federation_scenario` — annotated schemas of three
+  autonomous store databases, for lower-merge/federation work.
+
+Used by the examples, the integration tests and a benchmark; they are
+deliberately hand-written (not generated) so their merges have
+recognisable, reviewable structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.assertions import AssertionSet
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+
+__all__ = [
+    "university_scenario",
+    "veterinary_scenario",
+    "retail_federation_scenario",
+    "person_registry_scenario",
+    "PERSON_REGISTRY_VALUE_CLASSES",
+]
+
+
+def university_scenario() -> Tuple[List[KeyedSchema], AssertionSet]:
+    """Three keyed views of a university, plus the assertions that
+    relate them.  The expected merge is exercised in the tests."""
+    registrar = KeyedSchema(
+        Schema.build(
+            arrows=[
+                ("Student", "id", "StudentId"),
+                ("Student", "name", "Name"),
+                ("Student", "enrolled", "Term"),
+                ("Course", "code", "CourseCode"),
+                ("Course", "title", "Name"),
+                ("Enrollment", "student", "Student"),
+                ("Enrollment", "course", "Course"),
+                ("Enrollment", "grade", "Grade"),
+            ],
+        ),
+        {
+            "Student": KeyFamily.of({"id"}),
+            "Course": KeyFamily.of({"code"}),
+            "Enrollment": KeyFamily.of({"student", "course"}),
+        },
+        check_spec_monotone=False,
+    )
+    graduate_office = KeyedSchema(
+        Schema.build(
+            arrows=[
+                ("GS", "id", "StudentId"),
+                ("GS", "thesis", "Title"),
+                ("Advisor", "faculty", "Faculty"),
+                ("Advisor", "victim", "GS"),
+                ("Committee", "faculty", "Faculty"),
+                ("Committee", "victim", "GS"),
+                ("Faculty", "id", "FacultyId"),
+            ],
+            spec=[("Advisor", "Committee")],
+        ),
+        {
+            "GS": KeyFamily.of({"id"}),
+            "Advisor": KeyFamily.of({"victim"}),
+            "Committee": KeyFamily.of({"faculty", "victim"}),
+            "Faculty": KeyFamily.of({"id"}),
+        },
+        check_spec_monotone=False,
+    )
+    payroll = KeyedSchema(
+        Schema.build(
+            arrows=[
+                ("Employee", "id", "EmployeeId"),
+                ("Employee", "salary", "Money"),
+                ("Faculty", "id", "FacultyId"),
+                ("Faculty", "dept", "Department"),
+                ("TA", "stipend", "Money"),
+            ],
+            spec=[("Faculty", "Employee"), ("TA", "Employee")],
+        ),
+        {
+            "Employee": KeyFamily.of({"id"}),
+            "Faculty": KeyFamily.of({"id"}),
+        },
+        check_spec_monotone=False,
+    )
+    assertions = (
+        AssertionSet()
+        .add_isa("GS", "Student")  # graduate students are students
+        .add_isa("TA", "GS")  # TAs are graduate students
+    )
+    return [registrar, graduate_office, payroll], assertions
+
+
+def veterinary_scenario() -> Tuple[List[Schema], AssertionSet]:
+    """Three plain schemas around the paper's dog theme."""
+    clinic = Schema.build(
+        arrows=[
+            ("Patient", "chart", "Chart"),
+            ("Dog", "name", "Name"),
+            ("Dog", "age", "Int"),
+            ("Visit", "patient", "Patient"),
+            ("Visit", "vet", "Vet"),
+            ("Visit", "date", "Date"),
+        ],
+        spec=[("Dog", "Patient"), ("Cat", "Patient")],
+    )
+    registry = Schema.build(
+        arrows=[
+            ("Dog", "license", "LicenseNo"),
+            ("Dog", "owner", "Person"),
+            ("Dog", "kind", "Breed"),
+            ("Police-dog", "id-num", "Int"),
+            ("Kennel", "addr", "Place"),
+            ("Lives", "occ", "Dog"),
+            ("Lives", "home", "Kennel"),
+        ],
+        spec=[("Police-dog", "Dog"), ("Guide-dog", "Dog")],
+    )
+    breeder = Schema.build(
+        arrows=[
+            ("Dog", "kind", "Breed"),
+            ("Dog", "sire", "Dog"),
+            ("Dog", "dam", "Dog"),
+            ("Breed", "group", "BreedGroup"),
+        ],
+    )
+    assertions = AssertionSet().add_isa("Police-dog", "Patient")
+    return [clinic, registry, breeder], assertions
+
+
+def retail_federation_scenario() -> List[AnnotatedSchema]:
+    """Three autonomous store databases for lower-merge federation."""
+    web_store = AnnotatedSchema.build(
+        arrows=[
+            ("Order", "customer", "Customer"),
+            ("Order", "placed", "Timestamp"),
+            ("Order", "total", "Money"),
+            ("Customer", "email", "Email"),
+            ("Customer", "name", "Name", Participation.OPTIONAL),
+        ],
+    )
+    outlet = AnnotatedSchema.build(
+        arrows=[
+            ("Order", "total", "Money"),
+            ("Order", "register", "RegisterId"),
+            ("Customer", "name", "Name"),
+            ("Customer", "loyalty", "CardNo", Participation.OPTIONAL),
+        ],
+    )
+    wholesale = AnnotatedSchema.build(
+        arrows=[
+            ("Order", "customer", "Customer"),
+            ("Order", "total", "Money"),
+            ("Customer", "name", "Name"),
+            ("Customer", "vat", "VatNo"),
+            ("BulkOrder", "pallets", "Int"),
+        ],
+        spec=[("BulkOrder", "Order")],
+    )
+    return [web_store, outlet, wholesale]
+
+
+def person_registry_scenario() -> List[Tuple[KeyedSchema, "Instance"]]:
+    """Two keyed Person databases with overlapping people (section 5).
+
+    The census declares ``{ssn}`` a key; payroll has the ssn arrow but
+    never declared the key — the paper's *imposed* case.  Alice appears
+    in both sources under the same social security number, so fusing
+    the scenario identifies exactly one pair of objects.  Value classes
+    (``SSN``, ``Date``, ``Str``, ``Money``) hold shared atomic oids.
+    """
+    from repro.instances.instance import Instance
+
+    census = KeyedSchema(
+        Schema.build(
+            arrows=[("Person", "ssn", "SSN"), ("Person", "born", "Date")]
+        ),
+        {"Person": KeyFamily.of({"ssn"})},
+    )
+    census_data = Instance.build(
+        extents={
+            "Person": {"c-alice", "c-bob"},
+            "SSN": {"123-45", "678-90"},
+            "Date": {"1970-01-01", "1980-02-02"},
+        },
+        values={
+            ("c-alice", "ssn"): "123-45",
+            ("c-alice", "born"): "1970-01-01",
+            ("c-bob", "ssn"): "678-90",
+            ("c-bob", "born"): "1980-02-02",
+        },
+    )
+    payroll = KeyedSchema(
+        Schema.build(
+            arrows=[
+                ("Person", "ssn", "SSN"),
+                ("Person", "name", "Str"),
+                ("Person", "salary", "Money"),
+            ]
+        )
+    )
+    payroll_data = Instance.build(
+        extents={
+            "Person": {"emp-1", "emp-2"},
+            "SSN": {"123-45", "555-55"},
+            "Str": {"Alice", "Carol"},
+            "Money": {"90k", "85k"},
+        },
+        values={
+            ("emp-1", "ssn"): "123-45",
+            ("emp-1", "name"): "Alice",
+            ("emp-1", "salary"): "90k",
+            ("emp-2", "ssn"): "555-55",
+            ("emp-2", "name"): "Carol",
+            ("emp-2", "salary"): "85k",
+        },
+    )
+    return [(census, census_data), (payroll, payroll_data)]
+
+
+#: The value classes of :func:`person_registry_scenario` — extents that
+#: hold shared atomic values rather than private objects.
+PERSON_REGISTRY_VALUE_CLASSES = ("SSN", "Date", "Str", "Money")

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the schema-merging library.
+
+The paper distinguishes two failure modes of the merge (section 4.2):
+
+* the schemas may be *incompatible* — the union of their specialization
+  relations has a cycle, so no common upper bound exists
+  (:class:`IncompatibleSchemasError`);
+* the schemas may be *inconsistent* — an implicit class would identify
+  real-world classes that the consistency relationship says cannot share
+  instances (:class:`InconsistentSchemasError`).
+
+Everything else (malformed input graphs, broken invariants, bad
+translations) raises more specific subclasses of :class:`SchemaError` so
+callers can distinguish user errors from library bugs.
+"""
+
+from __future__ import annotations
+
+
+class SchemaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaValidationError(SchemaError):
+    """A graph fails the structural requirements of a (weak) schema.
+
+    Raised when arrow or specialization edges mention unknown classes,
+    when the specialization relation is not a partial order, or when the
+    W1/W2 closure conditions of section 4.1 are violated by a graph that
+    was asserted to be already closed.
+    """
+
+
+class NotProperError(SchemaError):
+    """A weak schema was used where a proper schema is required.
+
+    Proper schemas additionally satisfy condition 1 of section 2: every
+    populated arrow label has a *canonical class* (a least target under
+    the specialization order).
+    """
+
+
+class IncompatibleSchemasError(SchemaError):
+    """The schemas have no common upper bound.
+
+    Section 4.1: a finite collection of weak schemas is *compatible* iff
+    the transitive closure of the union of their specialization relations
+    is antisymmetric.  When it is not, the least upper bound (and hence
+    the merge) does not exist.
+    """
+
+    def __init__(self, message: str, cycle: tuple = ()):  # noqa: D401
+        super().__init__(message)
+        #: A witness cycle of class names demonstrating the failure of
+        #: antisymmetry, when one could be extracted.
+        self.cycle = tuple(cycle)
+
+
+class InconsistentSchemasError(SchemaError):
+    """An implicit class would conflate classes marked inconsistent.
+
+    Section 4.2 proposes a *consistency relationship* on class names; a
+    merge fails when some implicit class contains a pair of classes not
+    related by it.
+    """
+
+    def __init__(self, message: str, offending_pair: tuple = ()):  # noqa: D401
+        super().__init__(message)
+        #: The pair of class names that the consistency relationship
+        #: rejects, when available.
+        self.offending_pair = tuple(offending_pair)
+
+
+class KeyConstraintError(SchemaError):
+    """A key family violates its structural requirements.
+
+    Keys of a class must be sets of labels of arrows out of that class,
+    and specialization must only ever *add* keys (``p ==> q`` implies
+    ``SK(p) ⊇ SK(q)``, section 5).
+    """
+
+
+class ParticipationError(SchemaError):
+    """An invalid participation constraint or annotation was supplied."""
+
+
+class TranslationError(SchemaError):
+    """A schema cannot be translated to or from a restricted data model.
+
+    Raised, for instance, when a generic schema does not satisfy the
+    stratification constraints of the ER or relational models.
+    """
+
+
+class InstanceError(SchemaError):
+    """An instance is malformed or does not satisfy a schema."""
+
+
+class RenderError(SchemaError):
+    """A schema cannot be rendered in the requested format."""
+
+
+class SerializationError(SchemaError):
+    """A document cannot be decoded into a library artifact."""

@@ -1,0 +1,1 @@
+"""Extensions the paper's conclusion sketches as future work."""

@@ -1,0 +1,297 @@
+"""Multivalued arrows — the §7 extension ("arrows as multivalued
+functions as in [2]; [5] shows how this idea can be extended to our
+model").
+
+Multibase's functional model distinguishes *single-valued* functions
+(``Dog.age``) from *multivalued* ones (``Person.phones``).  We carry a
+valence annotation per ``(class, label)`` pair on top of an ordinary
+schema:
+
+* ``SINGLE`` — for each instance the attribute has exactly one value
+  (the plain proper-schema reading);
+* ``MULTI``  — the attribute's value is a finite *set* of instances of
+  the target class.
+
+Merging follows the same least-upper-bound discipline as everything
+else in the library: valences are ordered ``SINGLE < MULTI`` (a
+single-valued function *is* a multivalued one whose images are
+singletons, so MULTI is the weaker/more permissive statement about
+structure but the ordering that makes merges exist is information-wise:
+``SINGLE`` asserts strictly more).  Two schemas disagreeing about a
+label merge to ``SINGLE`` — the union of their constraints — exactly as
+an arrow present in one schema and absent in the other merges to
+present.  The dual choice (``MULTI`` wins) would be the *lower*-merge
+rule; both are provided.
+
+Instance semantics: a multivalued attribute is represented by the set
+``{(oid, label, target_oid)}`` of link triples; satisfaction requires
+every link target to lie in the declared class and single-valued labels
+to have exactly one link per source object.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple, Union
+
+from repro.core.merge import upper_merge
+from repro.core.names import ClassName, Label, name
+from repro.core.schema import Schema
+from repro.exceptions import SchemaValidationError
+
+__all__ = [
+    "Valence",
+    "MultivaluedSchema",
+    "merge_multivalued",
+    "violations_multivalued",
+    "satisfies_multivalued",
+]
+
+NameLike = Union[ClassName, str]
+
+
+class Valence(enum.Enum):
+    """How many values an attribute takes per instance."""
+
+    SINGLE = "single"
+    MULTI = "multi"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def _stricter(left: Valence, right: Valence) -> Valence:
+    """The upper-merge combination: SINGLE (more information) wins."""
+    if Valence.SINGLE in (left, right):
+        return Valence.SINGLE
+    return Valence.MULTI
+
+
+def _looser(left: Valence, right: Valence) -> Valence:
+    """The lower-merge combination: MULTI (less information) wins."""
+    if Valence.MULTI in (left, right):
+        return Valence.MULTI
+    return Valence.SINGLE
+
+
+class MultivaluedSchema:
+    """A schema plus a valence table over ``(class, label)`` pairs.
+
+    Labels missing from the table default to ``SINGLE`` (the plain
+    reading of section 2).  Valences must respect specialization: a
+    label single-valued on ``q`` cannot be multivalued on a
+    specialization ``p ==> q`` (instances of ``p`` are instances of
+    ``q`` and would violate ``q``'s cardinality), and the constructor
+    completes the table downward accordingly.
+    """
+
+    __slots__ = ("_schema", "_valences")
+
+    def __init__(
+        self,
+        schema: Schema,
+        valences: Mapping[Tuple[NameLike, Label], Valence] = (),
+    ):
+        table: Dict[Tuple[ClassName, Label], Valence] = {}
+        for (cls_raw, label), valence in dict(valences).items():
+            cls = name(cls_raw)
+            if cls not in schema.classes:
+                raise SchemaValidationError(
+                    f"valence table mentions unknown class {cls}"
+                )
+            if label not in schema.out_labels(cls):
+                raise SchemaValidationError(
+                    f"valence table mentions {cls}.{label}, but {cls} has "
+                    f"no {label!r}-arrow"
+                )
+            table[(cls, label)] = valence
+        # Propagate SINGLE down the specialization order (a subclass
+        # cannot weaken an inherited cardinality).
+        for (cls, label), valence in list(table.items()):
+            if valence != Valence.SINGLE:
+                continue
+            for sub in schema.specializations_of(cls):
+                existing = table.get((sub, label))
+                if existing == Valence.MULTI:
+                    raise SchemaValidationError(
+                        f"{sub}.{label} cannot be multivalued: it is "
+                        f"single-valued on the generalization {cls}"
+                    )
+                table[(sub, label)] = Valence.SINGLE
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_valences", table)
+
+    @property
+    def schema(self) -> Schema:
+        """The underlying schema."""
+        return self._schema
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("MultivaluedSchema is immutable")
+
+    def valence_of(self, cls: NameLike, label: Label) -> Valence:
+        """The valence of ``cls``'s *label*-arrows (default SINGLE)."""
+        return self._valences.get((name(cls), label), Valence.SINGLE)
+
+    def multi_labels(self, cls: NameLike) -> FrozenSet[Label]:
+        """Labels declared multivalued on *cls*."""
+        p = name(cls)
+        return frozenset(
+            label
+            for (source, label), valence in self._valences.items()
+            if source == p and valence == Valence.MULTI
+        )
+
+    def valence_table(self) -> Dict[Tuple[ClassName, Label], Valence]:
+        """A copy of the explicit valence entries."""
+        return dict(self._valences)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MultivaluedSchema):
+            return NotImplemented
+        if self._schema != other._schema:
+            return False
+        pairs = {
+            (cls, label)
+            for cls in self._schema.classes
+            for label in self._schema.out_labels(cls)
+        }
+        return all(
+            self.valence_of(cls, label) == other.valence_of(cls, label)
+            for cls, label in pairs
+        )
+
+    def __hash__(self) -> int:
+        explicit_multi = frozenset(
+            key
+            for key, valence in self._valences.items()
+            if valence == Valence.MULTI
+        )
+        return hash((self._schema, explicit_multi))
+
+    def __repr__(self) -> str:
+        multi = sum(
+            1 for v in self._valences.values() if v == Valence.MULTI
+        )
+        return (
+            f"MultivaluedSchema({self._schema!r}, {multi} multivalued "
+            "label(s))"
+        )
+
+
+def violations_multivalued(
+    instance,
+    schema: MultivaluedSchema,
+    links: Iterable[Tuple[object, Label, object]] = (),
+) -> List[str]:
+    """Instance-level meaning of valences.
+
+    Single-valued labels are checked through the ordinary valuation of
+    :class:`~repro.instances.instance.Instance` (exactly one value,
+    typed by the schema — delegated to
+    :func:`repro.instances.satisfaction.violations_weak`).  Multivalued
+    labels are carried by *links* — triples ``(oid, label, target_oid)``
+    — of which an object may have any number, each typed by the arrow's
+    targets.  A label may not appear both in the valuation and in the
+    link set for the same object (that would leave its valence
+    ambiguous).
+    """
+    from repro.instances.satisfaction import violations_weak
+
+    link_list = list(links)
+    multi_pairs = {
+        (cls, label)
+        for cls in schema.schema.classes
+        for label in schema.multi_labels(cls)
+    }
+    # Single-valued obligations: check the plain schema restricted to
+    # arrows whose (source, label) is single-valued.
+    single_arrows = frozenset(
+        (s, a, t)
+        for (s, a, t) in schema.schema.arrows
+        if (s, a) not in multi_pairs
+    )
+    single_schema = Schema(
+        schema.schema.classes, single_arrows, schema.schema.spec
+    )
+    problems = violations_weak(instance, single_schema)
+    # Multivalued obligations: every link is typed; no valuation entry
+    # shadows a multivalued label.
+    for oid, label, target in link_list:
+        sources = [
+            cls
+            for cls in instance.classes_of(oid)
+            if label in schema.multi_labels(cls)
+        ]
+        if not sources:
+            problems.append(
+                f"link ({oid!r}, {label!r}, {target!r}) has no class of "
+                f"{oid!r} declaring {label!r} multivalued"
+            )
+            continue
+        for cls in sources:
+            for arrow_target in schema.schema.reach(cls, label):
+                if target not in instance.extent(arrow_target):
+                    problems.append(
+                        f"link target {target!r} of ({oid!r}, {label!r}) "
+                        f"is not in extent({arrow_target})"
+                    )
+    for cls, label in sorted(multi_pairs, key=lambda p: (str(p[0]), p[1])):
+        for oid in sorted(instance.extent(cls), key=repr):
+            if instance.value(oid, label) is not None:
+                problems.append(
+                    f"({oid!r}).{label} uses the single-valued valuation "
+                    f"but {cls} declares {label!r} multivalued"
+                )
+    return problems
+
+
+def satisfies_multivalued(
+    instance,
+    schema: MultivaluedSchema,
+    links: Iterable[Tuple[object, Label, object]] = (),
+) -> bool:
+    """Does *instance* (with *links*) satisfy the multivalued schema?"""
+    return not violations_multivalued(instance, schema, links)
+
+
+def merge_multivalued(
+    *inputs: MultivaluedSchema,
+    assertions: Iterable[Schema] = (),
+    rule: str = "upper",
+) -> MultivaluedSchema:
+    """Merge multivalued schemas under the chosen valence rule.
+
+    ``rule="upper"`` (default) is the LUB discipline: a label any input
+    declares single-valued stays single-valued (the merge presents the
+    union of the constraints).  ``rule="lower"`` is the federated
+    reading: a label any input declares multivalued becomes multivalued
+    (every input's instances must satisfy the merge).  Like every other
+    merge in the library, both rules are order-independent; the test
+    suite checks it.
+    """
+    if rule not in ("upper", "lower"):
+        raise SchemaValidationError(
+            f"rule must be 'upper' or 'lower', got {rule!r}"
+        )
+    combine = _stricter if rule == "upper" else _looser
+    merged_schema = upper_merge(
+        *(m.schema for m in inputs), assertions=assertions
+    )
+    table: Dict[Tuple[ClassName, Label], Valence] = {}
+    for source in inputs:
+        for (cls, label), valence in source.valence_table().items():
+            existing = table.get((cls, label))
+            table[(cls, label)] = (
+                valence if existing is None else combine(existing, valence)
+            )
+    # Keep only entries that survived into the merged schema (implicit
+    # classes acquire their members' labels through inheritance, which
+    # the constructor's downward propagation completes).
+    table = {
+        (cls, label): valence
+        for (cls, label), valence in table.items()
+        if cls in merged_schema.classes
+        and label in merged_schema.out_labels(cls)
+    }
+    return MultivaluedSchema(merged_schema, table)

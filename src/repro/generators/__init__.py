@@ -1,0 +1,1 @@
+"""Synthetic schema generators for tests and benchmarks."""

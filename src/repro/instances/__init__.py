@@ -1,0 +1,1 @@
+"""Instances of schemas: satisfaction, coercion and instance merging."""

@@ -1,0 +1,66 @@
+"""Instance coercion: the semantic payoff of the two merges.
+
+Section 4: "if we merge a number of schemas, then any instance of the
+merged schema can be considered to be an instance of any of the schemas
+being merged" — coercion *downward* from an upper merge, implemented by
+:func:`coerce` (restrict the extent table to the component's classes).
+
+Section 6: for lower merges the direction flips — "any instances of the
+schemas being merged would also be instances of the merged schema", and
+unions of input instances are instances of the merge; see
+:mod:`repro.instances.merging`.
+
+Both statements are theorems of the construction rather than axioms,
+and :func:`check_upper_coercion` / the property-test suite verify them
+over generated inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.lower import lower_merge
+from repro.core.ordering import is_sub
+from repro.core.schema import Schema
+from repro.instances.instance import Instance
+from repro.instances.satisfaction import satisfies, violations_weak
+
+__all__ = ["coerce", "check_upper_coercion"]
+
+
+def coerce(instance: Instance, component: Schema) -> Instance:
+    """View an instance of a (merged) schema as one of *component*.
+
+    The coercion simply forgets extents of classes the component does
+    not know about.  When *instance* satisfies any schema above
+    *component* in the information ordering, the result satisfies
+    *component*:
+
+    * specializations of the component are specializations of the
+      merge, so extent containments persist;
+    * every arrow of the component is an arrow of the merge, so
+      attribute totality and typing persist;
+    * forgetting extents can break neither, because the component only
+      constrains extents of its own classes.
+    """
+    return instance.restrict_classes(component.classes)
+
+
+def check_upper_coercion(
+    instance: Instance, merged: Schema, component: Schema
+) -> List[str]:
+    """Check the section 4 coercion theorem on concrete data.
+
+    Returns violation strings; empty means the theorem held (as it must
+    whenever ``component ⊑ merged`` and *instance* satisfies *merged* —
+    a non-empty result on such inputs would be a library bug, which is
+    exactly what the property tests hunt for).
+    """
+    problems: List[str] = []
+    if not is_sub(component, merged):
+        problems.append("component is not below the merged schema")
+    if not satisfies(instance, merged):
+        problems.append("instance does not satisfy the merged schema")
+    if problems:
+        return problems
+    return violations_weak(coerce(instance, component), component)

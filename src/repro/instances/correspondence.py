@@ -1,0 +1,371 @@
+"""Cross-database object correspondence (the last part of section 5).
+
+Keys do double duty in the paper: within one schema they constrain
+instances, and *across* schemas being merged they "determine when an
+object in the extent of a class in an instance of one schema
+corresponds to an object in the extent of the same class in an instance
+of another schema".  Section 5 walks through three situations for a
+class ``Person`` shared by schemas ``G1`` and ``G2``:
+
+1. **agreed** — both schemas declare ``{SS#}`` a key: objects
+   correspond exactly when their social-security numbers match;
+2. **imposed** — ``G1`` declares the key and ``G2`` merely has the
+   ``SS#`` arrow: the merged schema's key places "an additional
+   constraint on the extents of G2", and matching numbers identify
+   objects no matter which source each came from;
+3. **undeterminable** — ``G1`` declares the key but ``G2`` has no
+   ``SS#`` arrow at all: "there is not way to tell when an object from
+   the extent of Person in an instance of G1 corresponds to an object
+   from the extent of Person in an instance of G2".
+
+:func:`analyze_correspondence` classifies every (class, merged key)
+pair into these cases (plus *identity-only* for keyless classes), and
+:func:`fuse` runs the full data-integration pipeline the analysis
+predicts: merge the keyed schemas, union the source instances —
+keeping designated value classes' objects shared so key comparison is
+meaningful across autonomous databases — and quotient by key-based
+identity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core.consistency import ConsistencyRelation
+from repro.core.keys import KeyedSchema, merge_keyed
+from repro.core.names import ClassName, Label, name, sort_key
+from repro.core.schema import Schema
+from repro.instances.instance import Instance, Oid
+from repro.instances.merging import identify_by_keys
+
+__all__ = [
+    "CorrespondenceStatus",
+    "KeyCorrespondence",
+    "analyze_correspondence",
+    "correspondence_report",
+    "matching_pairs",
+    "federate_shared",
+    "FusionResult",
+    "fuse",
+]
+
+NameLike = Union[ClassName, str]
+
+
+class CorrespondenceStatus(enum.Enum):
+    """How a merged key behaves across the input databases (section 5)."""
+
+    #: Every input holding the class can evaluate the key and already
+    #: declared it — sources agree on what identifies an object.
+    AGREED = "agreed"
+    #: Some input has the key's arrows but never declared the key; the
+    #: merge imposes the identification criterion on its extents.
+    IMPOSED = "imposed"
+    #: Some input holding the class lacks one of the key's arrows;
+    #: correspondence with that input's objects cannot be determined.
+    UNDETERMINABLE = "undeterminable"
+    #: The class has no key anywhere — objects correspond only by
+    #: identity (the paper's "notion of object identity").
+    IDENTITY_ONLY = "identity-only"
+
+
+@dataclass(frozen=True)
+class KeyCorrespondence:
+    """The correspondence verdict for one class and one merged key.
+
+    Index tuples refer to positions in the analyzed input sequence.
+    ``declared_in`` lists inputs whose own family already contains the
+    key; ``evaluable_in`` lists inputs whose class carries every key
+    label as an arrow (so the key *can* be computed there);
+    ``blind_in`` lists inputs holding the class that lack some label.
+    For the ``IDENTITY_ONLY`` verdict the key is the empty set and all
+    index tuples except ``holders`` are empty.
+    """
+
+    cls: ClassName
+    key: FrozenSet[Label]
+    holders: Tuple[int, ...]
+    declared_in: Tuple[int, ...]
+    evaluable_in: Tuple[int, ...]
+    blind_in: Tuple[int, ...]
+    status: CorrespondenceStatus
+
+    def decides_correspondence(self) -> bool:
+        """Can this key match objects across at least two inputs?"""
+        return len(self.evaluable_in) >= 2
+
+    def describe(self) -> str:
+        """A one-line, human-readable account of the verdict."""
+        pretty_key = "{" + ", ".join(sorted(self.key)) + "}"
+        if self.status == CorrespondenceStatus.IDENTITY_ONLY:
+            return (
+                f"{self.cls}: no key in any input — objects correspond "
+                "only by identity"
+            )
+        if self.status == CorrespondenceStatus.UNDETERMINABLE:
+            blind = ", ".join(f"G{i + 1}" for i in self.blind_in)
+            return (
+                f"{self.cls}: key {pretty_key} cannot be evaluated in "
+                f"{blind} — no way to tell which objects correspond"
+            )
+        if self.status == CorrespondenceStatus.IMPOSED:
+            imposed = ", ".join(
+                f"G{i + 1}"
+                for i in self.evaluable_in
+                if i not in self.declared_in
+            )
+            return (
+                f"{self.cls}: key {pretty_key} is imposed on the extents "
+                f"of {imposed} by the merge"
+            )
+        return (
+            f"{self.cls}: key {pretty_key} is agreed by every input — "
+            "matching values identify objects"
+        )
+
+
+def analyze_correspondence(
+    inputs: Sequence[KeyedSchema],
+    merged: Optional[KeyedSchema] = None,
+    assertions: Iterable[Schema] = (),
+) -> List[KeyCorrespondence]:
+    """Classify every shared class's merged keys per section 5.
+
+    Only classes held by at least two inputs are reported — object
+    correspondence is an inter-database question.  *merged* may be
+    passed to avoid recomputing the keyed merge; when omitted it is
+    computed from *inputs* (with *assertions*).
+    """
+    keyed_inputs = list(inputs)
+    if merged is None:
+        merged = merge_keyed(*keyed_inputs, assertions=assertions)
+    rows: List[KeyCorrespondence] = []
+    for cls in sorted(merged.schema.classes, key=sort_key):
+        holders = tuple(
+            i
+            for i, keyed in enumerate(keyed_inputs)
+            if cls in keyed.schema.classes
+        )
+        if len(holders) < 2:
+            continue
+        family = merged.keys_of(cls)
+        if family.is_empty():
+            rows.append(
+                KeyCorrespondence(
+                    cls=cls,
+                    key=frozenset(),
+                    holders=holders,
+                    declared_in=(),
+                    evaluable_in=(),
+                    blind_in=(),
+                    status=CorrespondenceStatus.IDENTITY_ONLY,
+                )
+            )
+            continue
+        for key in sorted(family.min_keys, key=lambda k: (len(k), sorted(k))):
+            declared = tuple(
+                i
+                for i in holders
+                if keyed_inputs[i].keys_of(cls).is_superkey(key)
+            )
+            evaluable = tuple(
+                i
+                for i in holders
+                if key <= keyed_inputs[i].schema.out_labels(cls)
+            )
+            blind = tuple(i for i in holders if i not in evaluable)
+            if blind:
+                status = CorrespondenceStatus.UNDETERMINABLE
+            elif set(evaluable) - set(declared):
+                status = CorrespondenceStatus.IMPOSED
+            else:
+                status = CorrespondenceStatus.AGREED
+            rows.append(
+                KeyCorrespondence(
+                    cls=cls,
+                    key=key,
+                    holders=holders,
+                    declared_in=declared,
+                    evaluable_in=evaluable,
+                    blind_in=blind,
+                    status=status,
+                )
+            )
+    return rows
+
+
+def correspondence_report(rows: Iterable[KeyCorrespondence]) -> str:
+    """Render an analysis as newline-separated, deterministic text."""
+    return "\n".join(row.describe() for row in rows)
+
+
+def matching_pairs(
+    left: Instance,
+    right: Instance,
+    cls: NameLike,
+    key: Iterable[Label],
+) -> List[Tuple[Oid, Oid]]:
+    """Objects of *cls* that correspond across two instances (section 5).
+
+    The literal reading of the paper's sentence: "an object in the
+    extent of Person in an instance of G1 corresponds to an object in
+    the extent of the same class in an instance of G2 if they have the
+    same social security number."  An object of *left* matches an
+    object of *right* when both define every label of *key* and the
+    values agree (key values — social-security numbers, dates — are
+    assumed to be shared atomic oids, as in :func:`federate_shared`).
+
+    Objects lacking some key attribute match nothing: their
+    correspondence is undeterminable, not negative.  The result is
+    deterministic (sorted by the oids' reprs).
+    """
+    class_name = name(cls)
+    labels = sorted(key)
+    if not labels:
+        return []
+
+    def key_tuple(instance: Instance, oid: Oid):
+        values = tuple(instance.value(oid, label) for label in labels)
+        return None if any(v is None for v in values) else values
+
+    right_index: dict = {}
+    for oid in sorted(right.extent(class_name), key=repr):
+        values = key_tuple(right, oid)
+        if values is not None:
+            right_index.setdefault(values, []).append(oid)
+    pairs: List[Tuple[Oid, Oid]] = []
+    for oid in sorted(left.extent(class_name), key=repr):
+        values = key_tuple(left, oid)
+        if values is None:
+            continue
+        for other in right_index.get(values, ()):
+            pairs.append((oid, other))
+    return pairs
+
+
+def federate_shared(
+    sources: Sequence[Instance],
+    value_classes: Iterable[NameLike] = (),
+    prefix: str = "src",
+) -> Instance:
+    """Union source instances, sharing only designated value classes.
+
+    Autonomous databases use private object identifiers, so unioning
+    them must keep their oid spaces disjoint — *except* for atomic
+    values (social-security numbers, dates, strings): a key comparison
+    across databases is only meaningful when equal values really are
+    the same oid.  Objects in the extent of any class in
+    *value_classes* are therefore left unrenamed, while every other oid
+    ``o`` of source ``i`` becomes ``(f"{prefix}{i}", o)``.
+
+    Raises :class:`~repro.exceptions.InstanceError` (from
+    :meth:`~repro.instances.instance.Instance.union`) if two sources
+    disagree on a shared value's attribute — which cannot happen when
+    value classes hold genuinely atomic objects.
+    """
+    shared_names = {name(cls) for cls in value_classes}
+    combined = Instance.empty()
+    for index, source in enumerate(sources):
+        shared_oids: Set[Oid] = set()
+        for cls in shared_names:
+            shared_oids |= source.extent(cls)
+
+        def rename(oid: Oid) -> Oid:
+            return oid if oid in shared_oids else (f"{prefix}{index}", oid)
+
+        renamed = Instance(
+            frozenset(rename(o) for o in source.oids),
+            {
+                cls: frozenset(rename(o) for o in members)
+                for cls, members in source.extents().items()
+            },
+            {
+                (rename(o), label): rename(target)
+                for (o, label), target in source.values().items()
+            },
+        )
+        combined = combined.union(renamed)
+    return combined
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """The outcome of the section 5 data-integration pipeline.
+
+    ``instance`` is the fused instance over ``merged``;
+    ``objects_before``/``objects_after`` count oids around the key
+    identification step, and ``correspondences`` records the per-class
+    analysis that explains *why* objects did or did not unify.
+    """
+
+    merged: KeyedSchema
+    instance: Instance
+    objects_before: int
+    objects_after: int
+    correspondences: Tuple[KeyCorrespondence, ...]
+
+    @property
+    def identified(self) -> int:
+        """How many objects were unified by key-based identity."""
+        return self.objects_before - self.objects_after
+
+    def summary(self) -> str:
+        """A short, human-readable account of the fusion."""
+        lines = [
+            f"fused {self.objects_before} object(s) into "
+            f"{self.objects_after} ({self.identified} identified by keys)",
+        ]
+        lines.extend(row.describe() for row in self.correspondences)
+        return "\n".join(lines)
+
+
+def fuse(
+    sources: Sequence[Tuple[KeyedSchema, Instance]],
+    value_classes: Iterable[NameLike] = (),
+    assertions: Iterable[Schema] = (),
+    consistency: Optional[ConsistencyRelation] = None,
+) -> FusionResult:
+    """Merge schemas and fuse their instances by key-based identity.
+
+    The pipeline is exactly the one section 5 sketches:
+
+    1. merge the keyed schemas (upper merge + minimal satisfactory key
+       assignment), optionally constrained by *assertions* and vetted
+       by a *consistency* relationship;
+    2. union the source instances, keeping *value_classes* shared
+       across sources (:func:`federate_shared`);
+    3. quotient by the merged keys
+       (:func:`~repro.instances.merging.identify_by_keys`) — objects
+       agreeing on some merged key of a common class collapse, whether
+       they came from the same source or different ones.
+
+    The returned :class:`FusionResult` carries the correspondence
+    analysis, so callers can see which classes deduplicated under an
+    agreed key, which had a key imposed on them, and which remained
+    undeterminable.
+    """
+    schemas = [keyed for keyed, _instance in sources]
+    instances = [instance for _keyed, instance in sources]
+    merged = merge_keyed(
+        *schemas, assertions=assertions, consistency=consistency
+    )
+    combined = federate_shared(instances, value_classes=value_classes)
+    fused = identify_by_keys(combined, merged)
+    return FusionResult(
+        merged=merged,
+        instance=fused,
+        objects_before=len(combined),
+        objects_after=len(fused),
+        correspondences=tuple(analyze_correspondence(schemas, merged=merged)),
+    )

@@ -1,0 +1,260 @@
+"""Database instances for the general model.
+
+The paper grounds its semantics in instances ("this semantic basis
+should be related to the notion of an instance of a schema", section 1,
+deferring details to [5]).  We realise the standard reading:
+
+* an **instance** is a finite set of object identifiers (*oids*),
+* each class has an **extent** — the set of oids that are instances of
+  that class,
+* each oid has a partial **valuation**: ``value(oid, label)`` is the
+  oid its ``label``-attribute points at.
+
+Satisfaction of the various schema flavours lives in
+:mod:`repro.instances.satisfaction`; this module is the data structure,
+its builder and its structural validation (extents mention only known
+oids, valuations mention only known oids and labels).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.names import ClassName, Label, name
+from repro.exceptions import InstanceError
+
+__all__ = ["Instance"]
+
+Oid = Hashable
+NameLike = Union[ClassName, str]
+
+
+class Instance:
+    """An immutable database instance.
+
+    Build one from plain dicts::
+
+        inst = Instance.build(
+            extents={"Dog": {"d1", "d2"}, "Person": {"p1"}},
+            values={("d1", "owner"): "p1", ("d2", "owner"): "p1"},
+        )
+
+    Oids may be any hashable values.  The oid universe is inferred as
+    the union of everything mentioned, plus an optional explicit
+    ``oids`` argument for objects belonging to no class.
+    """
+
+    __slots__ = ("_oids", "_extents", "_values", "_hash")
+
+    def __init__(
+        self,
+        oids: FrozenSet[Oid],
+        extents: Mapping[ClassName, FrozenSet[Oid]],
+        values: Mapping[Tuple[Oid, Label], Oid],
+    ):
+        extent_table = {cls: frozenset(members) for cls, members in extents.items()}
+        value_table = dict(values)
+        for cls, members in extent_table.items():
+            unknown = members - oids
+            if unknown:
+                raise InstanceError(
+                    f"extent of {cls} mentions unknown oid(s) "
+                    f"{sorted(map(repr, unknown))}"
+                )
+        for (oid, label), target in value_table.items():
+            if oid not in oids:
+                raise InstanceError(
+                    f"valuation mentions unknown oid {oid!r}"
+                )
+            if target not in oids:
+                raise InstanceError(
+                    f"value of ({oid!r}, {label!r}) is unknown oid {target!r}"
+                )
+            if not isinstance(label, str) or not label:
+                raise InstanceError(
+                    f"valuation label must be a non-empty string, got {label!r}"
+                )
+        object.__setattr__(self, "_oids", frozenset(oids))
+        object.__setattr__(self, "_extents", extent_table)
+        object.__setattr__(self, "_values", value_table)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    frozenset(oids),
+                    frozenset(
+                        (cls, members) for cls, members in extent_table.items()
+                    ),
+                    frozenset(value_table.items()),
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        extents: Mapping[NameLike, Iterable[Oid]] = (),
+        values: Mapping[Tuple[Oid, Label], Oid] = (),
+        oids: Iterable[Oid] = (),
+    ) -> "Instance":
+        """Build from plain data, inferring the oid universe."""
+        extents = dict(extents)
+        values = dict(values)
+        universe = set(oids)
+        named_extents: Dict[ClassName, FrozenSet[Oid]] = {}
+        for cls_raw, members in extents.items():
+            member_set = frozenset(members)
+            named_extents[name(cls_raw)] = member_set
+            universe |= member_set
+        for (oid, _label), target in values.items():
+            universe.add(oid)
+            universe.add(target)
+        return cls(frozenset(universe), named_extents, values)
+
+    @classmethod
+    def empty(cls) -> "Instance":
+        """The instance with no objects."""
+        return cls(frozenset(), {}, {})
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def oids(self) -> FrozenSet[Oid]:
+        """Every object identifier in the instance."""
+        return self._oids
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("Instance is immutable")
+
+    def extent(self, cls: NameLike) -> FrozenSet[Oid]:
+        """The extent of class *cls* (empty when the class is unknown)."""
+        return self._extents.get(name(cls), frozenset())
+
+    def extents(self) -> Dict[ClassName, FrozenSet[Oid]]:
+        """A copy of the full extent table."""
+        return dict(self._extents)
+
+    def classes(self) -> FrozenSet[ClassName]:
+        """Classes with a (possibly empty) declared extent."""
+        return frozenset(self._extents)
+
+    def value(self, oid: Oid, label: Label) -> Optional[Oid]:
+        """The *label*-attribute of *oid*, or ``None`` when undefined."""
+        return self._values.get((oid, label))
+
+    def values(self) -> Dict[Tuple[Oid, Label], Oid]:
+        """A copy of the full valuation."""
+        return dict(self._values)
+
+    def defined_labels(self, oid: Oid) -> FrozenSet[Label]:
+        """Labels on which *oid*'s valuation is defined."""
+        return frozenset(
+            label for (o, label) in self._values if o == oid
+        )
+
+    def classes_of(self, oid: Oid) -> FrozenSet[ClassName]:
+        """Every class whose extent contains *oid*."""
+        return frozenset(
+            cls for cls, members in self._extents.items() if oid in members
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        mine = {c: e for c, e in self._extents.items() if e}
+        theirs = {c: e for c, e in other._extents.items() if e}
+        return (
+            self._oids == other._oids
+            and mine == theirs
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._oids)
+
+    def __repr__(self) -> str:
+        populated = sum(1 for e in self._extents.values() if e)
+        return (
+            f"Instance({len(self._oids)} oid(s), {populated} populated "
+            f"class(es), {len(self._values)} attribute value(s))"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived instances
+    # ------------------------------------------------------------------
+
+    def restrict_classes(self, keep: Iterable[NameLike]) -> "Instance":
+        """Forget extents outside *keep* (oids and values are retained).
+
+        This is the coercion step of
+        :func:`repro.instances.coercion.coerce`.
+        """
+        kept = {name(c) for c in keep}
+        return Instance(
+            self._oids,
+            {c: e for c, e in self._extents.items() if c in kept},
+            self._values,
+        )
+
+    def with_prefixed_oids(self, prefix: str) -> "Instance":
+        """Rename every oid to ``(prefix, oid)`` — disjointification.
+
+        Used when unioning instances from different sources whose oid
+        spaces might collide.
+        """
+        def rename(oid: Oid) -> Oid:
+            return (prefix, oid)
+
+        return Instance(
+            frozenset(rename(o) for o in self._oids),
+            {
+                cls: frozenset(rename(o) for o in members)
+                for cls, members in self._extents.items()
+            },
+            {
+                (rename(o), label): rename(target)
+                for (o, label), target in self._values.items()
+            },
+        )
+
+    def union(self, other: "Instance") -> "Instance":
+        """The union of two instances (oids, extents and valuations).
+
+        Raises :class:`~repro.exceptions.InstanceError` when the two
+        valuations disagree on a shared ``(oid, label)`` pair — unioning
+        is only meaningful when shared oids denote the same object.
+        """
+        for (oid, label), target in self._values.items():
+            conflicting = other._values.get((oid, label))
+            if conflicting is not None and conflicting != target:
+                raise InstanceError(
+                    f"instances disagree on ({oid!r}, {label!r}): "
+                    f"{target!r} vs {conflicting!r}"
+                )
+        merged_extents: Dict[ClassName, FrozenSet[Oid]] = dict(self._extents)
+        for cls, members in other._extents.items():
+            merged_extents[cls] = merged_extents.get(cls, frozenset()) | members
+        merged_values = dict(self._values)
+        merged_values.update(other._values)
+        return Instance(
+            self._oids | other._oids, merged_extents, merged_values
+        )

@@ -1,0 +1,1 @@
+"""Serialization of library artifacts."""

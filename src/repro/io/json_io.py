@@ -1,0 +1,442 @@
+"""JSON round-tripping for every library artifact.
+
+Schemas, keyed schemas, annotated schemas, instances and ER diagrams
+all serialise to plain JSON-compatible dictionaries and back.  The
+encoding is versioned (``"format"`` field) and fully deterministic
+(sorted lists everywhere) so that serialised schemas can be diffed,
+checked into repositories and fed to the CLI.
+
+Class names need care: implicit and generalization names are structured
+values, encoded recursively as ``{"implicit": [...]}`` /
+``{"gen": [...]}``; base names are plain strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema
+from repro.core.names import (
+    BaseName,
+    ClassName,
+    GenName,
+    ImplicitName,
+    sort_key,
+)
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+from repro.exceptions import SerializationError
+from repro.instances.instance import Instance
+from repro.models.er import ERAttribute, ERDiagram, EREntity, ERRelationship
+from repro.models.oo import OOAttribute, OOClass, OODiagram
+
+__all__ = [
+    "name_to_json",
+    "name_from_json",
+    "schema_to_dict",
+    "schema_from_dict",
+    "keyed_to_dict",
+    "keyed_from_dict",
+    "annotated_to_dict",
+    "annotated_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "er_to_dict",
+    "er_from_dict",
+    "oo_to_dict",
+    "oo_from_dict",
+    "dumps",
+    "loads",
+]
+
+FORMAT_SCHEMA = "repro.schema/1"
+FORMAT_KEYED = "repro.keyed/1"
+FORMAT_ANNOTATED = "repro.annotated/1"
+FORMAT_INSTANCE = "repro.instance/1"
+FORMAT_ER = "repro.er/1"
+FORMAT_OO = "repro.oo/1"
+
+
+def name_to_json(cls: ClassName) -> Union[str, Dict[str, Any]]:
+    """Encode a class name (recursively for composite names)."""
+    if isinstance(cls, BaseName):
+        return cls.value
+    if isinstance(cls, ImplicitName):
+        return {
+            "implicit": [
+                name_to_json(m) for m in sorted(cls.members, key=sort_key)
+            ]
+        }
+    if isinstance(cls, GenName):
+        return {
+            "gen": [name_to_json(m) for m in sorted(cls.members, key=sort_key)]
+        }
+    raise SerializationError(f"not a class name: {cls!r}")
+
+
+def name_from_json(doc: Union[str, Dict[str, Any]]) -> ClassName:
+    """Decode a class name."""
+    if isinstance(doc, str):
+        return BaseName(doc)
+    if isinstance(doc, dict) and set(doc) == {"implicit"}:
+        return ImplicitName(name_from_json(m) for m in doc["implicit"])
+    if isinstance(doc, dict) and set(doc) == {"gen"}:
+        return GenName(name_from_json(m) for m in doc["gen"])
+    raise SerializationError(f"cannot decode class name from {doc!r}")
+
+
+def _sorted_names(classes) -> List:
+    return [name_to_json(c) for c in sorted(classes, key=sort_key)]
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Encode a schema (full closed relations, deterministic order)."""
+    return {
+        "format": FORMAT_SCHEMA,
+        "classes": _sorted_names(schema.classes),
+        "arrows": [
+            [name_to_json(s), label, name_to_json(t)]
+            for s, label, t in schema.sorted_arrows()
+        ],
+        "spec": [
+            [name_to_json(a), name_to_json(b)]
+            for a, b in sorted(
+                schema.strict_spec(),
+                key=lambda e: (sort_key(e[0]), sort_key(e[1])),
+            )
+        ],
+    }
+
+
+def schema_from_dict(doc: Dict[str, Any]) -> Schema:
+    """Decode a schema (closures recomputed, so hand-written JSON works)."""
+    if doc.get("format") != FORMAT_SCHEMA:
+        raise SerializationError(
+            f"expected format {FORMAT_SCHEMA!r}, got {doc.get('format')!r}"
+        )
+    try:
+        return Schema.build(
+            classes=[name_from_json(c) for c in doc.get("classes", [])],
+            arrows=[
+                (name_from_json(s), label, name_from_json(t))
+                for s, label, t in doc.get("arrows", [])
+            ],
+            spec=[
+                (name_from_json(a), name_from_json(b))
+                for a, b in doc.get("spec", [])
+            ],
+        )
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed schema document: {exc}") from exc
+
+
+def keyed_to_dict(keyed: KeyedSchema) -> Dict[str, Any]:
+    """Encode a keyed schema."""
+    return {
+        "format": FORMAT_KEYED,
+        "schema": schema_to_dict(keyed.schema),
+        "keys": [
+            {
+                "class": name_to_json(cls),
+                "families": [sorted(k) for k in keyed.keys_of(cls)],
+            }
+            for cls in sorted(keyed.declared_classes(), key=sort_key)
+        ],
+    }
+
+
+def keyed_from_dict(doc: Dict[str, Any]) -> KeyedSchema:
+    """Decode a keyed schema."""
+    if doc.get("format") != FORMAT_KEYED:
+        raise SerializationError(
+            f"expected format {FORMAT_KEYED!r}, got {doc.get('format')!r}"
+        )
+    schema = schema_from_dict(doc["schema"])
+    keys = {
+        name_from_json(entry["class"]): KeyFamily(entry["families"])
+        for entry in doc.get("keys", [])
+    }
+    return KeyedSchema(schema, keys, check_spec_monotone=False)
+
+
+def annotated_to_dict(schema: AnnotatedSchema) -> Dict[str, Any]:
+    """Encode an annotated schema with its participation constraints."""
+    table = schema.participation_table()
+    return {
+        "format": FORMAT_ANNOTATED,
+        "classes": _sorted_names(schema.classes),
+        "arrows": [
+            [
+                name_to_json(s),
+                label,
+                name_to_json(t),
+                table[(s, label, t)].value,
+            ]
+            for s, label, t in sorted(
+                table, key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2]))
+            )
+        ],
+        "spec": [
+            [name_to_json(a), name_to_json(b)]
+            for a, b in sorted(
+                ((a, b) for a, b in schema.spec if a != b),
+                key=lambda e: (sort_key(e[0]), sort_key(e[1])),
+            )
+        ],
+    }
+
+
+def annotated_from_dict(doc: Dict[str, Any]) -> AnnotatedSchema:
+    """Decode an annotated schema."""
+    if doc.get("format") != FORMAT_ANNOTATED:
+        raise SerializationError(
+            f"expected format {FORMAT_ANNOTATED!r}, got {doc.get('format')!r}"
+        )
+    return AnnotatedSchema.build(
+        classes=[name_from_json(c) for c in doc.get("classes", [])],
+        arrows=[
+            (
+                name_from_json(s),
+                label,
+                name_from_json(t),
+                Participation.parse(constraint),
+            )
+            for s, label, t, constraint in doc.get("arrows", [])
+        ],
+        spec=[
+            (name_from_json(a), name_from_json(b))
+            for a, b in doc.get("spec", [])
+        ],
+    )
+
+
+def _encode_oid(oid) -> Union[str, List]:
+    """Encode an oid: strings pass through; tuples (the disjointified
+    oids produced by federation) become JSON arrays, recursively."""
+    if isinstance(oid, str):
+        return oid
+    if isinstance(oid, tuple):
+        return [_encode_oid(part) for part in oid]
+    raise SerializationError(
+        f"only string and tuple oids are serialisable, got {oid!r}"
+    )
+
+
+def _decode_oid(doc) -> Union[str, tuple]:
+    if isinstance(doc, str):
+        return doc
+    if isinstance(doc, list):
+        return tuple(_decode_oid(part) for part in doc)
+    raise SerializationError(f"malformed oid document: {doc!r}")
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    """Encode an instance.  String oids pass through; tuple oids (the
+    shape federation's disjointification produces) are encoded as
+    arrays, so fused instances round-trip exactly too."""
+    encode_oid = _encode_oid
+
+    return {
+        "format": FORMAT_INSTANCE,
+        "oids": sorted((encode_oid(o) for o in instance.oids), key=repr),
+        "extents": [
+            {
+                "class": name_to_json(cls),
+                "members": sorted(
+                    (encode_oid(o) for o in members), key=repr
+                ),
+            }
+            for cls, members in sorted(
+                instance.extents().items(), key=lambda kv: sort_key(kv[0])
+            )
+        ],
+        "values": [
+            [encode_oid(oid), label, encode_oid(target)]
+            for (oid, label), target in sorted(
+                instance.values().items(), key=lambda kv: (repr(kv[0]), )
+            )
+        ],
+    }
+
+
+def instance_from_dict(doc: Dict[str, Any]) -> Instance:
+    """Decode an instance."""
+    if doc.get("format") != FORMAT_INSTANCE:
+        raise SerializationError(
+            f"expected format {FORMAT_INSTANCE!r}, got {doc.get('format')!r}"
+        )
+    return Instance.build(
+        oids=[_decode_oid(o) for o in doc.get("oids", [])],
+        extents={
+            name_from_json(entry["class"]): [
+                _decode_oid(o) for o in entry["members"]
+            ]
+            for entry in doc.get("extents", [])
+        },
+        values={
+            (_decode_oid(oid), label): _decode_oid(target)
+            for oid, label, target in doc.get("values", [])
+        },
+    )
+
+
+def er_to_dict(diagram: ERDiagram) -> Dict[str, Any]:
+    """Encode an ER diagram."""
+    return {
+        "format": FORMAT_ER,
+        "entities": [
+            {
+                "name": entity.name,
+                "attributes": [
+                    {"name": a.name, "domain": a.domain}
+                    for a in entity.attributes
+                ],
+                "isa": sorted(entity.isa),
+                "keys": [sorted(k) for k in entity.keys],
+            }
+            for entity in diagram.entities
+        ],
+        "relationships": [
+            {
+                "name": rel.name,
+                "roles": {role: target for role, target in rel.roles},
+                "cardinalities": {
+                    role: cardinality
+                    for role, cardinality in rel.cardinalities
+                },
+                "attributes": [
+                    {"name": a.name, "domain": a.domain}
+                    for a in rel.attributes
+                ],
+                "isa": sorted(rel.isa),
+                "keys": [sorted(k) for k in rel.keys],
+            }
+            for rel in diagram.relationships
+        ],
+    }
+
+
+def er_from_dict(doc: Dict[str, Any]) -> ERDiagram:
+    """Decode an ER diagram."""
+    if doc.get("format") != FORMAT_ER:
+        raise SerializationError(
+            f"expected format {FORMAT_ER!r}, got {doc.get('format')!r}"
+        )
+    entities = [
+        EREntity(
+            entry["name"],
+            attributes=[
+                ERAttribute(a["name"], a["domain"])
+                for a in entry.get("attributes", [])
+            ],
+            isa=entry.get("isa", []),
+            keys=entry.get("keys", []),
+        )
+        for entry in doc.get("entities", [])
+    ]
+    relationships = [
+        ERRelationship(
+            entry["name"],
+            roles=entry["roles"],
+            cardinalities=entry.get("cardinalities", {}),
+            attributes=[
+                ERAttribute(a["name"], a["domain"])
+                for a in entry.get("attributes", [])
+            ],
+            isa=entry.get("isa", []),
+            keys=entry.get("keys", []),
+        )
+        for entry in doc.get("relationships", [])
+    ]
+    return ERDiagram(entities=entities, relationships=relationships)
+
+
+def oo_to_dict(diagram: "OODiagram") -> Dict[str, Any]:
+    """Encode an object-oriented class diagram."""
+    return {
+        "format": FORMAT_OO,
+        "classes": [
+            {
+                "name": cls.name,
+                "attributes": [
+                    {"name": a.name, "type": a.type_name}
+                    for a in cls.attributes
+                ],
+                "bases": list(cls.bases),
+            }
+            for cls in sorted(diagram.classes, key=lambda c: c.name)
+        ],
+        "value_types": sorted(diagram.value_types),
+    }
+
+
+def oo_from_dict(doc: Dict[str, Any]) -> "OODiagram":
+    """Decode an object-oriented class diagram."""
+    if doc.get("format") != FORMAT_OO:
+        raise SerializationError(
+            f"expected format {FORMAT_OO!r}, got {doc.get('format')!r}"
+        )
+    try:
+        classes = [
+            OOClass(
+                entry["name"],
+                attributes=[
+                    OOAttribute(a["name"], a["type"])
+                    for a in entry.get("attributes", [])
+                ],
+                bases=entry.get("bases", []),
+            )
+            for entry in doc.get("classes", [])
+        ]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed OO diagram document: {exc}"
+        ) from exc
+    return OODiagram(classes=classes, value_types=doc.get("value_types", []))
+
+
+_DECODERS = {
+    FORMAT_SCHEMA: schema_from_dict,
+    FORMAT_KEYED: keyed_from_dict,
+    FORMAT_ANNOTATED: annotated_from_dict,
+    FORMAT_INSTANCE: instance_from_dict,
+    FORMAT_ER: er_from_dict,
+    FORMAT_OO: oo_from_dict,
+}
+
+_ENCODERS = [
+    (Schema, schema_to_dict),
+    (KeyedSchema, keyed_to_dict),
+    (AnnotatedSchema, annotated_to_dict),
+    (Instance, instance_to_dict),
+    (ERDiagram, er_to_dict),
+    (OODiagram, oo_to_dict),
+]
+
+
+def dumps(artifact, indent: int = 2) -> str:
+    """Serialise any supported artifact to a JSON string."""
+    for kind, encoder in _ENCODERS:
+        if isinstance(artifact, kind):
+            return json.dumps(encoder(artifact), indent=indent)
+    raise SerializationError(
+        f"cannot serialise objects of type {type(artifact).__name__}"
+    )
+
+
+def loads(text: str):
+    """Deserialise a JSON string produced by :func:`dumps` (any format)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise SerializationError("top-level JSON value must be an object")
+    decoder = _DECODERS.get(doc.get("format"))
+    if decoder is None:
+        raise SerializationError(
+            f"unknown or missing format field: {doc.get('format')!r}"
+        )
+    return decoder(doc)

@@ -1,0 +1,1 @@
+"""Substrate data models (ER, relational, functional) and stratification."""

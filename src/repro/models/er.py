@@ -1,0 +1,492 @@
+"""The Entity-Relationship substrate model and its round-trip translation.
+
+Section 2 uses the ER model as the motivating restricted model
+(Figures 1 and 2): entities and relationships become classes, attribute
+edges and role edges become labelled arrows, ISA hierarchies become
+specializations, and the whole diagram is a stratified schema under
+:data:`~repro.models.strata.ER_STRATIFICATION`.  Section 5 adds the key
+story: a role labelled "1" on a binary relationship is the same
+assertion as a key consisting of the *other* role (the Advisor
+example), while n-ary cardinality labels are famously ambiguous — the
+paper cites four mutually inconsistent interpretations — so this module
+only derives keys from cardinalities for binary relationships and lets
+n-ary relationships declare key sets explicitly.
+
+The merge-by-translation pipeline of section 7 is :func:`merge_er`:
+translate each diagram into the general model, merge there (optionally
+with keys), check strata preservation, and translate back.  Implicit
+classes survive the round trip as entities/relationships whose names
+record their origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple, Union
+
+from repro.core.implicit import is_implicit
+from repro.core.keys import KeyFamily, KeyedSchema, merge_keyed
+from repro.core.names import ClassName, name, sort_key
+from repro.core.schema import Schema
+from repro.exceptions import TranslationError
+from repro.models.strata import (
+    ER_STRATIFICATION,
+    StratifiedSchema,
+    merge_stratified,
+)
+
+__all__ = [
+    "ERAttribute",
+    "EREntity",
+    "ERRelationship",
+    "ERDiagram",
+    "to_schema",
+    "to_keyed_schema",
+    "from_schema",
+    "merge_er",
+    "cardinality_keys",
+]
+
+NameLike = Union[ClassName, str]
+
+#: The two cardinality annotations the paper discusses for binary
+#: relationships: "1" (at most one) and "N" (unrestricted).
+CARDINALITIES = ("1", "N")
+
+
+@dataclass(frozen=True)
+class ERAttribute:
+    """A named attribute with its value domain (``addr:place``)."""
+
+    name: str
+    domain: str
+
+    def __post_init__(self):
+        if not self.name or not self.domain:
+            raise TranslationError(
+                "attribute names and domains must be non-empty"
+            )
+
+
+@dataclass(frozen=True)
+class EREntity:
+    """An entity set, its attributes, ISA parents and declared keys."""
+
+    name: str
+    attributes: Tuple[ERAttribute, ...] = ()
+    isa: Tuple[str, ...] = ()
+    keys: Tuple[FrozenSet[str], ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[ERAttribute] = (),
+        isa: Iterable[str] = (),
+        keys: Iterable[Iterable[str]] = (),
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(
+            self,
+            "attributes",
+            tuple(sorted(attributes, key=lambda a: a.name)),
+        )
+        object.__setattr__(self, "isa", tuple(sorted(isa)))
+        object.__setattr__(
+            self, "keys", tuple(frozenset(k) for k in keys)
+        )
+        if not name:
+            raise TranslationError("entity names must be non-empty")
+        seen = set()
+        for attribute in self.attributes:
+            if attribute.name in seen:
+                raise TranslationError(
+                    f"entity {name} declares attribute "
+                    f"{attribute.name!r} twice"
+                )
+            seen.add(attribute.name)
+        for key in self.keys:
+            missing = key - seen
+            if missing:
+                raise TranslationError(
+                    f"entity {name}: key {sorted(key)} uses unknown "
+                    f"attribute(s) {sorted(missing)}"
+                )
+
+    def attribute_names(self) -> FrozenSet[str]:
+        """The names of this entity's own (non-inherited) attributes."""
+        return frozenset(a.name for a in self.attributes)
+
+
+@dataclass(frozen=True)
+class ERRelationship:
+    """A relationship set with named roles, cardinalities and attributes.
+
+    ``roles`` maps role names to entity names; ``cardinalities`` maps a
+    subset of role names to ``"1"`` or ``"N"`` (unlabelled roles default
+    to ``"N"``); ``isa`` allows relationship specialization, the
+    Figure 9 pattern (``Advisor ==> Committee``).
+    """
+
+    name: str
+    roles: Tuple[Tuple[str, str], ...]
+    cardinalities: Tuple[Tuple[str, str], ...] = ()
+    attributes: Tuple[ERAttribute, ...] = ()
+    isa: Tuple[str, ...] = ()
+    keys: Tuple[FrozenSet[str], ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        roles: Mapping[str, str],
+        cardinalities: Mapping[str, str] = (),
+        attributes: Iterable[ERAttribute] = (),
+        isa: Iterable[str] = (),
+        keys: Iterable[Iterable[str]] = (),
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "roles", tuple(sorted(dict(roles).items())))
+        object.__setattr__(
+            self,
+            "cardinalities",
+            tuple(sorted(dict(cardinalities).items())),
+        )
+        object.__setattr__(
+            self,
+            "attributes",
+            tuple(sorted(attributes, key=lambda a: a.name)),
+        )
+        object.__setattr__(self, "isa", tuple(sorted(isa)))
+        object.__setattr__(self, "keys", tuple(frozenset(k) for k in keys))
+        if not name:
+            raise TranslationError("relationship names must be non-empty")
+        if not self.roles:
+            raise TranslationError(
+                f"relationship {name} needs at least one role"
+            )
+        role_names = {r for r, _e in self.roles}
+        for role, cardinality in self.cardinalities:
+            if role not in role_names:
+                raise TranslationError(
+                    f"relationship {name}: cardinality on unknown role "
+                    f"{role!r}"
+                )
+            if cardinality not in CARDINALITIES:
+                raise TranslationError(
+                    f"relationship {name}: cardinality must be one of "
+                    f"{CARDINALITIES}, got {cardinality!r}"
+                )
+        labels = role_names | {a.name for a in self.attributes}
+        if len(labels) != len(role_names) + len(self.attributes):
+            raise TranslationError(
+                f"relationship {name}: role and attribute names collide"
+            )
+        for key in self.keys:
+            missing = key - labels
+            if missing:
+                raise TranslationError(
+                    f"relationship {name}: key {sorted(key)} uses unknown "
+                    f"label(s) {sorted(missing)}"
+                )
+
+    def role_map(self) -> Dict[str, str]:
+        """Roles as a plain ``{role: entity}`` dict."""
+        return dict(self.roles)
+
+    def cardinality_map(self) -> Dict[str, str]:
+        """Cardinalities as a dict, defaulting every role to ``"N"``."""
+        table = {role: "N" for role, _e in self.roles}
+        table.update(dict(self.cardinalities))
+        return table
+
+    def is_binary(self) -> bool:
+        """Does the relationship have exactly two roles?"""
+        return len(self.roles) == 2
+
+
+def cardinality_keys(relationship: ERRelationship) -> KeyFamily:
+    """Derive the key family a relationship's cardinalities express.
+
+    For a **binary** relationship, a role labelled "1" makes the *other*
+    role a key (the Advisor rule of section 5); if no role is labelled
+    "1" the full role set is the key (many-many).  For n-ary
+    relationships cardinality labels have no agreed meaning (the paper's
+    footnote 1), so only explicitly declared keys are used, falling back
+    to the full role set.
+    """
+    declared = KeyFamily(relationship.keys)
+    roles = [r for r, _e in relationship.roles]
+    if relationship.is_binary():
+        derived = []
+        cardinalities = relationship.cardinality_map()
+        first, second = roles
+        if cardinalities[first] == "1":
+            derived.append({second})
+        if cardinalities[second] == "1":
+            derived.append({first})
+        if not derived:
+            derived.append(set(roles))
+        return declared | KeyFamily(derived)
+    if not declared.is_empty():
+        return declared
+    return KeyFamily([set(roles)])
+
+
+class ERDiagram:
+    """A validated ER diagram: entities, relationships and their wiring."""
+
+    __slots__ = ("_entities", "_relationships")
+
+    def __init__(
+        self,
+        entities: Iterable[EREntity] = (),
+        relationships: Iterable[ERRelationship] = (),
+    ):
+        entity_table: Dict[str, EREntity] = {}
+        for entity in entities:
+            if entity.name in entity_table:
+                raise TranslationError(
+                    f"duplicate entity {entity.name!r}"
+                )
+            entity_table[entity.name] = entity
+        relationship_table: Dict[str, ERRelationship] = {}
+        for relationship in relationships:
+            if (
+                relationship.name in relationship_table
+                or relationship.name in entity_table
+            ):
+                raise TranslationError(
+                    f"duplicate or clashing name {relationship.name!r}"
+                )
+            relationship_table[relationship.name] = relationship
+        for entity in entity_table.values():
+            for parent in entity.isa:
+                if parent not in entity_table:
+                    raise TranslationError(
+                        f"entity {entity.name} ISA unknown entity {parent!r}"
+                    )
+        for relationship in relationship_table.values():
+            for _role, target in relationship.roles:
+                if target not in entity_table:
+                    raise TranslationError(
+                        f"relationship {relationship.name} has a role to "
+                        f"unknown entity {target!r}"
+                    )
+            for parent in relationship.isa:
+                if parent not in relationship_table:
+                    raise TranslationError(
+                        f"relationship {relationship.name} ISA unknown "
+                        f"relationship {parent!r}"
+                    )
+        object.__setattr__(self, "_entities", entity_table)
+        object.__setattr__(self, "_relationships", relationship_table)
+
+    @property
+    def entities(self) -> Tuple[EREntity, ...]:
+        """Entities in name order."""
+        return tuple(
+            self._entities[k] for k in sorted(self._entities)
+        )
+
+    @property
+    def relationships(self) -> Tuple[ERRelationship, ...]:
+        """Relationships in name order."""
+        return tuple(
+            self._relationships[k] for k in sorted(self._relationships)
+        )
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("ERDiagram is immutable")
+
+    def entity(self, entity_name: str) -> EREntity:
+        """Look up an entity by name."""
+        try:
+            return self._entities[entity_name]
+        except KeyError:
+            raise TranslationError(f"no entity named {entity_name!r}") from None
+
+    def relationship(self, relationship_name: str) -> ERRelationship:
+        """Look up a relationship by name."""
+        try:
+            return self._relationships[relationship_name]
+        except KeyError:
+            raise TranslationError(
+                f"no relationship named {relationship_name!r}"
+            ) from None
+
+    def domains(self) -> FrozenSet[str]:
+        """Every attribute domain mentioned anywhere in the diagram."""
+        found = set()
+        for entity in self._entities.values():
+            found.update(a.domain for a in entity.attributes)
+        for relationship in self._relationships.values():
+            found.update(a.domain for a in relationship.attributes)
+        return frozenset(found)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ERDiagram):
+            return NotImplemented
+        return (
+            self._entities == other._entities
+            and self._relationships == other._relationships
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._entities.items()),
+                frozenset(self._relationships.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ERDiagram({len(self._entities)} entities, "
+            f"{len(self._relationships)} relationships)"
+        )
+
+
+def to_schema(diagram: ERDiagram) -> StratifiedSchema:
+    """Translate an ER diagram into a stratified general-model schema.
+
+    This is the Figure 1 → Figure 2 translation: attributes become
+    arrows to domain classes, roles become arrows to entity classes,
+    ISA becomes specialization.
+    """
+    arrows: List[Tuple[str, str, str]] = []
+    spec: List[Tuple[str, str]] = []
+    assignment: Dict[str, str] = {}
+    for domain in diagram.domains():
+        assignment[domain] = "domain"
+    for entity in diagram.entities:
+        assignment[entity.name] = "entity"
+        for attribute in entity.attributes:
+            arrows.append((entity.name, attribute.name, attribute.domain))
+        for parent in entity.isa:
+            spec.append((entity.name, parent))
+    for relationship in diagram.relationships:
+        assignment[relationship.name] = "relationship"
+        for role, target in relationship.roles:
+            arrows.append((relationship.name, role, target))
+        for attribute in relationship.attributes:
+            arrows.append(
+                (relationship.name, attribute.name, attribute.domain)
+            )
+        for parent in relationship.isa:
+            spec.append((relationship.name, parent))
+    schema = Schema.build(
+        classes=list(assignment), arrows=arrows, spec=spec
+    )
+    named_assignment = {name(cls): s for cls, s in assignment.items()}
+    return StratifiedSchema(schema, ER_STRATIFICATION, named_assignment)
+
+
+def to_keyed_schema(diagram: ERDiagram) -> KeyedSchema:
+    """Translate with keys: declared entity keys plus cardinality keys.
+
+    Key families are only attached where the diagram actually asserts
+    something (declared keys, or cardinality labels on binary
+    relationships); entities without keys keep object identity, per
+    section 5's relaxation.
+    """
+    stratified = to_schema(diagram)
+    keys: Dict[str, KeyFamily] = {}
+    for entity in diagram.entities:
+        if entity.keys:
+            keys[entity.name] = KeyFamily(entity.keys)
+    for relationship in diagram.relationships:
+        family = cardinality_keys(relationship)
+        if not family.is_empty():
+            keys[relationship.name] = family
+    return KeyedSchema(stratified.schema, keys, check_spec_monotone=False)
+
+
+def from_schema(stratified: StratifiedSchema) -> ERDiagram:
+    """Translate a stratified schema back into an ER diagram.
+
+    Entities keep only non-inherited attributes (an arrow of ``p`` is
+    inherited if some strict generalization of ``p`` has the same
+    arrow); relationships re-declare all roles, as ER diagrams
+    conventionally do under relationship ISA (Figure 9).  Only
+    canonical targets are used — undoing exactly what the W1/W2
+    closure added.  Implicit classes become ordinary entities or
+    relationships whose printed name records their origin.  Keys and
+    cardinalities are *not* reconstructed here; they belong to the
+    keyed layer (:func:`to_keyed_schema` /
+    :func:`repro.core.keys.merge_keyed`).
+    """
+    if stratified.policy != ER_STRATIFICATION:
+        raise TranslationError(
+            f"expected an ER-stratified schema, got {stratified.policy.name}"
+        )
+    from repro.core.proper import canonical_class
+
+    schema = stratified.schema
+    entities: List[EREntity] = []
+    relationships: List[ERRelationship] = []
+
+    def own_labels(cls: ClassName) -> List[str]:
+        inherited = set()
+        for sup in schema.generalizations_of(cls):
+            if sup != cls:
+                inherited.update(schema.out_labels(sup))
+        return sorted(schema.out_labels(cls) - inherited)
+
+    def own_parents(cls: ClassName) -> List[str]:
+        return sorted(
+            str(sup)
+            for sub, sup in schema.spec_covers()
+            if sub == cls
+        )
+
+    for cls in sorted(schema.classes, key=sort_key):
+        stratum = stratified.stratum_of(cls)
+        if stratum == "domain":
+            continue
+        if stratum == "entity":
+            attributes = []
+            for label in own_labels(cls):
+                target = canonical_class(schema, cls, label)
+                attributes.append(ERAttribute(label, str(target)))
+            entities.append(
+                EREntity(str(cls), attributes=attributes, isa=own_parents(cls))
+            )
+        else:
+            # Relationships re-declare all their roles, even inherited
+            # ones — exactly as Figure 9 draws faculty/victim on both
+            # Advisor and Committee.
+            roles: Dict[str, str] = {}
+            attributes = []
+            for label in sorted(schema.out_labels(cls)):
+                target = canonical_class(schema, cls, label)
+                if stratified.stratum_of(target) == "entity":
+                    roles[label] = str(target)
+                else:
+                    attributes.append(ERAttribute(label, str(target)))
+            if not roles:
+                raise TranslationError(
+                    f"relationship {cls} has no role arrows; cannot "
+                    "translate back to ER"
+                )
+            relationships.append(
+                ERRelationship(
+                    str(cls),
+                    roles=roles,
+                    attributes=attributes,
+                    isa=own_parents(cls),
+                )
+            )
+    return ERDiagram(entities=entities, relationships=relationships)
+
+
+def merge_er(
+    *diagrams: ERDiagram, assertions: Iterable[Schema] = ()
+) -> ERDiagram:
+    """Merge ER diagrams via the general model (the section 7 pipeline).
+
+    Translate each diagram, merge the stratified schemas (checking that
+    strata are preserved — a mixed-stratum implicit class means the
+    diagrams had a structural conflict), and translate the result back.
+    """
+    stratified = [to_schema(d) for d in diagrams]
+    merged = merge_stratified(*stratified, assertions=assertions)
+    return from_schema(merged)

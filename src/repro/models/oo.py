@@ -1,0 +1,408 @@
+"""The object-oriented substrate model and its round-trip translation.
+
+Section 2 singles out two features "commonly found in object-oriented
+data models" that the general graph model captures directly: *higher
+order relations* (relationships between relationships — here, classes
+whose attributes reference arbitrary classes) and *complex data
+structures* ("such as circular definitions of entities and
+relationships").  Section 5 adds the identity story: "by relaxing this
+constraint, so that a class may have no key at all, we can capture
+models in which there is a notion of object identity."
+
+This module realises that object-oriented model:
+
+* an :class:`OOClass` has named, typed attributes and any number of
+  base classes (multiple inheritance is the ISA partial order);
+* attribute types are either other classes (references — circularity
+  and self-reference are legal) or *value types* (ints, strings, ...),
+  which are atomic: no attributes, no inheritance;
+* classes have **object identity** — no key constraints at all, which
+  is precisely the empty :class:`~repro.core.keys.KeyFamily`.
+
+The embedding into the general model is a two-stratum
+:class:`~repro.models.strata.Stratification` (objects and values), so
+the section 7 merge-by-translation pipeline — translate, merge in the
+general model, check strata preservation, translate back — comes for
+free from :func:`~repro.models.strata.merge_stratified`; implicit
+classes survive the round trip as classes whose names record their
+origin, and :func:`merge_oo` inherits associativity and commutativity
+from the underlying upper merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple, Union
+
+from repro.core.names import ClassName, name, sort_key
+from repro.core.proper import canonical_class
+from repro.core.schema import Schema
+from repro.exceptions import TranslationError
+from repro.models.strata import (
+    Stratification,
+    StratifiedSchema,
+    merge_stratified,
+)
+
+__all__ = [
+    "OOAttribute",
+    "OOClass",
+    "OODiagram",
+    "OO_STRATIFICATION",
+    "to_schema",
+    "from_schema",
+    "merge_oo",
+    "format_diagram",
+]
+
+NameLike = Union[ClassName, str]
+
+#: Two strata: object classes reference objects and values; value types
+#: are atomic (no outgoing arrows, no inheritance).
+OO_STRATIFICATION = Stratification(
+    name="object-oriented",
+    strata=("object", "value"),
+    arrow_rules=frozenset({("object", "object"), ("object", "value")}),
+    spec_rules=frozenset({("object", "object")}),
+)
+
+
+@dataclass(frozen=True)
+class OOAttribute:
+    """A named attribute with its type (a class or a value type)."""
+
+    name: str
+    type_name: str
+
+    def __post_init__(self):
+        if not self.name or not self.type_name:
+            raise TranslationError(
+                "attribute names and types must be non-empty"
+            )
+
+
+@dataclass(frozen=True)
+class OOClass:
+    """A class definition: attributes plus base classes.
+
+    ``bases`` may name several classes (multiple inheritance) and the
+    reference graph may be cyclic — ``Person.spouse: Person`` or
+    mutually recursive ``Order``/``Invoice`` definitions are fine, per
+    the paper's "circular definitions" remark.
+
+    Attributes and bases are stored sorted by name, so two class
+    definitions that differ only in declaration order compare equal —
+    declaration order carries no information in the model.
+    """
+
+    name: str
+    attributes: Tuple[OOAttribute, ...] = ()
+    bases: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[OOAttribute] = (),
+        bases: Iterable[str] = (),
+    ):
+        if not name:
+            raise TranslationError("class names must be non-empty")
+        attribute_tuple = tuple(
+            sorted(attributes, key=lambda a: getattr(a, "name", ""))
+        )
+        seen = set()
+        for attribute in attribute_tuple:
+            if not isinstance(attribute, OOAttribute):
+                raise TranslationError(
+                    f"attributes of {name} must be OOAttribute instances, "
+                    f"got {attribute!r}"
+                )
+            if attribute.name in seen:
+                raise TranslationError(
+                    f"class {name} declares attribute {attribute.name!r} "
+                    "twice"
+                )
+            seen.add(attribute.name)
+        base_tuple = tuple(sorted(bases))
+        if len(set(base_tuple)) != len(base_tuple):
+            raise TranslationError(
+                f"class {name} lists a base class twice"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attribute_tuple)
+        object.__setattr__(self, "bases", base_tuple)
+
+    def attribute_names(self) -> FrozenSet[str]:
+        """The names of this class's own (declared) attributes."""
+        return frozenset(a.name for a in self.attributes)
+
+
+def _strict_ancestors(
+    direct: Dict[str, Tuple[str, ...]]
+) -> Dict[str, FrozenSet[str]]:
+    """Strict ancestors per class, raising on an inheritance cycle."""
+    resolved: Dict[str, FrozenSet[str]] = {}
+    in_progress: set = set()
+
+    def visit(cls: str) -> FrozenSet[str]:
+        if cls in resolved:
+            return resolved[cls]
+        if cls in in_progress:
+            raise TranslationError(
+                f"inheritance cycle through class {cls!r}"
+            )
+        in_progress.add(cls)
+        collected: set = set()
+        for base in direct.get(cls, ()):
+            collected.add(base)
+            collected |= visit(base)
+        in_progress.discard(cls)
+        resolved[cls] = frozenset(collected)
+        return resolved[cls]
+
+    for cls in direct:
+        visit(cls)
+    return resolved
+
+
+def _reduce_bases(classes: Tuple[OOClass, ...]) -> Tuple[OOClass, ...]:
+    """Canonicalize every class's base list to inheritance covers."""
+    direct = {cls.name: cls.bases for cls in classes}
+    ancestors = _strict_ancestors(direct)
+    reduced = []
+    for cls in classes:
+        covers = tuple(
+            base
+            for base in cls.bases
+            if not any(
+                base in ancestors[other]
+                for other in cls.bases
+                if other != base
+            )
+        )
+        if covers == cls.bases:
+            reduced.append(cls)
+        else:
+            reduced.append(
+                OOClass(cls.name, attributes=cls.attributes, bases=covers)
+            )
+    return tuple(reduced)
+
+
+@dataclass(frozen=True)
+class OODiagram:
+    """A class diagram: a set of class definitions.
+
+    Attribute types that are not class names are inferred to be value
+    types, mirroring how ER diagrams write ``addr:place`` without
+    declaring ``place`` anywhere.  A name may not be both (a value type
+    is atomic).  Base classes must be classes of the diagram, and the
+    inheritance graph must be acyclic (ISA is the model's partial
+    order).
+
+    Base lists are canonicalized to the *covers* of the inheritance
+    order: declaring ``bases=("A", "B")`` when ``B`` already inherits
+    from ``A`` is the same diagram as declaring ``bases=("B",)`` — a
+    redundant base edge carries no information, exactly as the paper
+    omits specialization edges implied by transitivity.
+    """
+
+    classes: Tuple[OOClass, ...] = ()
+    value_types: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __init__(
+        self,
+        classes: Iterable[OOClass] = (),
+        value_types: Iterable[str] = (),
+    ):
+        class_tuple = tuple(classes)
+        class_names = set()
+        for cls in class_tuple:
+            if not isinstance(cls, OOClass):
+                raise TranslationError(
+                    f"diagram classes must be OOClass instances, got {cls!r}"
+                )
+            if cls.name in class_names:
+                raise TranslationError(
+                    f"diagram declares class {cls.name!r} twice"
+                )
+            class_names.add(cls.name)
+        declared_values = set(value_types)
+        overlap = declared_values & class_names
+        if overlap:
+            raise TranslationError(
+                f"{sorted(overlap)} declared both as class and value type"
+            )
+        inferred = set(declared_values)
+        for cls in class_tuple:
+            for base in cls.bases:
+                if base not in class_names:
+                    raise TranslationError(
+                        f"class {cls.name} inherits from unknown class "
+                        f"{base!r} (value types cannot be inherited from)"
+                    )
+            for attribute in cls.attributes:
+                if attribute.type_name not in class_names:
+                    inferred.add(attribute.type_name)
+        class_tuple = _reduce_bases(class_tuple)
+        object.__setattr__(self, "classes", class_tuple)
+        object.__setattr__(self, "value_types", frozenset(inferred))
+
+    def class_names(self) -> FrozenSet[str]:
+        """The names of every class in the diagram."""
+        return frozenset(cls.name for cls in self.classes)
+
+    def get_class(self, class_name: str) -> OOClass:
+        """Look a class definition up by name."""
+        for cls in self.classes:
+            if cls.name == class_name:
+                return cls
+        raise TranslationError(f"no class named {class_name!r}")
+
+    def all_attributes(self, class_name: str) -> Dict[str, str]:
+        """Own *and inherited* attributes of a class, as ``name -> type``.
+
+        Subclass declarations win over base declarations with the same
+        attribute name (the usual override rule); among multiple bases,
+        lexicographically earlier base names win, which keeps the result
+        deterministic.
+        """
+        cls = self.get_class(class_name)
+        collected: Dict[str, str] = {}
+        for base in sorted(cls.bases, reverse=True):
+            collected.update(self.all_attributes(base))
+        for attribute in cls.attributes:
+            collected[attribute.name] = attribute.type_name
+        return collected
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OODiagram):
+            return NotImplemented
+        return (
+            frozenset(self.classes) == frozenset(other.classes)
+            and self.value_types == other.value_types
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.classes), self.value_types))
+
+    def __repr__(self) -> str:
+        return (
+            f"OODiagram({len(self.classes)} class(es), "
+            f"{len(self.value_types)} value type(s))"
+        )
+
+
+def to_schema(diagram: OODiagram) -> StratifiedSchema:
+    """Translate a class diagram into a stratified general-model schema.
+
+    Every class and value type becomes a class of the schema; each
+    declared attribute becomes an arrow; each base-class declaration
+    becomes a specialization edge.  Attribute inheritance is *not*
+    encoded explicitly — the W1 closure of the general model derives it,
+    which is exactly the paper's reading of ISA.
+    """
+    arrows: List[Tuple[str, str, str]] = []
+    spec: List[Tuple[str, str]] = []
+    assignment: Dict[str, str] = {}
+    for value_type in diagram.value_types:
+        assignment[value_type] = "value"
+    for cls in diagram.classes:
+        assignment[cls.name] = "object"
+        for attribute in cls.attributes:
+            arrows.append((cls.name, attribute.name, attribute.type_name))
+        for base in cls.bases:
+            spec.append((cls.name, base))
+    schema = Schema.build(classes=list(assignment), arrows=arrows, spec=spec)
+    named_assignment = {name(cls): s for cls, s in assignment.items()}
+    return StratifiedSchema(schema, OO_STRATIFICATION, named_assignment)
+
+
+def from_schema(stratified: StratifiedSchema) -> OODiagram:
+    """Translate a stratified schema back into a class diagram.
+
+    Each object class keeps only its *own* attributes (an arrow is
+    inherited when some strict generalization carries the same label)
+    at their canonical types, and its base classes are the cover edges
+    of the specialization order — undoing exactly what the W1/W2 and
+    transitive closures added.  Implicit classes become ordinary
+    classes whose printed names record their origin.
+    """
+    if stratified.policy != OO_STRATIFICATION:
+        raise TranslationError(
+            f"expected an OO-stratified schema, got {stratified.policy.name}"
+        )
+    schema = stratified.schema
+    classes: List[OOClass] = []
+    for cls in sorted(schema.classes, key=sort_key):
+        if stratified.stratum_of(cls) != "object":
+            continue
+        # A label is inherited only when some strict generalization
+        # already gives it the *same* canonical type; a class whose
+        # canonical type strictly refines its parents' (the Figure 3
+        # implicit-class pattern) re-declares the attribute.
+        inherited = set()
+        for sup in schema.generalizations_of(cls):
+            if sup != cls:
+                for label in schema.out_labels(sup):
+                    inherited.add(
+                        (label, canonical_class(schema, sup, label))
+                    )
+        attributes = []
+        for label in sorted(schema.out_labels(cls)):
+            target = canonical_class(schema, cls, label)
+            if (label, target) in inherited:
+                continue
+            attributes.append(OOAttribute(label, str(target)))
+        bases = sorted(
+            str(sup) for sub, sup in schema.spec_covers() if sub == cls
+        )
+        classes.append(OOClass(str(cls), attributes=attributes, bases=bases))
+    value_types = {
+        str(cls)
+        for cls in schema.classes
+        if stratified.stratum_of(cls) == "value"
+    }
+    return OODiagram(classes=classes, value_types=value_types)
+
+
+def format_diagram(diagram: OODiagram, title: str = "") -> str:
+    """Render a class diagram as deterministic, diff-friendly text.
+
+    One block per class (sorted by name), base classes in parentheses,
+    one ``name: type`` line per declared attribute, and a trailing
+    value-type summary — the shape the examples and the CLI print.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for cls in sorted(diagram.classes, key=lambda c: c.name):
+        bases = f" ({', '.join(cls.bases)})" if cls.bases else ""
+        lines.append(f"class {cls.name}{bases}:")
+        if not cls.attributes:
+            lines.append("  (no declared attributes)")
+        for attribute in cls.attributes:
+            lines.append(f"  {attribute.name}: {attribute.type_name}")
+    if diagram.value_types:
+        lines.append(
+            "value types: " + ", ".join(sorted(diagram.value_types))
+        )
+    return "\n".join(lines)
+
+
+def merge_oo(
+    *diagrams: OODiagram, assertions: Iterable[Schema] = ()
+) -> OODiagram:
+    """Merge class diagrams via the general model (the section 7 pipeline).
+
+    Translate each diagram, merge the stratified schemas — a
+    :class:`~repro.exceptions.TranslationError` here means the diagrams
+    had a structural conflict, e.g. a value type in one is a class in
+    another — and translate the result back.  Inherits associativity
+    and commutativity from the underlying upper merge, so diagrams and
+    inter-diagram assertions can be combined in any order.
+    """
+    stratified = [to_schema(d) for d in diagrams]
+    merged = merge_stratified(*stratified, assertions=assertions)
+    return from_schema(merged)

@@ -1,0 +1,230 @@
+"""The first-normal-form relational substrate model (section 2).
+
+Section 2: "for a relational instance, we stratify N into two classes
+NR and NA (relations and attribute domains), disallow specialization
+edges, and restrict arrows to run labelled with the name of the
+attribute from NR to NA (first normal form)."  This module provides
+that restricted model as first-class objects —
+:class:`RelationSchema` / :class:`RelationalDatabase` — with the
+round-trip translation into the general model and the merge-by-
+translation pipeline.
+
+Because relational schemas have no specialization, their merges never
+create implicit classes: merging is pure union of relations with union
+of attribute sets for same-named relations (the ``Dog`` example of
+section 3), and key families combine pointwise.  Both facts are
+verified by the test suite rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from repro.core.keys import KeyFamily, KeyedSchema, merge_keyed
+from repro.core.names import ClassName, name, sort_key
+from repro.core.proper import canonical_class
+from repro.core.schema import Schema
+from repro.exceptions import TranslationError
+from repro.models.strata import (
+    RELATIONAL_STRATIFICATION,
+    StratifiedSchema,
+    merge_stratified,
+)
+
+__all__ = [
+    "RelationSchema",
+    "RelationalDatabase",
+    "to_schema",
+    "to_keyed_schema",
+    "from_schema",
+    "merge_relational",
+]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """One relation: a name, typed attributes and optional keys."""
+
+    name: str
+    attributes: Tuple[Tuple[str, str], ...]
+    keys: Tuple[FrozenSet[str], ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Mapping[str, str],
+        keys: Iterable[Iterable[str]] = (),
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(
+            self, "attributes", tuple(sorted(dict(attributes).items()))
+        )
+        object.__setattr__(self, "keys", tuple(frozenset(k) for k in keys))
+        if not name:
+            raise TranslationError("relation names must be non-empty")
+        if not self.attributes:
+            raise TranslationError(
+                f"relation {name} needs at least one attribute"
+            )
+        attribute_names = {a for a, _d in self.attributes}
+        for key in self.keys:
+            missing = key - attribute_names
+            if missing:
+                raise TranslationError(
+                    f"relation {name}: key {sorted(key)} uses unknown "
+                    f"attribute(s) {sorted(missing)}"
+                )
+
+    def attribute_map(self) -> Dict[str, str]:
+        """Attributes as a plain ``{attribute: domain}`` dict."""
+        return dict(self.attributes)
+
+    def attribute_names(self) -> FrozenSet[str]:
+        """The set of attribute names."""
+        return frozenset(a for a, _d in self.attributes)
+
+
+class RelationalDatabase:
+    """A set of relation schemas — a first-normal-form database schema."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        table: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in table:
+                raise TranslationError(
+                    f"duplicate relation {relation.name!r}"
+                )
+            table[relation.name] = relation
+        object.__setattr__(self, "_relations", table)
+
+    @property
+    def relations(self) -> Tuple[RelationSchema, ...]:
+        """Relations in name order."""
+        return tuple(self._relations[k] for k in sorted(self._relations))
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("RelationalDatabase is immutable")
+
+    def relation(self, relation_name: str) -> RelationSchema:
+        """Look up a relation by name."""
+        try:
+            return self._relations[relation_name]
+        except KeyError:
+            raise TranslationError(
+                f"no relation named {relation_name!r}"
+            ) from None
+
+    def domains(self) -> FrozenSet[str]:
+        """Every attribute domain mentioned in the database."""
+        return frozenset(
+            domain
+            for relation in self._relations.values()
+            for _a, domain in relation.attributes
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RelationalDatabase):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:
+        return f"RelationalDatabase({len(self._relations)} relation(s))"
+
+
+def to_schema(database: RelationalDatabase) -> StratifiedSchema:
+    """Translate a relational database into a stratified schema."""
+    arrows: List[Tuple[str, str, str]] = []
+    assignment: Dict[ClassName, str] = {}
+    for domain in database.domains():
+        assignment[name(domain)] = "domain"
+    for relation in database.relations:
+        assignment[name(relation.name)] = "relation"
+        for attribute, domain in relation.attributes:
+            arrows.append((relation.name, attribute, domain))
+    schema = Schema.build(classes=list(assignment), arrows=arrows)
+    return StratifiedSchema(schema, RELATIONAL_STRATIFICATION, assignment)
+
+
+def to_keyed_schema(database: RelationalDatabase) -> KeyedSchema:
+    """Translate with declared key families attached."""
+    stratified = to_schema(database)
+    keys = {
+        relation.name: KeyFamily(relation.keys)
+        for relation in database.relations
+        if relation.keys
+    }
+    return KeyedSchema(stratified.schema, keys, check_spec_monotone=False)
+
+
+def from_schema(stratified: StratifiedSchema) -> RelationalDatabase:
+    """Translate a relational-stratified schema back to relations."""
+    if stratified.policy != RELATIONAL_STRATIFICATION:
+        raise TranslationError(
+            "expected a relational-stratified schema, got "
+            f"{stratified.policy.name}"
+        )
+    schema = stratified.schema
+    relations: List[RelationSchema] = []
+    for cls in sorted(stratified.classes_in("relation"), key=sort_key):
+        attributes = {}
+        for label in sorted(schema.out_labels(cls)):
+            attributes[label] = str(canonical_class(schema, cls, label))
+        relations.append(RelationSchema(str(cls), attributes))
+    return RelationalDatabase(relations)
+
+
+def merge_relational(
+    *databases: RelationalDatabase,
+) -> RelationalDatabase:
+    """Merge relational databases via the general model.
+
+    Same-named relations collapse into one relation with the union of
+    their attributes — the section 3 ``Dog`` example.  Attribute-domain
+    conflicts (one schema types ``age`` as ``int``, another as
+    ``string``) surface as distinct arrows from the same relation; with
+    no specialization available the reach set has no least element and
+    the merged schema cannot be made relational again, so a
+    :class:`~repro.exceptions.TranslationError` is raised, naming the
+    conflict — the paper's "the user must re-assess" outcome.
+    """
+    typings: Dict[Tuple[str, str], str] = {}
+    for database in databases:
+        for relation in database.relations:
+            for attribute, domain in relation.attributes:
+                existing = typings.get((relation.name, attribute))
+                if existing is not None and existing != domain:
+                    raise TranslationError(
+                        f"attribute {attribute!r} of relation "
+                        f"{relation.name} is typed differently across "
+                        f"inputs ({existing} vs {domain}); rename one of "
+                        "the attributes and re-merge"
+                    )
+                typings[(relation.name, attribute)] = domain
+    stratified = [to_schema(d) for d in databases]
+    merged = merge_stratified(*stratified)
+    return from_schema(merged)
+
+
+def merge_relational_keyed(
+    *databases: RelationalDatabase,
+) -> Tuple[RelationalDatabase, Dict[str, KeyFamily]]:
+    """Merge with keys: returns the merged database and its key table.
+
+    The key table is the unique minimal satisfactory assignment of
+    section 5 restricted to relations (domains never carry keys).
+    """
+    merged = merge_relational(*databases)
+    keyed_inputs = [to_keyed_schema(d) for d in databases]
+    keyed_merge = merge_keyed(*(k for k in keyed_inputs))
+    table: Dict[str, KeyFamily] = {}
+    for relation in merged.relations:
+        family = keyed_merge.keys_of(relation.name)
+        if not family.is_empty():
+            table[relation.name] = family
+    return merged, table

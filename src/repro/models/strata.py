@@ -1,0 +1,284 @@
+"""Stratification: how restricted data models embed in the general one.
+
+Section 2 explains that the relational and ER models are obtained from
+the general model by *stratifying* the class set — assigning each class
+to a stratum (relations vs. attribute domains; entities vs.
+relationships vs. domains) and restricting which strata arrows and
+specializations may connect.  Section 7 then claims the crucial
+preservation theorem: the merge "preserves strata", so one can merge
+schemas of a restricted model by translating into the general model,
+merging there, and translating back.
+
+This module makes that machinery first-class:
+
+* :class:`Stratification` — a named policy: the strata, which
+  ``(source, target)`` stratum pairs arrows may connect (per label
+  family), and which pairs specializations may connect;
+* :class:`StratifiedSchema` — a schema plus a total stratum assignment,
+  validated against a policy;
+* :func:`merge_stratified` — merge the underlying schemas and re-derive
+  the assignment, *checking* the preservation theorem on the way:
+  every implicit class must sit unambiguously inside one stratum
+  (its members all share it), otherwise the inputs had a structural
+  conflict and a :class:`~repro.exceptions.TranslationError` is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
+
+from repro.core.implicit import is_implicit
+from repro.core.merge import upper_merge
+from repro.core.names import ClassName, GenName, ImplicitName, name, sort_key
+from repro.core.schema import Schema
+from repro.exceptions import TranslationError
+
+__all__ = [
+    "Stratification",
+    "StratifiedSchema",
+    "merge_stratified",
+    "RELATIONAL_STRATIFICATION",
+    "ER_STRATIFICATION",
+]
+
+NameLike = Union[ClassName, str]
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """A stratification policy for a restricted data model.
+
+    ``arrow_rules`` lists the allowed ``(source_stratum, target_stratum)``
+    pairs for arrow edges; ``spec_rules`` does the same for
+    specialization edges (reflexive pairs are always allowed and need
+    not be listed).
+    """
+
+    name: str
+    strata: Tuple[str, ...]
+    arrow_rules: FrozenSet[Tuple[str, str]]
+    spec_rules: FrozenSet[Tuple[str, str]]
+
+    def __post_init__(self):
+        known = set(self.strata)
+        for rule_set, kind in (
+            (self.arrow_rules, "arrow"),
+            (self.spec_rules, "spec"),
+        ):
+            for source, target in rule_set:
+                if source not in known or target not in known:
+                    raise TranslationError(
+                        f"{self.name}: {kind} rule ({source}, {target}) "
+                        "mentions an unknown stratum"
+                    )
+
+    def allows_arrow(self, source: str, target: str) -> bool:
+        """May an arrow run from *source* stratum to *target* stratum?"""
+        return (source, target) in self.arrow_rules
+
+    def allows_spec(self, sub: str, sup: str) -> bool:
+        """May a specialization run from *sub* stratum to *sup* stratum?"""
+        return (sub, sup) in self.spec_rules
+
+
+#: First normal form, section 2: two strata, arrows only from relations
+#: to attribute domains, no specialization at all.
+RELATIONAL_STRATIFICATION = Stratification(
+    name="relational",
+    strata=("relation", "domain"),
+    arrow_rules=frozenset({("relation", "domain")}),
+    spec_rules=frozenset(),
+)
+
+#: The ER model, section 2: attribute domains, entities and
+#: relationships; relationships point at entities (roles) and domains
+#: (attributes), entities point at domains; ISA within entities and —
+#: Figure 9 — within relationships.
+ER_STRATIFICATION = Stratification(
+    name="entity-relationship",
+    strata=("domain", "entity", "relationship"),
+    arrow_rules=frozenset(
+        {
+            ("entity", "domain"),
+            ("relationship", "entity"),
+            ("relationship", "domain"),
+        }
+    ),
+    spec_rules=frozenset(
+        {("entity", "entity"), ("relationship", "relationship")}
+    ),
+)
+
+
+class StratifiedSchema:
+    """A schema with a total, policy-conforming stratum assignment."""
+
+    __slots__ = ("_schema", "_policy", "_assignment")
+
+    def __init__(
+        self,
+        schema: Schema,
+        policy: Stratification,
+        assignment: Mapping[NameLike, str],
+    ):
+        table: Dict[ClassName, str] = {
+            name(cls): stratum for cls, stratum in assignment.items()
+        }
+        known = set(policy.strata)
+        for cls in schema.classes:
+            stratum = table.get(cls)
+            if stratum is None:
+                raise TranslationError(
+                    f"{policy.name}: class {cls} has no stratum"
+                )
+            if stratum not in known:
+                raise TranslationError(
+                    f"{policy.name}: class {cls} assigned unknown stratum "
+                    f"{stratum!r}"
+                )
+        for extra in set(table) - schema.classes:
+            raise TranslationError(
+                f"{policy.name}: assignment mentions unknown class {extra}"
+            )
+        for source, label, target in schema.arrows:
+            if not policy.allows_arrow(table[source], table[target]):
+                raise TranslationError(
+                    f"{policy.name}: arrow {source} --{label}--> {target} "
+                    f"connects {table[source]} to {table[target]}, which "
+                    "the stratification forbids"
+                )
+        for sub, sup in schema.strict_spec():
+            if not policy.allows_spec(table[sub], table[sup]):
+                raise TranslationError(
+                    f"{policy.name}: specialization {sub} ==> {sup} "
+                    f"connects {table[sub]} to {table[sup]}, which the "
+                    "stratification forbids"
+                )
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_policy", policy)
+        object.__setattr__(self, "_assignment", table)
+
+    @property
+    def schema(self) -> Schema:
+        """The underlying general-model schema."""
+        return self._schema
+
+    @property
+    def policy(self) -> Stratification:
+        """The stratification policy this schema conforms to."""
+        return self._policy
+
+    def __setattr__(self, key, val):  # pragma: no cover - immutability guard
+        raise AttributeError("StratifiedSchema is immutable")
+
+    def stratum_of(self, cls: NameLike) -> str:
+        """The stratum of class *cls*."""
+        return self._assignment[name(cls)]
+
+    def classes_in(self, stratum: str) -> FrozenSet[ClassName]:
+        """All classes assigned to *stratum*."""
+        return frozenset(
+            cls for cls, s in self._assignment.items() if s == stratum
+        )
+
+    def assignment(self) -> Dict[ClassName, str]:
+        """A copy of the full stratum assignment."""
+        return dict(self._assignment)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, StratifiedSchema):
+            return NotImplemented
+        return (
+            self._schema == other._schema
+            and self._policy == other._policy
+            and self._assignment == other._assignment
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._schema,
+                self._policy.name,
+                frozenset(self._assignment.items()),
+            )
+        )
+
+    def __repr__(self) -> str:
+        counts = {
+            stratum: len(self.classes_in(stratum))
+            for stratum in self._policy.strata
+        }
+        pretty = ", ".join(f"{k}={v}" for k, v in counts.items())
+        return f"StratifiedSchema({self._policy.name}; {pretty})"
+
+
+def _stratum_for_implicit(
+    cls: ClassName,
+    assignment: Mapping[ClassName, str],
+    policy: Stratification,
+) -> str:
+    """The stratum of an implicit class: the unanimous stratum of its members."""
+    members = cls.members if isinstance(cls, (ImplicitName, GenName)) else ()
+    strata = set()
+    for member in members:
+        if member in assignment:
+            strata.add(assignment[member])
+        else:
+            strata.add(_stratum_for_implicit(member, assignment, policy))
+    if len(strata) != 1:
+        raise TranslationError(
+            f"{policy.name}: implicit class {cls} mixes strata "
+            f"{sorted(strata)}; the inputs have a structural conflict "
+            "(e.g. an attribute in one schema is an entity in another)"
+        )
+    return next(iter(strata))
+
+
+def merge_stratified(
+    *inputs: StratifiedSchema,
+    assertions: Iterable[Schema] = (),
+) -> StratifiedSchema:
+    """Merge within a restricted model: the section 7 round trip.
+
+    All inputs must share one policy.  The underlying schemas are
+    merged with the ordinary upper merge; classes shared between inputs
+    must agree on their stratum; implicit classes inherit the unanimous
+    stratum of their members.  The preservation theorem then shows the
+    result again conforms to the policy — which the
+    :class:`StratifiedSchema` constructor independently re-checks, so a
+    violation would surface as an exception rather than silent damage.
+    """
+    if not inputs:
+        raise TranslationError("merge_stratified needs at least one input")
+    policy = inputs[0].policy
+    for other in inputs[1:]:
+        if other.policy != policy:
+            raise TranslationError(
+                f"cannot merge across stratifications {policy.name!r} and "
+                f"{other.policy.name!r}"
+            )
+    combined: Dict[ClassName, str] = {}
+    for stratified in inputs:
+        for cls, stratum in stratified.assignment().items():
+            existing = combined.get(cls)
+            if existing is not None and existing != stratum:
+                raise TranslationError(
+                    f"{policy.name}: class {cls} is a {existing} in one "
+                    f"schema and a {stratum} in another — rename one of "
+                    "them before merging (structural conflict)"
+                )
+            combined[cls] = stratum
+    merged = upper_merge(*(s.schema for s in inputs), assertions=assertions)
+    for cls in sorted(merged.classes, key=sort_key):
+        if cls not in combined:
+            if not is_implicit(cls):
+                raise TranslationError(
+                    f"{policy.name}: merged class {cls} (from an assertion) "
+                    "has no stratum; stratify assertion classes explicitly"
+                )
+            combined[cls] = _stratum_for_implicit(cls, combined, policy)
+    assignment = {
+        cls: stratum for cls, stratum in combined.items() if cls in merged.classes
+    }
+    return StratifiedSchema(merged, policy, assignment)

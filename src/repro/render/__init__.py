@@ -1,0 +1,1 @@
+"""Deterministic renderers: ASCII text and Graphviz DOT."""

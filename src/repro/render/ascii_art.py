@@ -1,0 +1,171 @@
+"""Deterministic text rendering of schemas and merge reports.
+
+The paper's prototype shipped "a graphical interface ... for creating
+and displaying schema graphs"; in a terminal-first reproduction the
+equivalent affordance is a stable, diffable text layout.  Everything
+here is deterministic — classes in canonical name order, arrows sorted
+— so renderings can be asserted in tests and compared across runs.
+
+The layout mirrors the paper's figure conventions: ``-->`` for arrow
+(attribute) edges with their labels, ``==>`` for specialization edges,
+and only Hasse covers of the specialization order are shown (the
+figures "omit double arrows implied by transitivity and reflexivity").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.keys import KeyedSchema
+from repro.core.lower import AnnotatedSchema
+from repro.core.merge import MergeReport
+from repro.core.names import sort_key
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+
+__all__ = [
+    "render_schema",
+    "render_keyed",
+    "render_annotated",
+    "render_report",
+    "render_instance",
+]
+
+
+def render_schema(schema: Schema, title: str = "") -> str:
+    """A stable multi-line description of a schema.
+
+    Only non-inherited, canonical-free arrows are *not* filtered — the
+    full closed relation is informative for debugging, but to stay
+    close to the figures we print each class's arrows once, and the
+    specialization section prints only covers.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if schema.is_empty():
+        lines.append("(empty schema)")
+        return "\n".join(lines)
+    lines.append(f"classes ({len(schema.classes)}):")
+    for cls in schema.sorted_classes():
+        lines.append(f"  {cls}")
+    covers = sorted(
+        schema.spec_covers(),
+        key=lambda edge: (sort_key(edge[0]), sort_key(edge[1])),
+    )
+    if covers:
+        lines.append(f"specializations ({len(covers)} cover(s)):")
+        for sub, sup in covers:
+            lines.append(f"  {sub} ==> {sup}")
+    arrows = schema.sorted_arrows()
+    if arrows:
+        lines.append(f"arrows ({len(arrows)}, closed):")
+        for source, label, target in arrows:
+            lines.append(f"  {source} --{label}--> {target}")
+    return "\n".join(lines)
+
+
+def render_keyed(keyed: KeyedSchema, title: str = "") -> str:
+    """Render a keyed schema: the schema plus its key table."""
+    lines = [render_schema(keyed.schema, title)]
+    declared = sorted(keyed.declared_classes(), key=sort_key)
+    if declared:
+        lines.append(f"keys ({len(declared)} keyed class(es)):")
+        for cls in declared:
+            families = ", ".join(
+                "{" + ", ".join(sorted(key)) + "}"
+                for key in keyed.keys_of(cls)
+            )
+            lines.append(f"  {cls}: {families}")
+    return "\n".join(lines)
+
+
+def render_annotated(schema: AnnotatedSchema, title: str = "") -> str:
+    """Render an annotated schema with participation marks.
+
+    Required arrows print as ``--label-->`` and optional arrows as
+    ``--label?-->``, following the paper's convention that constraint-0
+    arrows are simply not drawn.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"classes ({len(schema.classes)}):")
+    for cls in sorted(schema.classes, key=sort_key):
+        lines.append(f"  {cls}")
+    strict = sorted(
+        ((a, b) for a, b in schema.spec if a != b),
+        key=lambda edge: (sort_key(edge[0]), sort_key(edge[1])),
+    )
+    if strict:
+        lines.append(f"specializations ({len(strict)}):")
+        for sub, sup in strict:
+            lines.append(f"  {sub} ==> {sup}")
+    table = schema.participation_table()
+    if table:
+        lines.append(f"arrows ({len(table)}):")
+        for (source, label, target) in sorted(
+            table, key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2]))
+        ):
+            mark = "?" if table[(source, label, target)] == Participation.OPTIONAL else ""
+            lines.append(f"  {source} --{label}{mark}--> {target}")
+    return "\n".join(lines)
+
+
+def render_instance(instance, title: str = "") -> str:
+    """A stable multi-line description of a database instance.
+
+    Extents come first (classes in canonical order, members sorted by
+    repr), then one ``oid.label = value`` line per valuation entry —
+    the level of detail the fusion examples need when inspecting which
+    objects were identified.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if not instance.oids:
+        lines.append("(empty instance)")
+        return "\n".join(lines)
+    lines.append(f"objects ({len(instance.oids)}):")
+    populated = {
+        cls: members
+        for cls, members in instance.extents().items()
+        if members
+    }
+    for cls in sorted(populated, key=sort_key):
+        members = ", ".join(
+            repr(oid) for oid in sorted(populated[cls], key=repr)
+        )
+        lines.append(f"  {cls} ({len(populated[cls])}): {members}")
+    values = instance.values()
+    if values:
+        lines.append(f"attribute values ({len(values)}):")
+        for (oid, label), target in sorted(
+            values.items(), key=lambda kv: (repr(kv[0][0]), kv[0][1])
+        ):
+            lines.append(f"  {oid!r}.{label} = {target!r}")
+    return "\n".join(lines)
+
+
+def render_report(report: MergeReport) -> str:
+    """Render a full merge report: inputs, weak merge, result, implicits."""
+    sections: List[str] = []
+    for index, schema in enumerate(report.inputs, start=1):
+        sections.append(render_schema(schema, f"input {index}"))
+    if report.assertions:
+        sections.append(
+            f"assertions: {len(report.assertions)} elementary schema(s)"
+        )
+    sections.append(render_schema(report.weak, "weak merge (LUB)"))
+    if report.implicit_members:
+        pretty = "; ".join(
+            "{" + ", ".join(sorted(str(m) for m in members)) + "}"
+            for members in report.implicit_members
+        )
+        sections.append(f"implicit classes introduced below: {pretty}")
+    sections.append(render_schema(report.merged, "merged schema (proper)"))
+    sections.append(report.summary())
+    return "\n\n".join(sections)

@@ -1,0 +1,1 @@
+"""Designer-facing tooling: conflict detection, renaming, CLI."""

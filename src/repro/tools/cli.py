@@ -1,0 +1,441 @@
+"""The command-line merge tool — the reproduction's "prototype".
+
+The paper reports "a prototype implementation, together with a
+graphical interface, has been developed"; this CLI exposes the same
+workflow over JSON schema files and deterministic text/DOT rendering:
+
+.. code-block:: console
+
+    schema-merge show g1.json                      # render a schema
+    schema-merge check g1.json g2.json             # pre-merge conflicts
+    schema-merge merge g1.json g2.json -o out.json # upper merge
+    schema-merge merge --isa Puppy:Dog g1.json g2.json
+    schema-merge lower g1.json g2.json             # lower merge
+    schema-merge diff g1.json g2.json              # structural diff
+    schema-merge dot merged.json                   # Graphviz output
+    schema-merge correspond g1.json g2.json        # §5 key analysis
+    schema-merge oo-merge lib1.json lib2.json      # merge class diagrams
+    schema-merge fuse --source g1.json:i1.json \
+                      --source g2.json:i2.json \
+                      --value-class SSN            # §5 entity resolution
+
+Exit codes: 0 success, 1 merge failure (incompatible/inconsistent), 2
+bad input.  All subcommands read/write the JSON dialect of
+:mod:`repro.io.json_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.assertions import isa
+from repro.core.diff import diff
+from repro.core.keys import KeyedSchema
+from repro.core.lower import AnnotatedSchema, lower_merge, lower_properize
+from repro.core.merge import merge_report
+from repro.core.schema import Schema
+from repro.exceptions import SchemaError
+from repro.io import json_io, text_format
+from repro.render.ascii_art import (
+    render_annotated,
+    render_keyed,
+    render_report,
+    render_schema,
+)
+from repro.render.dot import annotated_to_dot, schema_to_dot
+from repro.tools.conflicts import conflict_report
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_artifact(path: str):
+    """Load a schema file in either dialect (JSON or the text format).
+
+    JSON documents are recognised by their leading ``{``; everything
+    else goes through :mod:`repro.io.text_format`.
+    """
+    text = Path(path).read_text()
+    if text.lstrip().startswith("{"):
+        return json_io.loads(text)
+    return text_format.parse(text)
+
+
+def _load_schema(path: str) -> Schema:
+    artifact = _load_artifact(path)
+    if isinstance(artifact, Schema):
+        return artifact
+    if isinstance(artifact, KeyedSchema):
+        return artifact.schema
+    if isinstance(artifact, AnnotatedSchema):
+        # Accept annotated files where plain schemas are expected by
+        # taking their required-arrow projection.
+        return artifact.required_schema()
+    raise SchemaError(
+        f"{path}: expected a schema document, got "
+        f"{type(artifact).__name__}"
+    )
+
+
+def _load_annotated(path: str) -> AnnotatedSchema:
+    artifact = _load_artifact(path)
+    if isinstance(artifact, AnnotatedSchema):
+        return artifact
+    if isinstance(artifact, Schema):
+        return AnnotatedSchema.from_schema(artifact)
+    raise SchemaError(
+        f"{path}: expected a schema document, got "
+        f"{type(artifact).__name__}"
+    )
+
+
+def _parse_assertions(entries: Optional[Sequence[str]]) -> List[Schema]:
+    assertions: List[Schema] = []
+    for entry in entries or []:
+        if ":" not in entry:
+            raise SchemaError(
+                f"assertions take the form SUB:SUPER, got {entry!r}"
+            )
+        sub, sup = entry.split(":", 1)
+        assertions.append(isa(sub.strip(), sup.strip()))
+    return assertions
+
+
+def _write_or_print(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text + "\n")
+    else:
+        print(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="schema-merge",
+        description=(
+            "Order-independent schema merging "
+            "(Buneman/Davidson/Kosky, EDBT 1992)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show = commands.add_parser("show", help="render a schema as text")
+    show.add_argument("schema", help="JSON schema file")
+
+    check = commands.add_parser(
+        "check", help="pre-merge conflict report (homonyms, synonyms, cycles)"
+    )
+    check.add_argument("schemas", nargs="+", help="JSON schema files")
+
+    merge = commands.add_parser(
+        "merge", help="upper merge (least upper bound + implicit classes)"
+    )
+    merge.add_argument("schemas", nargs="+", help="JSON schema files")
+    merge.add_argument(
+        "--isa",
+        action="append",
+        metavar="SUB:SUPER",
+        help="assert SUB ==> SUPER (repeatable; order never matters)",
+    )
+    merge.add_argument("-o", "--output", help="write merged schema JSON here")
+    merge.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the full merge report instead of the result schema",
+    )
+
+    lower = commands.add_parser(
+        "lower", help="lower merge (greatest lower bound, federated views)"
+    )
+    lower.add_argument("schemas", nargs="+", help="JSON schema files")
+    lower.add_argument("-o", "--output", help="write merged schema JSON here")
+    lower.add_argument(
+        "--import-spec",
+        action="store_true",
+        help="import foreign specialization edges during class completion",
+    )
+
+    diff_cmd = commands.add_parser("diff", help="structural diff")
+    diff_cmd.add_argument("left", help="JSON schema file")
+    diff_cmd.add_argument("right", help="JSON schema file")
+
+    dot = commands.add_parser("dot", help="emit Graphviz DOT")
+    dot.add_argument("schema", help="JSON schema file")
+    dot.add_argument("-o", "--output", help="write DOT here")
+
+    convert = commands.add_parser(
+        "convert", help="convert between the JSON and text dialects"
+    )
+    convert.add_argument("schema", help="schema file (either dialect)")
+    convert.add_argument(
+        "--to",
+        choices=["json", "text"],
+        required=True,
+        help="output dialect",
+    )
+    convert.add_argument("-o", "--output", help="write result here")
+
+    correspond = commands.add_parser(
+        "correspond",
+        help=(
+            "how merged keys identify objects across databases "
+            "(agreed / imposed / undeterminable, section 5)"
+        ),
+    )
+    correspond.add_argument(
+        "schemas", nargs="+", help="JSON keyed-schema files"
+    )
+    correspond.add_argument(
+        "--isa",
+        action="append",
+        metavar="SUB:SUPER",
+        help="assert SUB ==> SUPER before analysing (repeatable)",
+    )
+
+    oo_merge = commands.add_parser(
+        "oo-merge",
+        help="merge object-oriented class diagrams (translate-merge-back)",
+    )
+    oo_merge.add_argument(
+        "diagrams", nargs="+", help="JSON class-diagram files (repro.oo/1)"
+    )
+    oo_merge.add_argument(
+        "-o", "--output", help="write the merged diagram JSON here"
+    )
+
+    fuse_cmd = commands.add_parser(
+        "fuse",
+        help=(
+            "merge keyed schemas and fuse their instances by key-based "
+            "object identity (section 5)"
+        ),
+    )
+    fuse_cmd.add_argument(
+        "--source",
+        action="append",
+        required=True,
+        metavar="SCHEMA.json:INSTANCE.json",
+        help="a keyed-schema file and its instance file (repeatable)",
+    )
+    fuse_cmd.add_argument(
+        "--value-class",
+        action="append",
+        metavar="CLASS",
+        help=(
+            "class whose extent holds shared atomic values (repeatable); "
+            "everything else is disjointified per source"
+        ),
+    )
+    fuse_cmd.add_argument(
+        "--isa",
+        action="append",
+        metavar="SUB:SUPER",
+        help="assert SUB ==> SUPER before merging (repeatable)",
+    )
+    fuse_cmd.add_argument(
+        "-o", "--output", help="write the fused instance JSON here"
+    )
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except SchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "convert":
+        artifact = _load_artifact(args.schema)
+        if args.to == "json":
+            text = json_io.dumps(artifact)
+        elif isinstance(artifact, AnnotatedSchema):
+            text = text_format.format_annotated(artifact).rstrip("\n")
+        elif isinstance(artifact, KeyedSchema):
+            text = text_format.format_keyed(artifact).rstrip("\n")
+        elif isinstance(artifact, Schema):
+            text = text_format.format_schema(artifact).rstrip("\n")
+        else:
+            raise SchemaError(
+                f"{args.schema}: cannot write "
+                f"{type(artifact).__name__} in the text dialect"
+            )
+        _write_or_print(text, args.output)
+        return 0
+
+    if args.command == "show":
+        from repro.instances.instance import Instance
+        from repro.models.oo import OODiagram, format_diagram
+        from repro.render.ascii_art import render_instance
+
+        artifact = _load_artifact(args.schema)
+        if isinstance(artifact, AnnotatedSchema):
+            print(render_annotated(artifact, args.schema))
+        elif isinstance(artifact, KeyedSchema):
+            print(render_keyed(artifact, args.schema))
+        elif isinstance(artifact, Schema):
+            print(render_schema(artifact, args.schema))
+        elif isinstance(artifact, OODiagram):
+            print(format_diagram(artifact, args.schema))
+        elif isinstance(artifact, Instance):
+            print(render_instance(artifact, args.schema))
+        else:
+            print(json_io.dumps(artifact))
+        return 0
+
+    if args.command == "check":
+        schemas = [_load_schema(path) for path in args.schemas]
+        for line in conflict_report(schemas):
+            print(line)
+        return 0
+
+    if args.command == "merge":
+        schemas = [_load_schema(path) for path in args.schemas]
+        assertions = _parse_assertions(args.isa)
+        report = merge_report(*schemas, assertions=assertions)
+        if args.explain:
+            print(render_report(report))
+        else:
+            print(render_schema(report.merged, "merged schema"))
+        if args.output:
+            Path(args.output).write_text(json_io.dumps(report.merged) + "\n")
+        return 0
+
+    if args.command == "lower":
+        annotated = [_load_annotated(path) for path in args.schemas]
+        merged = lower_properize(
+            lower_merge(
+                *annotated, import_specializations=args.import_spec
+            )
+        )
+        print(render_annotated(merged, "lower merge"))
+        if args.output:
+            Path(args.output).write_text(json_io.dumps(merged) + "\n")
+        return 0
+
+    if args.command == "diff":
+        left = _load_schema(args.left)
+        right = _load_schema(args.right)
+        for line in diff(left, right).summary_lines():
+            print(line)
+        return 0
+
+    if args.command == "correspond":
+        from repro.instances.correspondence import (
+            analyze_correspondence,
+            correspondence_report,
+        )
+
+        keyed_inputs = []
+        for path in args.schemas:
+            artifact = _load_artifact(path)
+            if isinstance(artifact, KeyedSchema):
+                keyed_inputs.append(artifact)
+            elif isinstance(artifact, Schema):
+                keyed_inputs.append(KeyedSchema(artifact))
+            else:
+                raise SchemaError(
+                    f"{path}: expected a (keyed) schema document, got "
+                    f"{type(artifact).__name__}"
+                )
+        rows = analyze_correspondence(
+            keyed_inputs, assertions=_parse_assertions(args.isa)
+        )
+        if rows:
+            print(correspondence_report(rows))
+        else:
+            print("no class is shared by two or more inputs")
+        return 0
+
+    if args.command == "oo-merge":
+        from repro.models.oo import OODiagram, format_diagram, merge_oo
+
+        diagrams = []
+        for path in args.diagrams:
+            artifact = _load_artifact(path)
+            if not isinstance(artifact, OODiagram):
+                raise SchemaError(
+                    f"{path}: expected a class-diagram document "
+                    f"(repro.oo/1), got {type(artifact).__name__}"
+                )
+            diagrams.append(artifact)
+        merged = merge_oo(*diagrams)
+        print(format_diagram(merged, "merged class diagram"))
+        if args.output:
+            Path(args.output).write_text(json_io.dumps(merged) + "\n")
+        return 0
+
+    if args.command == "fuse":
+        from repro.instances.correspondence import fuse
+        from repro.instances.instance import Instance
+
+        sources = []
+        for entry in args.source:
+            if ":" not in entry:
+                raise SchemaError(
+                    "--source takes SCHEMA.json:INSTANCE.json, got "
+                    f"{entry!r}"
+                )
+            schema_path, instance_path = entry.split(":", 1)
+            schema_artifact = _load_artifact(schema_path)
+            if isinstance(schema_artifact, Schema):
+                schema_artifact = KeyedSchema(schema_artifact)
+            if not isinstance(schema_artifact, KeyedSchema):
+                raise SchemaError(
+                    f"{schema_path}: expected a (keyed) schema document, "
+                    f"got {type(schema_artifact).__name__}"
+                )
+            instance_artifact = _load_artifact(instance_path)
+            if not isinstance(instance_artifact, Instance):
+                raise SchemaError(
+                    f"{instance_path}: expected an instance document, got "
+                    f"{type(instance_artifact).__name__}"
+                )
+            sources.append((schema_artifact, instance_artifact))
+        result = fuse(
+            sources,
+            value_classes=args.value_class or [],
+            assertions=_parse_assertions(args.isa),
+        )
+        print(result.summary())
+        if args.output:
+            Path(args.output).write_text(
+                json_io.dumps(result.instance) + "\n"
+            )
+        return 0
+
+    if args.command == "dot":
+        from repro.models.oo import OODiagram, to_schema as oo_to_schema
+
+        artifact = _load_artifact(args.schema)
+        if isinstance(artifact, AnnotatedSchema):
+            text = annotated_to_dot(artifact)
+        elif isinstance(artifact, Schema):
+            text = schema_to_dot(artifact)
+        elif isinstance(artifact, OODiagram):
+            # Class diagrams render through their general-model image.
+            text = schema_to_dot(oo_to_schema(artifact).schema)
+        else:
+            raise SchemaError(
+                f"{args.schema}: cannot render "
+                f"{type(artifact).__name__} as DOT"
+            )
+        _write_or_print(text, args.output)
+        return 0
+
+    raise SchemaError(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Pre-merge conflict detection (sections 3 and 7).
+
+Section 3: "the designer of the system must be called upon to resolve
+naming conflicts, whether homonyms or synonyms, by renaming classes and
+arrows where appropriate" — and section 7 adds *structural* conflicts
+("an attribute in one schema may look like an entity in another").
+This module finds the candidates so the designer only has to decide:
+
+* **homonyms** — same class name used with disjoint arrow signatures in
+  different schemas (probably two different real-world notions);
+* **synonyms** — differently named classes with near-identical arrow
+  signatures (probably the same notion), scored by Jaccard similarity;
+* **structural conflicts** — a name used as an arrow label in one
+  schema and as a class in another, or a class that is a relationship-
+  like hub in one schema and an attribute-like leaf in another;
+* **incompatibilities** — specialization cycles that would make the
+  merge fail outright, reported with their witness cycle.
+
+Detection is heuristic by design (the paper calls the problem
+"inherently ad hoc"); the *resolutions* are not — they are renamings
+(:mod:`repro.tools.rename`) and assertions, both of which feed the
+order-independent merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.names import ClassName, Label, sort_key
+from repro.core.ordering import compatibility_cycle
+from repro.core.schema import Schema
+
+__all__ = [
+    "Homonym",
+    "SynonymCandidate",
+    "StructuralConflict",
+    "find_homonyms",
+    "find_synonyms",
+    "find_structural_conflicts",
+    "find_incompatibility",
+    "conflict_report",
+]
+
+
+def _signature(schema: Schema, cls: ClassName) -> FrozenSet[Label]:
+    return schema.out_labels(cls)
+
+
+@dataclass(frozen=True)
+class Homonym:
+    """One name, two (apparently) different notions."""
+
+    name: ClassName
+    schema_indices: Tuple[int, int]
+    signatures: Tuple[FrozenSet[Label], FrozenSet[Label]]
+
+    def describe(self) -> str:
+        """Human-readable account of the homonym."""
+        i, j = self.schema_indices
+        sig_i, sig_j = self.signatures
+        return (
+            f"{self.name}: schema {i} knows arrows "
+            f"{sorted(sig_i) or '[]'}, schema {j} knows "
+            f"{sorted(sig_j) or '[]'} (disjoint) — same notion?"
+        )
+
+
+def find_homonyms(schemas: Sequence[Schema]) -> List[Homonym]:
+    """Classes sharing a name across schemas with *disjoint* signatures.
+
+    Disjointness of non-empty arrow signatures is the heuristic: if two
+    uses of ``Dog`` share not even one attribute, they may well be
+    different notions merged by accident.
+    """
+    found: List[Homonym] = []
+    for i, left in enumerate(schemas):
+        for j in range(i + 1, len(schemas)):
+            right = schemas[j]
+            for cls in sorted(left.classes & right.classes, key=sort_key):
+                sig_left = _signature(left, cls)
+                sig_right = _signature(right, cls)
+                if sig_left and sig_right and not (sig_left & sig_right):
+                    found.append(
+                        Homonym(cls, (i, j), (sig_left, sig_right))
+                    )
+    return found
+
+
+@dataclass(frozen=True)
+class SynonymCandidate:
+    """Two names that look like the same notion."""
+
+    left: ClassName
+    right: ClassName
+    schema_indices: Tuple[int, int]
+    similarity: float
+
+    def describe(self) -> str:
+        """Human-readable account of the candidate pair."""
+        i, j = self.schema_indices
+        return (
+            f"{self.left} (schema {i}) ~ {self.right} (schema {j}): "
+            f"arrow-signature similarity {self.similarity:.2f} — "
+            "rename to unify?"
+        )
+
+
+def find_synonyms(
+    schemas: Sequence[Schema], threshold: float = 0.5
+) -> List[SynonymCandidate]:
+    """Differently-named classes with Jaccard-similar arrow signatures."""
+    found: List[SynonymCandidate] = []
+    for i, left in enumerate(schemas):
+        for j in range(i + 1, len(schemas)):
+            right = schemas[j]
+            for cls_left in sorted(left.classes - right.classes, key=sort_key):
+                sig_left = _signature(left, cls_left)
+                if not sig_left:
+                    continue
+                for cls_right in sorted(
+                    right.classes - left.classes, key=sort_key
+                ):
+                    sig_right = _signature(right, cls_right)
+                    if not sig_right:
+                        continue
+                    union = sig_left | sig_right
+                    similarity = len(sig_left & sig_right) / len(union)
+                    if similarity >= threshold:
+                        found.append(
+                            SynonymCandidate(
+                                cls_left, cls_right, (i, j), similarity
+                            )
+                        )
+    found.sort(key=lambda c: (-c.similarity, sort_key(c.left)))
+    return found
+
+
+@dataclass(frozen=True)
+class StructuralConflict:
+    """A name playing structurally different roles across schemas."""
+
+    name: str
+    kind: str
+    detail: str
+
+    def describe(self) -> str:
+        """Human-readable account of the conflict."""
+        return f"{self.name} [{self.kind}]: {self.detail}"
+
+
+def find_structural_conflicts(
+    schemas: Sequence[Schema],
+) -> List[StructuralConflict]:
+    """Names used as arrow labels in one schema and classes in another.
+
+    This is the paper's "an attribute in one schema may look like an
+    entity in another" — the merge will not resolve it (it will simply
+    present both readings), so flagging it up front saves the designer
+    a surprising result.
+    """
+    found: List[StructuralConflict] = []
+    all_labels: Dict[str, int] = {}
+    all_class_strings: Dict[str, int] = {}
+    for index, schema in enumerate(schemas):
+        for label in schema.labels():
+            all_labels.setdefault(label, index)
+        for cls in schema.classes:
+            all_class_strings.setdefault(str(cls), index)
+    for text in sorted(set(all_labels) & set(all_class_strings)):
+        found.append(
+            StructuralConflict(
+                text,
+                "attribute-vs-class",
+                f"used as an arrow label in schema {all_labels[text]} "
+                f"but as a class in schema {all_class_strings[text]}",
+            )
+        )
+    return found
+
+
+def find_incompatibility(schemas: Sequence[Schema]):
+    """The witness specialization cycle, or ``None`` when compatible."""
+    return compatibility_cycle(list(schemas))
+
+
+def conflict_report(schemas: Sequence[Schema]) -> List[str]:
+    """One-stop pre-merge report: everything a designer should look at."""
+    lines: List[str] = []
+    cycle = find_incompatibility(schemas)
+    if cycle is not None:
+        lines.append(
+            "INCOMPATIBLE: specialization cycle "
+            + " ==> ".join(str(c) for c in cycle)
+        )
+    for homonym in find_homonyms(schemas):
+        lines.append("homonym? " + homonym.describe())
+    for synonym in find_synonyms(schemas):
+        lines.append("synonym? " + synonym.describe())
+    for conflict in find_structural_conflicts(schemas):
+        lines.append("structural: " + conflict.describe())
+    if not lines:
+        lines.append("no conflicts detected")
+    return lines

@@ -1,0 +1,116 @@
+"""Renaming plans: the designer's conflict-resolution instrument.
+
+Section 3 makes renaming the *only* mechanism for identifying classes
+across schemas ("if two classes in different schemas have the same
+name, then they are the same class") and for separating accidental
+homonyms.  A :class:`RenamingPlan` collects per-schema class and label
+renamings, validates them (no collapsing of distinct classes within a
+schema, no contradictory entries) and applies them in one shot, so a
+whole integration session's naming decisions form a reviewable,
+replayable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.names import ClassName, Label, name
+from repro.core.schema import Schema
+from repro.exceptions import SchemaValidationError
+
+__all__ = ["RenamingPlan"]
+
+NameLike = Union[ClassName, str]
+
+
+class RenamingPlan:
+    """Per-schema renamings of classes and arrow labels.
+
+    Schemas are addressed by index (position in the sequence handed to
+    :meth:`apply`).  Entries are added with :meth:`rename_class` /
+    :meth:`rename_label`; a ``schema_index`` of ``None`` applies the
+    renaming to every schema (the common "synonym everywhere" case).
+    """
+
+    def __init__(self):
+        self._class_renames: Dict[Tuple[object, ClassName], ClassName] = {}
+        self._label_renames: Dict[Tuple[object, Label], Label] = {}
+
+    def rename_class(
+        self,
+        old: NameLike,
+        new: NameLike,
+        schema_index: object = None,
+    ) -> "RenamingPlan":
+        """Record ``old → new`` for one schema (or all); chainable."""
+        key = (schema_index, name(old))
+        target = name(new)
+        existing = self._class_renames.get(key)
+        if existing is not None and existing != target:
+            raise SchemaValidationError(
+                f"contradictory renaming of {old}: {existing} vs {target}"
+            )
+        self._class_renames[key] = target
+        return self
+
+    def rename_label(
+        self,
+        old: Label,
+        new: Label,
+        schema_index: object = None,
+    ) -> "RenamingPlan":
+        """Record a label renaming for one schema (or all); chainable."""
+        key = (schema_index, old)
+        existing = self._label_renames.get(key)
+        if existing is not None and existing != new:
+            raise SchemaValidationError(
+                f"contradictory renaming of label {old!r}: "
+                f"{existing!r} vs {new!r}"
+            )
+        self._label_renames[key] = new
+        return self
+
+    def class_map_for(self, index: int) -> Dict[ClassName, ClassName]:
+        """The effective class renaming for schema *index*."""
+        table: Dict[ClassName, ClassName] = {}
+        for (scope, old), new in self._class_renames.items():
+            if scope is None or scope == index:
+                table[old] = new
+        return table
+
+    def label_map_for(self, index: int) -> Dict[Label, Label]:
+        """The effective label renaming for schema *index*."""
+        table: Dict[Label, Label] = {}
+        for (scope, old), new in self._label_renames.items():
+            if scope is None or scope == index:
+                table[old] = new
+        return table
+
+    def apply(self, schemas: Sequence[Schema]) -> List[Schema]:
+        """Apply the plan to a sequence of schemas, returning new ones."""
+        results: List[Schema] = []
+        for index, schema in enumerate(schemas):
+            class_map = {
+                old: new
+                for old, new in self.class_map_for(index).items()
+                if old in schema.classes
+            }
+            renamed = schema.rename(class_map) if class_map else schema
+            label_map = {
+                old: new
+                for old, new in self.label_map_for(index).items()
+                if old in renamed.labels()
+            }
+            if label_map:
+                renamed = renamed.rename_labels(label_map)
+            results.append(renamed)
+        return results
+
+    def __len__(self) -> int:
+        return len(self._class_renames) + len(self._label_renames)
+
+    def __repr__(self) -> str:
+        return (
+            f"RenamingPlan({len(self._class_renames)} class, "
+            f"{len(self._label_renames)} label renaming(s))"
+        )

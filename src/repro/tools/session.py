@@ -1,0 +1,192 @@
+"""Integration sessions: the designer workflow as a first-class object.
+
+The paper positions its merge inside an *interactive* process
+(section 1: "appropriate for the design of interactive programs"):
+the designer inspects conflicts, renames, asserts relationships,
+merges, inspects, and iterates.  :class:`IntegrationSession` packages
+that loop so a whole integration is one reviewable, replayable value —
+and because every recorded decision feeds an order-independent merge,
+replaying the session with its steps permuted provably yields the same
+schema (tested).
+
+Typical use::
+
+    session = IntegrationSession()
+    session.add_schema("registry", registry)
+    session.add_schema("clinic", clinic)
+    session.rename_class("Hound", "Dog", schema="registry")
+    session.assert_isa("Service-dog", "Dog")
+    print("\\n".join(session.conflict_report()))
+    merged = session.merge()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.assertions import AssertionSet
+from repro.core.consistency import ConsistencyRelation
+from repro.core.keys import KeyedSchema, merge_keyed
+from repro.core.merge import MergeReport, merge_report
+from repro.core.names import ClassName, Label
+from repro.core.schema import Schema
+from repro.exceptions import SchemaError
+from repro.tools.conflicts import conflict_report as _conflict_report
+from repro.tools.rename import RenamingPlan
+
+__all__ = ["IntegrationSession"]
+
+NameLike = Union[ClassName, str]
+
+
+class IntegrationSession:
+    """Accumulates schemas and integration decisions, then merges.
+
+    Schemas are registered under names; renamings and assertions are
+    recorded (not applied destructively), so :meth:`merge` always
+    recomputes from the pristine inputs — editing a decision mid-
+    session never leaves stale state behind.
+    """
+
+    def __init__(self):
+        self._schemas: Dict[str, Schema] = {}
+        self._keyed: Dict[str, KeyedSchema] = {}
+        self._order: List[str] = []
+        self._renamings = RenamingPlan()
+        self._assertions = AssertionSet()
+        self._consistency: Optional[ConsistencyRelation] = None
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def add_schema(self, schema_name: str, schema: Schema) -> "IntegrationSession":
+        """Register a plain schema under *schema_name*; chainable."""
+        if schema_name in self._schemas:
+            raise SchemaError(f"schema {schema_name!r} already registered")
+        self._schemas[schema_name] = schema
+        self._order.append(schema_name)
+        return self
+
+    def add_keyed_schema(
+        self, schema_name: str, keyed: KeyedSchema
+    ) -> "IntegrationSession":
+        """Register a keyed schema (its keys participate in the merge)."""
+        self.add_schema(schema_name, keyed.schema)
+        self._keyed[schema_name] = keyed
+        return self
+
+    def schema_names(self) -> Tuple[str, ...]:
+        """Registered schema names, in registration order."""
+        return tuple(self._order)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def rename_class(
+        self,
+        old: NameLike,
+        new: NameLike,
+        schema: Optional[str] = None,
+    ) -> "IntegrationSession":
+        """Record a class renaming, optionally scoped to one schema."""
+        scope = self._scope_index(schema)
+        self._renamings.rename_class(old, new, schema_index=scope)
+        return self
+
+    def rename_label(
+        self,
+        old: Label,
+        new: Label,
+        schema: Optional[str] = None,
+    ) -> "IntegrationSession":
+        """Record an arrow-label renaming."""
+        scope = self._scope_index(schema)
+        self._renamings.rename_label(old, new, schema_index=scope)
+        return self
+
+    def assert_isa(self, sub: NameLike, sup: NameLike) -> "IntegrationSession":
+        """Record the inter-schema assertion ``sub ==> sup``."""
+        self._assertions.add_isa(sub, sup)
+        return self
+
+    def assert_arrow(
+        self, source: NameLike, label: Label, target: NameLike
+    ) -> "IntegrationSession":
+        """Record the assertion ``source --label--> target``."""
+        self._assertions.add_arrow(source, label, target)
+        return self
+
+    def set_consistency(
+        self, relation: ConsistencyRelation
+    ) -> "IntegrationSession":
+        """Install a consistency relationship vetting implicit classes."""
+        self._consistency = relation
+        return self
+
+    def _scope_index(self, schema: Optional[str]):
+        if schema is None:
+            return None
+        try:
+            return self._order.index(schema)
+        except ValueError:
+            raise SchemaError(f"no schema named {schema!r}") from None
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+
+    def prepared_schemas(self) -> List[Schema]:
+        """The inputs with all recorded renamings applied."""
+        return self._renamings.apply(
+            [self._schemas[n] for n in self._order]
+        )
+
+    def conflict_report(self) -> List[str]:
+        """The pre-merge conflict report over the prepared schemas."""
+        return _conflict_report(self.prepared_schemas())
+
+    def merge(self) -> Schema:
+        """Run the upper merge with every recorded decision applied."""
+        return self.report().merged
+
+    def report(self) -> MergeReport:
+        """The merge with all intermediate artifacts."""
+        return merge_report(
+            *self.prepared_schemas(),
+            assertions=self._assertions,
+            consistency=self._consistency,
+        )
+
+    def merge_keyed(self) -> KeyedSchema:
+        """Run the keyed merge (section 5) over the registered inputs.
+
+        Schemas registered without keys participate with the empty
+        assignment.  Renamings of keyed schemas are intentionally not
+        supported (keys name labels; renaming both consistently is a
+        to-do the constructor guards).
+        """
+        if len(self._renamings):
+            raise SchemaError(
+                "keyed sessions do not support renamings yet; apply the "
+                "renaming to the keyed schema before registering it"
+            )
+        inputs = []
+        for schema_name in self._order:
+            keyed = self._keyed.get(schema_name)
+            if keyed is None:
+                keyed = KeyedSchema(self._schemas[schema_name], {})
+            inputs.append(keyed)
+        return merge_keyed(
+            *inputs,
+            assertions=self._assertions,
+            consistency=self._consistency,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IntegrationSession({len(self._order)} schema(s), "
+            f"{len(self._renamings)} renaming(s), "
+            f"{len(self._assertions)} assertion(s))"
+        )

@@ -1,0 +1,63 @@
+"""Unit tests for the analysis layer (stats and growth curves)."""
+
+import pytest
+
+from repro.analysis.growth import (
+    adversarial_growth,
+    diamond_growth,
+    growth_curve,
+    implicit_count,
+    random_growth,
+)
+from repro.analysis.stats import MergeStats, measure_family, measure_merge
+from repro.core.merge import merge_report
+from repro.figures import figure3_schemas, figure4_schemas
+from repro.generators.pathological import diamond_chain_schemas
+
+
+class TestMergeStats:
+    def test_figure3_numbers(self):
+        stats = measure_merge(merge_report(*figure3_schemas()))
+        assert stats.input_count == 2
+        assert stats.input_classes_distinct == 5
+        assert stats.weak_classes == 5
+        assert stats.merged_classes == 6
+        assert stats.implicit_classes == 1
+
+    def test_implicit_ratio(self):
+        stats = measure_merge(merge_report(*figure3_schemas()))
+        assert stats.implicit_ratio == pytest.approx(1 / 5)
+
+    def test_zero_division_guard(self):
+        stats = MergeStats(0, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert stats.implicit_ratio == 0.0
+
+    def test_as_row_keys(self):
+        row = measure_family(list(figure4_schemas())).as_row()
+        assert {"inputs", "merged_classes", "implicit"} <= set(row)
+
+
+class TestGrowth:
+    def test_implicit_count(self):
+        assert implicit_count(list(figure3_schemas())) == 1
+
+    def test_growth_curve_shape(self):
+        rows = growth_curve(
+            [1, 3], lambda k: list(diamond_chain_schemas(k))
+        )
+        assert [(k, imp) for k, _cls, imp in rows] == [(1, 1), (3, 3)]
+
+    def test_diamond_growth_is_linear(self):
+        rows = diamond_growth((2, 4, 8))
+        assert [imp for _k, _cls, imp in rows] == [2, 4, 8]
+
+    def test_adversarial_growth_is_exponential(self):
+        rows = adversarial_growth((3, 4, 5))
+        assert [imp for _k, _cls, imp in rows] == [7, 15, 31]
+
+    def test_random_growth_stays_modest(self):
+        rows = random_growth(sizes=(10, 20), seed=7)
+        for _size, classes, implicit in rows:
+            # The paper's conjecture: implicit classes are few in
+            # practice — well below the class count on random views.
+            assert implicit < classes

@@ -1,0 +1,62 @@
+"""Unit tests for assertion schemas (§3)."""
+
+import pytest
+
+from repro.core.assertions import AssertionSet, arrow, class_exists, isa
+from repro.core.merge import upper_merge
+from repro.core.schema import Schema
+from repro.exceptions import SchemaValidationError
+
+
+class TestAtomicAssertions:
+    def test_class_exists(self):
+        schema = class_exists("Dog")
+        assert schema.has_class("Dog")
+        assert len(schema) == 1
+        assert not schema.arrows
+
+    def test_isa(self):
+        schema = isa("Puppy", "Dog")
+        assert schema.is_spec("Puppy", "Dog")
+        assert len(schema) == 2
+
+    def test_arrow(self):
+        schema = arrow("Dog", "owner", "Person")
+        assert schema.has_arrow("Dog", "owner", "Person")
+
+    def test_arrow_validates_label(self):
+        with pytest.raises(SchemaValidationError):
+            arrow("Dog", "", "Person")
+
+    def test_assertions_are_ordinary_schemas(self):
+        merged = upper_merge(isa("Puppy", "Dog"), arrow("Dog", "age", "Int"))
+        assert merged.has_arrow("Puppy", "age", "Int")
+
+
+class TestAssertionSet:
+    def test_chaining(self):
+        bundle = (
+            AssertionSet()
+            .add_isa("Puppy", "Dog")
+            .add_arrow("Dog", "age", "Int")
+            .add_class("Kennel")
+        )
+        assert len(bundle) == 3
+
+    def test_iterates_schemas(self):
+        bundle = AssertionSet().add_isa("A", "B")
+        assert all(isinstance(s, Schema) for s in bundle)
+
+    def test_usable_as_merge_assertions(self, dog_schema):
+        bundle = AssertionSet().add_isa("Puppy", "Dog")
+        merged = upper_merge(dog_schema, assertions=bundle)
+        assert merged.has_arrow("Puppy", "owner", "Person")
+
+    def test_add_raw_schema(self, dog_schema):
+        bundle = AssertionSet().add(dog_schema)
+        assert list(bundle) == [dog_schema]
+
+    def test_repr(self):
+        assert "2 assertion(s)" in repr(
+            AssertionSet().add_class("A").add_class("B")
+        )

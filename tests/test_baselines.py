@@ -1,0 +1,144 @@
+"""Unit tests for the baseline mergers (§1, §3, Figure 5)."""
+
+import pytest
+
+from repro.baselines.naive import (
+    naive_binary_merge,
+    naive_merge_sequence,
+    order_sensitivity,
+)
+from repro.baselines.superviews import (
+    heuristic_binary_merge,
+    heuristic_merge_sequence,
+    heuristic_order_sensitivity,
+    lost_information,
+)
+from repro.core.merge import upper_merge
+from repro.core.names import BaseName, ImplicitName
+from repro.core.proper import is_proper
+from repro.core.schema import Schema
+from repro.figures import figure3_schemas, figure4_schemas
+
+
+class TestNaiveBaseline:
+    def test_single_merge_resembles_ours(self):
+        one, two = figure3_schemas()
+        naive = naive_binary_merge(one, two)
+        assert is_proper(naive)
+        # Same shape, different naming: one anonymous class below B1, B2.
+        anonymous = [
+            c for c in naive.classes if str(c).startswith("?")
+        ]
+        assert len(anonymous) == 1
+        assert naive.is_spec(anonymous[0], "B1")
+        assert naive.is_spec(anonymous[0], "B2")
+
+    def test_anonymous_names_carry_no_origin(self):
+        one, two = figure3_schemas()
+        naive = naive_binary_merge(one, two)
+        assert not any(
+            isinstance(c, ImplicitName) for c in naive.classes
+        )
+
+    def test_figure5_non_associativity(self):
+        g1, g2, g3 = figure4_schemas()
+        left = naive_binary_merge(naive_binary_merge(g1, g2), g3)
+        right = naive_binary_merge(naive_binary_merge(g1, g3), g2)
+        assert left != right
+
+    def test_figure5_intermediate_classes_pile_up(self):
+        g1, g2, g3 = figure4_schemas()
+        result = naive_binary_merge(naive_binary_merge(g1, g2), g3)
+        anonymous = [c for c in result.classes if str(c).startswith("?")]
+        # X? below {D, E} and Y? below {X?, F} — two stacked classes.
+        assert len(anonymous) == 2
+
+    def test_order_sensitivity_exceeds_one(self):
+        result = order_sensitivity(list(figure4_schemas()))
+        assert result["permutations"] == 6
+        assert result["distinct_results"] >= 2
+
+    def test_our_merge_order_insensitive_same_inputs(self):
+        from itertools import permutations
+
+        schemas = list(figure4_schemas())
+        results = {
+            upper_merge(*(schemas[i] for i in order))
+            for order in permutations(range(3))
+        }
+        assert len(results) == 1
+
+    def test_empty_sequence(self):
+        assert naive_merge_sequence([]) == Schema.empty()
+
+    def test_fresh_names_avoid_collisions(self):
+        # A user class literally named "?1" must not be captured.
+        one = Schema.build(
+            classes=["?1"], arrows=[("A", "a", "B1"), ("A", "a", "B2")]
+        )
+        merged = naive_binary_merge(one, Schema.empty())
+        anonymous = [
+            c
+            for c in merged.classes
+            if str(c).startswith("?") and str(c) != "?1"
+        ]
+        assert len(anonymous) == 1
+
+
+class TestHeuristicBaseline:
+    def test_result_is_proper(self):
+        one, two = figure3_schemas()
+        assert is_proper(heuristic_binary_merge(one, two))
+
+    def test_loses_information(self):
+        one, two = figure3_schemas()
+        merged = heuristic_binary_merge(one, two)
+        lost = lost_information(merged, [one, two])
+        assert lost  # something asserted by an input was dropped
+
+    def test_our_merge_loses_nothing(self):
+        one, two = figure3_schemas()
+        merged = upper_merge(one, two)
+        assert lost_information(merged, [one, two]) == []
+
+    def test_never_invents_classes(self):
+        one, two = figure3_schemas()
+        merged = heuristic_binary_merge(one, two)
+        assert merged.classes <= one.classes | two.classes
+
+    def test_sequence_fold(self):
+        schemas = list(figure4_schemas())
+        merged = heuristic_merge_sequence(schemas)
+        assert is_proper(merged)
+
+    def test_order_sensitivity_report_shape(self):
+        report = heuristic_order_sensitivity(list(figure4_schemas()))
+        assert report["permutations"] == 6
+        assert report["distinct_results"] >= 1
+        assert all(
+            isinstance(n, int) for n in report["arrow_counts"]
+        )
+
+    def test_order_sensitive_example_exists(self):
+        # A family where the heuristic's fold genuinely depends on order:
+        # the alphabetical survivor differs depending on which conflict
+        # is resolved first.
+        one = Schema.build(arrows=[("P", "a", "M")])
+        two = Schema.build(
+            arrows=[("P", "a", "B")], spec=[("B", "M")]
+        )
+        three = Schema.build(
+            arrows=[("P", "a", "C")], spec=[("C", "M")]
+        )
+        report = heuristic_order_sensitivity([one, two, three])
+        # Whatever the distinct count, the fold must stay proper and lossy
+        # in at least one order.
+        assert report["permutations"] == 6
+        losses = [
+            lost_information(result, [one, two, three])
+            for result in report["results"]
+        ]
+        assert any(losses)
+
+    def test_empty_sequence(self):
+        assert heuristic_merge_sequence([]) == Schema.empty()

@@ -1,0 +1,98 @@
+"""Unit tests for the coercion theorems (§4, §6)."""
+
+import pytest
+
+from repro.core.merge import upper_merge, weak_merge
+from repro.core.schema import Schema
+from repro.figures import figure3_schemas
+from repro.instances.coercion import check_upper_coercion, coerce
+from repro.instances.instance import Instance
+from repro.instances.satisfaction import satisfies
+
+
+@pytest.fixture
+def merged_and_parts():
+    one, two = figure3_schemas()
+    return upper_merge(one, two), one, two
+
+
+@pytest.fixture
+def merge_instance(merged_and_parts) -> Instance:
+    merged, _one, _two = merged_and_parts
+    # Populate the merged schema, implicit class included.
+    from repro.core.names import ImplicitName
+
+    imp = ImplicitName(["B1", "B2"])
+    return Instance.build(
+        extents={
+            "A1": {"x", "c"},
+            "A2": {"y", "c"},
+            "C": {"c"},
+            "B1": {"v"},
+            "B2": {"v"},
+            imp: {"v"},
+        },
+        values={
+            ("x", "a"): "v",
+            ("y", "a"): "v",
+            ("c", "a"): "v",
+        },
+    )
+
+
+class TestCoerce:
+    def test_instance_satisfies_merge(self, merged_and_parts, merge_instance):
+        merged, _one, _two = merged_and_parts
+        assert satisfies(merge_instance, merged)
+
+    def test_coercion_to_each_component(
+        self, merged_and_parts, merge_instance
+    ):
+        merged, one, two = merged_and_parts
+        for component in (one, two):
+            coerced = coerce(merge_instance, component)
+            assert satisfies(coerced, component)
+
+    def test_coercion_forgets_foreign_extents(
+        self, merged_and_parts, merge_instance
+    ):
+        _merged, one, _two = merged_and_parts
+        coerced = coerce(merge_instance, one)
+        assert coerced.extent("B1") == frozenset()
+        assert coerced.extent("C") == {"c"}
+
+    def test_check_upper_coercion_clean(
+        self, merged_and_parts, merge_instance
+    ):
+        merged, one, two = merged_and_parts
+        assert check_upper_coercion(merge_instance, merged, one) == []
+        assert check_upper_coercion(merge_instance, merged, two) == []
+
+    def test_check_flags_non_component(self, merged_and_parts, merge_instance):
+        merged, _one, _two = merged_and_parts
+        stranger = Schema.build(arrows=[("Z", "f", "W")])
+        problems = check_upper_coercion(merge_instance, merged, stranger)
+        assert problems == ["component is not below the merged schema"]
+
+    def test_check_flags_bad_instance(self, merged_and_parts):
+        merged, one, _two = merged_and_parts
+        bad = Instance.build(extents={"C": {"c"}, "A1": set(), "A2": set()})
+        problems = check_upper_coercion(bad, merged, one)
+        assert problems == ["instance does not satisfy the merged schema"]
+
+
+class TestGeneratedCoercion:
+    def test_random_merge_instances_coerce(self):
+        from repro.generators.random_schemas import (
+            random_instance,
+            random_schema_family,
+        )
+
+        family = random_schema_family(
+            n_schemas=3, pool_size=12, n_classes=6, seed=99
+        )
+        merged = upper_merge(*family)
+        instance = random_instance(merged, seed=99)
+        assert satisfies(instance, merged)
+        for component in family:
+            assert satisfies(coerce(instance, component), component)

@@ -1,0 +1,63 @@
+"""Unit tests for the consistency relationship (§4.2)."""
+
+import pytest
+
+from repro.core.consistency import ConsistencyRelation, check_consistency
+from repro.core.names import BaseName, ImplicitName, names
+from repro.exceptions import InconsistentSchemasError
+
+
+class TestConsistencyRelation:
+    def test_explicit_pairs_symmetric(self):
+        relation = ConsistencyRelation([("Dog", "Pet")])
+        assert relation.consistent("Dog", "Pet")
+        assert relation.consistent("Pet", "Dog")
+
+    def test_reflexive_by_definition(self):
+        relation = ConsistencyRelation()
+        assert relation.consistent("Dog", "Dog")
+
+    def test_unlisted_pairs_inconsistent(self):
+        relation = ConsistencyRelation([("Dog", "Pet")])
+        assert not relation.consistent("Dog", "Invoice")
+
+    def test_permissive(self):
+        relation = ConsistencyRelation.permissive()
+        assert relation.consistent("Dog", "Invoice")
+
+    def test_from_groups(self):
+        relation = ConsistencyRelation.from_groups(
+            [["Dog", "Pet", "Animal"], ["Invoice", "Bill"]]
+        )
+        assert relation.consistent("Dog", "Animal")
+        assert relation.consistent("Invoice", "Bill")
+        assert not relation.consistent("Dog", "Invoice")
+
+    def test_composite_names_judged_by_base_members(self):
+        relation = ConsistencyRelation.from_groups([["A", "B", "C"]])
+        imp = ImplicitName(["A", "B"])
+        assert relation.consistent(imp, "C")
+        assert not relation.consistent(imp, "Z")
+
+
+class TestCheckConsistency:
+    def test_none_relation_passes_everything(self):
+        check_consistency([names(["A", "B"])], None)
+
+    def test_permissive_passes(self):
+        check_consistency(
+            [names(["A", "B"])], ConsistencyRelation.permissive()
+        )
+
+    def test_violation_raises_with_pair(self):
+        with pytest.raises(InconsistentSchemasError) as excinfo:
+            check_consistency([names(["A", "B"])], ConsistencyRelation())
+        assert set(excinfo.value.offending_pair) == {
+            BaseName("A"),
+            BaseName("B"),
+        }
+
+    def test_all_pairs_checked(self):
+        relation = ConsistencyRelation([("A", "B")])
+        with pytest.raises(InconsistentSchemasError):
+            check_consistency([names(["A", "B", "C"])], relation)

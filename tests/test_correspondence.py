@@ -1,0 +1,366 @@
+"""Unit tests for section 5's cross-database object correspondence."""
+
+import pytest
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.names import name
+from repro.core.schema import Schema
+from repro.exceptions import InstanceError
+from repro.instances.correspondence import (
+    CorrespondenceStatus,
+    analyze_correspondence,
+    correspondence_report,
+    federate_shared,
+    fuse,
+)
+from repro.instances.instance import Instance
+
+
+def person_schema(*extra_labels: str, key: bool = True) -> KeyedSchema:
+    """A Person schema with an ssn arrow plus *extra_labels* arrows."""
+    arrows = [("Person", "ssn", "SSN")]
+    arrows.extend(("Person", label, "Str") for label in extra_labels)
+    keys = {"Person": KeyFamily.of({"ssn"})} if key else {}
+    return KeyedSchema(Schema.build(arrows=arrows), keys)
+
+
+def person_without_ssn(*labels: str) -> KeyedSchema:
+    arrows = [("Person", label, "Str") for label in labels]
+    return KeyedSchema(Schema.build(arrows=arrows))
+
+
+class TestAnalysis:
+    def test_agreed_when_both_declare(self):
+        rows = analyze_correspondence(
+            [person_schema(), person_schema("name")]
+        )
+        person_rows = [r for r in rows if r.cls == name("Person")]
+        assert [r.status for r in person_rows] == [
+            CorrespondenceStatus.AGREED
+        ]
+        assert person_rows[0].declared_in == (0, 1)
+        assert person_rows[0].decides_correspondence()
+
+    def test_imposed_when_one_declares_other_has_arrow(self):
+        rows = analyze_correspondence(
+            [person_schema(), person_schema("name", key=False)]
+        )
+        (row,) = [r for r in rows if r.cls == name("Person")]
+        assert row.status == CorrespondenceStatus.IMPOSED
+        assert row.declared_in == (0,)
+        assert row.evaluable_in == (0, 1)
+        assert row.decides_correspondence()
+
+    def test_undeterminable_when_arrow_missing(self):
+        rows = analyze_correspondence(
+            [person_schema(), person_without_ssn("name")]
+        )
+        (row,) = [r for r in rows if r.cls == name("Person")]
+        assert row.status == CorrespondenceStatus.UNDETERMINABLE
+        assert row.blind_in == (1,)
+        assert not row.decides_correspondence()
+
+    def test_identity_only_when_no_keys_anywhere(self):
+        rows = analyze_correspondence(
+            [person_schema(key=False), person_without_ssn("name")]
+        )
+        (row,) = [r for r in rows if r.cls == name("Person")]
+        assert row.status == CorrespondenceStatus.IDENTITY_ONLY
+        assert row.key == frozenset()
+
+    def test_classes_in_one_input_are_skipped(self):
+        solo = KeyedSchema(Schema.build(arrows=[("Pet", "tag", "Str")]))
+        rows = analyze_correspondence([person_schema(), solo])
+        assert all(r.cls != name("Pet") for r in rows)
+
+    def test_multiple_keys_reported_separately(self):
+        left = KeyedSchema(
+            Schema.build(
+                arrows=[("Person", "ssn", "SSN"), ("Person", "email", "Str")]
+            ),
+            {"Person": KeyFamily.of({"ssn"}, {"email"})},
+        )
+        right = person_schema()
+        rows = [
+            r
+            for r in analyze_correspondence([left, right])
+            if r.cls == name("Person")
+        ]
+        statuses = {frozenset(r.key): r.status for r in rows}
+        assert statuses[frozenset({"ssn"})] == CorrespondenceStatus.AGREED
+        assert (
+            statuses[frozenset({"email"})]
+            == CorrespondenceStatus.UNDETERMINABLE
+        )
+
+    def test_precomputed_merge_accepted(self):
+        from repro.core.keys import merge_keyed
+
+        inputs = [person_schema(), person_schema("name")]
+        merged = merge_keyed(*inputs)
+        rows = analyze_correspondence(inputs, merged=merged)
+        assert rows == analyze_correspondence(inputs)
+
+    def test_report_is_deterministic_text(self):
+        rows = analyze_correspondence(
+            [person_schema(), person_without_ssn("name")]
+        )
+        text = correspondence_report(rows)
+        assert "no way to tell" in text
+        assert text == correspondence_report(rows)
+
+
+class TestMatchingPairs:
+    """The literal pairwise reading of section 5's correspondence."""
+
+    from repro.instances.correspondence import matching_pairs  # noqa: F401
+
+    @pytest.fixture
+    def census(self) -> Instance:
+        return Instance.build(
+            extents={"Person": {"p1", "p2"}, "SSN": {"123", "456"}},
+            values={("p1", "ssn"): "123", ("p2", "ssn"): "456"},
+        )
+
+    @pytest.fixture
+    def payroll(self) -> Instance:
+        return Instance.build(
+            extents={"Person": {"e1", "e2", "e3"}, "SSN": {"123", "456"}},
+            values={
+                ("e1", "ssn"): "123",
+                ("e2", "ssn"): "456",
+                # e3 has no ssn — its correspondence is undeterminable.
+            },
+        )
+
+    def test_matches_on_equal_key_values(self, census, payroll):
+        from repro.instances.correspondence import matching_pairs
+
+        pairs = matching_pairs(census, payroll, "Person", {"ssn"})
+        assert pairs == [("p1", "e1"), ("p2", "e2")]
+
+    def test_object_without_key_attribute_matches_nothing(
+        self, census, payroll
+    ):
+        from repro.instances.correspondence import matching_pairs
+
+        pairs = matching_pairs(census, payroll, "Person", {"ssn"})
+        assert all(right != "e3" for _left, right in pairs)
+
+    def test_composite_key_requires_all_components(self):
+        from repro.instances.correspondence import matching_pairs
+
+        left = Instance.build(
+            extents={"T": {"t1"}},
+            values={("t1", "loc"): "m1", ("t1", "at"): "noon"},
+        )
+        right = Instance.build(
+            extents={"T": {"u1", "u2"}},
+            values={
+                ("u1", "loc"): "m1",
+                ("u1", "at"): "noon",
+                ("u2", "loc"): "m1",
+                ("u2", "at"): "dusk",
+            },
+        )
+        pairs = matching_pairs(left, right, "T", {"loc", "at"})
+        assert pairs == [("t1", "u1")]
+
+    def test_empty_key_matches_nothing(self, census, payroll):
+        from repro.instances.correspondence import matching_pairs
+
+        assert matching_pairs(census, payroll, "Person", set()) == []
+
+    def test_unknown_class_matches_nothing(self, census, payroll):
+        from repro.instances.correspondence import matching_pairs
+
+        assert matching_pairs(census, payroll, "Pet", {"ssn"}) == []
+
+    def test_pairs_agree_with_fusion(self, census, payroll):
+        """Every matched pair ends up identified by the fusion
+        pipeline, and vice versa — the two §5 readings coincide."""
+        from repro.instances.correspondence import fuse, matching_pairs
+
+        schema = KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "SSN")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        pairs = matching_pairs(census, payroll, "Person", {"ssn"})
+        result = fuse(
+            [(schema, census), (schema, payroll)], value_classes=["SSN"]
+        )
+        combined_people = len(census.extent("Person")) + len(
+            payroll.extent("Person")
+        )
+        assert result.identified == len(pairs)
+        assert (
+            len(result.instance.extent("Person"))
+            == combined_people - len(pairs)
+        )
+
+
+class TestFederateShared:
+    def test_entity_oids_are_disjointified(self):
+        left = Instance.build(extents={"Person": {"p1"}})
+        right = Instance.build(extents={"Person": {"p1"}})
+        combined = federate_shared([left, right])
+        assert combined.extent("Person") == {
+            ("src0", "p1"),
+            ("src1", "p1"),
+        }
+
+    def test_value_oids_are_shared(self):
+        left = Instance.build(
+            extents={"Person": {"p1"}, "SSN": {"123"}},
+            values={("p1", "ssn"): "123"},
+        )
+        right = Instance.build(
+            extents={"Person": {"q1"}, "SSN": {"123"}},
+            values={("q1", "ssn"): "123"},
+        )
+        combined = federate_shared([left, right], value_classes=["SSN"])
+        assert combined.extent("SSN") == {"123"}
+        assert combined.value(("src0", "p1"), "ssn") == "123"
+        assert combined.value(("src1", "q1"), "ssn") == "123"
+
+    def test_custom_prefix(self):
+        left = Instance.build(extents={"Person": {"p1"}})
+        combined = federate_shared([left], prefix="db")
+        assert ("db0", "p1") in combined.extent("Person")
+
+    def test_empty_sources(self):
+        assert federate_shared([]) == Instance.empty()
+
+
+class TestFuse:
+    @pytest.fixture
+    def census(self) -> Instance:
+        return Instance.build(
+            extents={"Person": {"p1", "p2"}, "SSN": {"123", "456"}},
+            values={("p1", "ssn"): "123", ("p2", "ssn"): "456"},
+        )
+
+    @pytest.fixture
+    def payroll(self) -> Instance:
+        return Instance.build(
+            extents={
+                "Person": {"e1", "e2"},
+                "SSN": {"123", "789"},
+                "Str": {"ann", "bob"},
+            },
+            values={
+                ("e1", "ssn"): "123",
+                ("e2", "ssn"): "789",
+                ("e1", "name"): "ann",
+                ("e2", "name"): "bob",
+            },
+        )
+
+    def test_agreed_key_identifies_across_sources(self, census, payroll):
+        result = fuse(
+            [(person_schema(), census), (person_schema("name"), payroll)],
+            value_classes=["SSN", "Str"],
+        )
+        assert result.objects_before == len(
+            federate_shared([census, payroll], value_classes=["SSN", "Str"])
+        )
+        assert result.identified == 1  # p1 and e1 share ssn 123
+        assert len(result.instance.extent("Person")) == 3
+
+    def test_fused_object_carries_both_sources_attributes(
+        self, census, payroll
+    ):
+        result = fuse(
+            [(person_schema(), census), (person_schema("name"), payroll)],
+            value_classes=["SSN", "Str"],
+        )
+        (merged_oid,) = [
+            oid
+            for oid in result.instance.extent("Person")
+            if result.instance.value(oid, "ssn") == "123"
+        ]
+        assert result.instance.value(merged_oid, "name") == "ann"
+
+    def test_imposed_key_still_identifies(self, census, payroll):
+        result = fuse(
+            [
+                (person_schema(), census),
+                (person_schema("name", key=False), payroll),
+            ],
+            value_classes=["SSN", "Str"],
+        )
+        assert result.identified == 1
+        statuses = {row.status for row in result.correspondences}
+        assert CorrespondenceStatus.IMPOSED in statuses
+
+    def test_undeterminable_key_identifies_nothing(self, census):
+        nameonly = Instance.build(
+            extents={"Person": {"e1"}, "Str": {"ann"}},
+            values={("e1", "name"): "ann"},
+        )
+        result = fuse(
+            [
+                (person_schema(), census),
+                (person_without_ssn("name"), nameonly),
+            ],
+            value_classes=["SSN", "Str"],
+        )
+        assert result.identified == 0
+        statuses = {row.status for row in result.correspondences}
+        assert CorrespondenceStatus.UNDETERMINABLE in statuses
+
+    def test_no_keys_means_no_identification(self, census, payroll):
+        result = fuse(
+            [
+                (person_schema(key=False), census),
+                (person_schema("name", key=False), payroll),
+            ],
+            value_classes=["SSN", "Str"],
+        )
+        assert result.identified == 0
+
+    def test_duplicates_within_one_source_also_collapse(self):
+        duplicated = Instance.build(
+            extents={"Person": {"p1", "p2"}, "SSN": {"123"}},
+            values={("p1", "ssn"): "123", ("p2", "ssn"): "123"},
+        )
+        result = fuse(
+            [(person_schema(), duplicated)], value_classes=["SSN"]
+        )
+        assert result.identified == 1
+        assert len(result.instance.extent("Person")) == 1
+
+    def test_key_violating_data_raises(self):
+        # Two people share an ssn but have contradicting names — the
+        # identification would force one oid to carry two name values.
+        left = Instance.build(
+            extents={
+                "Person": {"p1"},
+                "SSN": {"123"},
+                "Str": {"ann"},
+            },
+            values={("p1", "ssn"): "123", ("p1", "name"): "ann"},
+        )
+        right = Instance.build(
+            extents={
+                "Person": {"q1"},
+                "SSN": {"123"},
+                "Str": {"zoe"},
+            },
+            values={("q1", "ssn"): "123", ("q1", "name"): "zoe"},
+        )
+        schema = person_schema("name")
+        with pytest.raises(InstanceError, match="violates the keys"):
+            fuse(
+                [(schema, left), (schema, right)],
+                value_classes=["SSN", "Str"],
+            )
+
+    def test_summary_mentions_counts_and_verdicts(self, census, payroll):
+        result = fuse(
+            [(person_schema(), census), (person_schema("name"), payroll)],
+            value_classes=["SSN", "Str"],
+        )
+        text = result.summary()
+        assert "identified by keys" in text
+        assert "agreed" in text or "Person" in text

@@ -1,0 +1,179 @@
+"""Integration tests over the curated scenario datasets."""
+
+import pytest
+
+from repro.core.implicit import implicit_classes_of
+from repro.core.keys import KeyFamily, merge_keyed
+from repro.core.lower import (
+    annotated_leq,
+    complete_classes,
+    lower_merge,
+    lower_properize,
+    lower_properness_violations,
+)
+from repro.core.merge import upper_merge
+from repro.core.ordering import is_sub
+from repro.core.participation import Participation
+from repro.core.proper import is_proper
+from repro.datasets import (
+    retail_federation_scenario,
+    university_scenario,
+    veterinary_scenario,
+)
+
+
+class TestUniversityScenario:
+    def test_keyed_merge_succeeds(self):
+        views, assertions = university_scenario()
+        merged = merge_keyed(*views, assertions=assertions)
+        assert is_proper(merged.schema)
+
+    def test_key_propagation_through_assertions(self):
+        views, assertions = university_scenario()
+        merged = merge_keyed(*views, assertions=assertions)
+        # GS ==> Student: the Student id-key propagates to GS (same
+        # family, both already declared it).
+        assert merged.keys_of("GS").is_superkey({"id"})
+        # TA ==> GS ==> Student: the TA inherits the id key too.
+        assert merged.keys_of("TA").is_superkey({"id"})
+
+    def test_ta_inherits_arrows_down_two_levels(self):
+        views, assertions = university_scenario()
+        merged = merge_keyed(*views, assertions=assertions)
+        schema = merged.schema
+        assert schema.has_arrow("TA", "thesis", "Title")  # via GS
+        assert schema.has_arrow("TA", "enrolled", "Term")  # via Student
+        assert schema.has_arrow("TA", "salary", "Money")  # via Employee
+
+    def test_merge_order_independent(self):
+        views, assertions = university_scenario()
+        forward = merge_keyed(*views, assertions=assertions)
+        backward = merge_keyed(*reversed(views), assertions=assertions)
+        assert forward == backward
+
+    def test_advisor_committee_keys_intact(self):
+        views, assertions = university_scenario()
+        merged = merge_keyed(*views, assertions=assertions)
+        assert merged.keys_of("Advisor").contains_family(
+            merged.keys_of("Committee")
+        )
+
+
+class TestVeterinaryScenario:
+    def test_merge_unifies_dog(self):
+        schemas, assertions = veterinary_scenario()
+        merged = upper_merge(*schemas, assertions=assertions)
+        labels = merged.out_labels("Dog")
+        # Arrows from all three sources converge on one Dog class.
+        assert {"name", "license", "kind", "sire", "chart"} <= labels
+
+    def test_every_input_below_merge(self):
+        schemas, assertions = veterinary_scenario()
+        merged = upper_merge(*schemas, assertions=assertions)
+        for schema in schemas:
+            assert is_sub(schema, merged)
+
+    def test_no_implicit_classes_needed(self):
+        # The three views agree on all attribute typings, so the merge
+        # should stay implicit-free — a realistic "clean" integration.
+        schemas, assertions = veterinary_scenario()
+        merged = upper_merge(*schemas, assertions=assertions)
+        assert not implicit_classes_of(merged)
+
+    def test_circular_arrows_supported(self):
+        # Dog --sire--> Dog is a cycle in E (not in S): legal, and it
+        # survives the merge (the model supports "complex data
+        # structures (such as circular definitions)", §2).
+        schemas, assertions = veterinary_scenario()
+        merged = upper_merge(*schemas, assertions=assertions)
+        assert merged.has_arrow("Dog", "sire", "Dog")
+        assert merged.has_arrow("Police-dog", "sire", "Dog")
+
+
+class TestRetailFederation:
+    def test_lower_merge_is_lower_bound(self):
+        sources = retail_federation_scenario()
+        merged = lower_merge(*sources)
+        for completed in complete_classes(sources):
+            assert annotated_leq(merged, completed)
+
+    def test_disagreements_become_optional(self):
+        sources = retail_federation_scenario()
+        merged = lower_merge(*sources)
+        # total is required everywhere; customer link is not.
+        assert (
+            merged.participation_of("Order", "total", "Money")
+            == Participation.REQUIRED
+        )
+        assert (
+            merged.participation_of("Order", "customer", "Customer")
+            == Participation.OPTIONAL
+        )
+        assert (
+            merged.participation_of("Customer", "name", "Name")
+            == Participation.OPTIONAL
+        )
+
+    def test_bulk_order_survives(self):
+        sources = retail_federation_scenario()
+        merged = lower_merge(*sources)
+        assert any(str(c) == "BulkOrder" for c in merged.classes)
+
+    def test_properization_terminates_clean(self):
+        sources = retail_federation_scenario()
+        proper = lower_properize(lower_merge(*sources))
+        assert lower_properness_violations(proper) == []
+
+
+class TestPersonRegistryScenario:
+    def test_fusion_identifies_exactly_alice(self):
+        from repro.datasets import (
+            PERSON_REGISTRY_VALUE_CLASSES,
+            person_registry_scenario,
+        )
+        from repro.instances.correspondence import fuse
+
+        result = fuse(
+            person_registry_scenario(),
+            value_classes=PERSON_REGISTRY_VALUE_CLASSES,
+        )
+        assert result.identified == 1
+        assert len(result.instance.extent("Person")) == 3
+
+    def test_imposed_key_is_reported(self):
+        from repro.datasets import person_registry_scenario
+        from repro.instances.correspondence import (
+            CorrespondenceStatus,
+            analyze_correspondence,
+        )
+
+        schemas = [keyed for keyed, _data in person_registry_scenario()]
+        rows = analyze_correspondence(schemas)
+        assert CorrespondenceStatus.IMPOSED in {row.status for row in rows}
+
+    def test_fused_alice_has_both_sources_attributes(self):
+        from repro.datasets import (
+            PERSON_REGISTRY_VALUE_CLASSES,
+            person_registry_scenario,
+        )
+        from repro.instances.correspondence import fuse
+
+        result = fuse(
+            person_registry_scenario(),
+            value_classes=PERSON_REGISTRY_VALUE_CLASSES,
+        )
+        (alice,) = [
+            oid
+            for oid in result.instance.extent("Person")
+            if result.instance.value(oid, "ssn") == "123-45"
+        ]
+        assert result.instance.value(alice, "born") == "1970-01-01"
+        assert result.instance.value(alice, "salary") == "90k"
+
+    def test_scenario_returns_fresh_objects(self):
+        from repro.datasets import person_registry_scenario
+
+        first = person_registry_scenario()
+        second = person_registry_scenario()
+        assert first[0][0] == second[0][0]
+        assert first[0][1] == second[0][1]

@@ -1,0 +1,246 @@
+"""Unit tests for the ER substrate model (§2, §5, Figures 1-2, 9)."""
+
+import pytest
+
+from repro.core.assertions import isa
+from repro.core.keys import KeyFamily
+from repro.exceptions import TranslationError
+from repro.models.er import (
+    ERAttribute,
+    ERDiagram,
+    EREntity,
+    ERRelationship,
+    cardinality_keys,
+    from_schema,
+    merge_er,
+    to_keyed_schema,
+    to_schema,
+)
+
+
+@pytest.fixture
+def advisor_diagram() -> ERDiagram:
+    return ERDiagram(
+        entities=[EREntity("Faculty"), EREntity("GS")],
+        relationships=[
+            ERRelationship(
+                "Advisor",
+                roles={"faculty": "Faculty", "victim": "GS"},
+                cardinalities={"faculty": "1"},
+            ),
+            ERRelationship(
+                "Committee",
+                roles={"faculty": "Faculty", "victim": "GS"},
+                isa=["Advisor"],
+            ),
+        ],
+    )
+
+
+class TestValidation:
+    def test_duplicate_entity_rejected(self):
+        with pytest.raises(TranslationError):
+            ERDiagram(entities=[EREntity("A"), EREntity("A")])
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(TranslationError):
+            ERDiagram(entities=[EREntity("A", isa=["Missing"])])
+
+    def test_unknown_role_target_rejected(self):
+        with pytest.raises(TranslationError):
+            ERDiagram(
+                relationships=[ERRelationship("R", roles={"x": "Missing"})]
+            )
+
+    def test_bad_cardinality_rejected(self):
+        with pytest.raises(TranslationError):
+            ERRelationship(
+                "R", roles={"x": "E"}, cardinalities={"x": "17"}
+            )
+
+    def test_cardinality_on_unknown_role_rejected(self):
+        with pytest.raises(TranslationError):
+            ERRelationship(
+                "R", roles={"x": "E"}, cardinalities={"y": "1"}
+            )
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(TranslationError):
+            EREntity(
+                "E",
+                attributes=[
+                    ERAttribute("a", "D"),
+                    ERAttribute("a", "D2"),
+                ],
+            )
+
+    def test_key_over_unknown_attribute_rejected(self):
+        with pytest.raises(TranslationError):
+            EREntity("E", keys=[{"ghost"}])
+
+    def test_lookup_errors(self):
+        diagram = ERDiagram(entities=[EREntity("A")])
+        with pytest.raises(TranslationError):
+            diagram.entity("B")
+        with pytest.raises(TranslationError):
+            diagram.relationship("R")
+
+
+class TestCardinalityKeys:
+    def test_many_many_binary(self):
+        relationship = ERRelationship(
+            "R", roles={"x": "E", "y": "F"}
+        )
+        assert cardinality_keys(relationship) == KeyFamily.of({"x", "y"})
+
+    def test_one_label_makes_other_role_key(self):
+        relationship = ERRelationship(
+            "Advisor",
+            roles={"faculty": "Faculty", "victim": "GS"},
+            cardinalities={"faculty": "1"},
+        )
+        assert cardinality_keys(relationship) == KeyFamily.of({"victim"})
+
+    def test_one_one_binary(self):
+        relationship = ERRelationship(
+            "R",
+            roles={"x": "E", "y": "F"},
+            cardinalities={"x": "1", "y": "1"},
+        )
+        family = cardinality_keys(relationship)
+        assert family.is_superkey({"x"}) and family.is_superkey({"y"})
+
+    def test_nary_defaults_to_all_roles(self):
+        relationship = ERRelationship(
+            "R", roles={"x": "E", "y": "F", "z": "G"}
+        )
+        assert cardinality_keys(relationship) == KeyFamily.of(
+            {"x", "y", "z"}
+        )
+
+    def test_nary_uses_declared_keys(self):
+        relationship = ERRelationship(
+            "R",
+            roles={"x": "E", "y": "F", "z": "G"},
+            keys=[{"x", "y"}],
+        )
+        assert cardinality_keys(relationship) == KeyFamily.of({"x", "y"})
+
+
+class TestTranslation:
+    def test_strata_assigned(self, advisor_diagram):
+        stratified = to_schema(advisor_diagram)
+        assert stratified.stratum_of("Faculty") == "entity"
+        assert stratified.stratum_of("Advisor") == "relationship"
+
+    def test_relationship_isa_translates(self, advisor_diagram):
+        stratified = to_schema(advisor_diagram)
+        assert stratified.schema.is_spec("Committee", "Advisor")
+
+    def test_keyed_translation(self, advisor_diagram):
+        keyed = to_keyed_schema(advisor_diagram)
+        assert keyed.keys_of("Advisor") == KeyFamily.of({"victim"})
+
+    def test_round_trip_modulo_keys(self, advisor_diagram):
+        # Cardinalities/keys live in the keyed layer (to_keyed_schema);
+        # the plain translation round-trips everything else.
+        back = from_schema(to_schema(advisor_diagram))
+        stripped = ERDiagram(
+            entities=advisor_diagram.entities,
+            relationships=[
+                ERRelationship(
+                    rel.name,
+                    roles=dict(rel.roles),
+                    attributes=rel.attributes,
+                    isa=rel.isa,
+                )
+                for rel in advisor_diagram.relationships
+            ],
+        )
+        assert back == stripped
+
+    def test_keyless_round_trip_exact(self):
+        diagram = ERDiagram(
+            entities=[
+                EREntity("Dog", attributes=[ERAttribute("age", "Int")]),
+                EREntity("Kennel"),
+            ],
+            relationships=[
+                ERRelationship(
+                    "Lives", roles={"occ": "Dog", "home": "Kennel"}
+                )
+            ],
+        )
+        assert from_schema(to_schema(diagram)) == diagram
+
+    def test_from_schema_wrong_policy_rejected(self):
+        from repro.models.relational import (
+            RelationSchema,
+            RelationalDatabase,
+        )
+        from repro.models.relational import to_schema as rel_to_schema
+
+        database = RelationalDatabase(
+            [RelationSchema("R", {"a": "D"})]
+        )
+        with pytest.raises(TranslationError):
+            from_schema(rel_to_schema(database))
+
+
+class TestMergeER:
+    def test_attribute_union(self):
+        one = ERDiagram(
+            entities=[
+                EREntity("Dog", attributes=[ERAttribute("owner", "Str")])
+            ]
+        )
+        two = ERDiagram(
+            entities=[
+                EREntity("Dog", attributes=[ERAttribute("age", "Int")])
+            ]
+        )
+        merged = merge_er(one, two)
+        names = {a.name for a in merged.entity("Dog").attributes}
+        assert names == {"owner", "age"}
+
+    def test_merge_with_assertion(self):
+        one = ERDiagram(entities=[EREntity("Guide-dog")])
+        two = ERDiagram(
+            entities=[
+                EREntity("Dog", attributes=[ERAttribute("age", "Int")])
+            ]
+        )
+        merged = merge_er(one, two, assertions=[isa("Guide-dog", "Dog")])
+        guide = merged.entity("Guide-dog")
+        assert guide.isa == ("Dog",)
+        # The inherited attribute is not duplicated on the subclass.
+        assert guide.attributes == ()
+
+    def test_merged_implicit_entity_round_trips(self):
+        one = ERDiagram(
+            entities=[EREntity("E1"), EREntity("E2")],
+            relationships=[ERRelationship("R", roles={"x": "E1"})],
+        )
+        two = ERDiagram(
+            entities=[EREntity("E2")],
+            relationships=[ERRelationship("R", roles={"x": "E2"})],
+        )
+        merged = merge_er(one, two)
+        # R's role now points at the implicit entity below {E1, E2}.
+        role_targets = dict(merged.relationship("R").roles)
+        assert role_targets["x"] == "<E1&E2>"
+        assert merged.entity("<E1&E2>").isa == ("E1", "E2")
+
+    def test_structural_conflict_detected(self):
+        as_entity = ERDiagram(
+            entities=[EREntity("Thing")],
+        )
+        as_domain = ERDiagram(
+            entities=[
+                EREntity(
+                    "Holder", attributes=[ERAttribute("thing", "Thing")]
+                )
+            ]
+        )
+        with pytest.raises(TranslationError):
+            merge_er(as_entity, as_domain)

@@ -1,0 +1,396 @@
+"""Unit tests for the information-ordering framework (§6's criterion)."""
+
+import pytest
+
+from repro.core.framework import (
+    ANNOTATED_ORDERING,
+    KEYED_ORDERING,
+    WEAK_ORDERING,
+    AnnotatedSchemaOrdering,
+    InformationOrdering,
+    KeyedSchemaOrdering,
+    WeakSchemaOrdering,
+    annotated_join,
+    annotated_join_all,
+    annotated_meet,
+    keyed_join,
+    keyed_leq,
+    keyed_meet,
+    merge_law_violations,
+    ordering_violations,
+    validate_merge_concept,
+)
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema, annotated_leq, lower_merge
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+from repro.exceptions import IncompatibleSchemasError
+
+
+@pytest.fixture
+def pets() -> Schema:
+    return Schema.build(arrows=[("Dog", "owner", "Person")])
+
+
+@pytest.fixture
+def licences() -> Schema:
+    return Schema.build(
+        arrows=[("Dog", "licence", "Licence")],
+        spec=[("Police-dog", "Dog")],
+    )
+
+
+class TestWeakOrdering:
+    def test_join_matches_module_join(self, pets, licences):
+        from repro.core.ordering import join
+
+        assert WEAK_ORDERING.join(pets, licences) == join(pets, licences)
+
+    def test_meet_matches_module_meet(self, pets, licences):
+        from repro.core.ordering import meet
+
+        assert WEAK_ORDERING.meet(pets, licences) == meet(pets, licences)
+
+    def test_bottom_is_empty_schema(self):
+        assert WEAK_ORDERING.bottom() == Schema.empty()
+
+    def test_join_all_empty_gives_bottom(self):
+        assert WEAK_ORDERING.join_all([]) == Schema.empty()
+
+    def test_join_all_folds(self, pets, licences):
+        third = Schema.build(spec=[("Guide-dog", "Dog")])
+        folded = WEAK_ORDERING.join_all([pets, licences, third])
+        from repro.core.ordering import join_all
+
+        assert folded == join_all([pets, licences, third])
+
+    def test_upper_and_lower_bound_helpers(self, pets, licences):
+        joined = WEAK_ORDERING.join(pets, licences)
+        assert WEAK_ORDERING.is_upper_bound(joined, [pets, licences])
+        assert WEAK_ORDERING.is_lower_bound(Schema.empty(), [pets, licences])
+
+    def test_laws_hold_on_samples(self, pets, licences):
+        samples = [pets, licences, Schema.empty(), WEAK_ORDERING.join(pets, licences)]
+        assert validate_merge_concept(WEAK_ORDERING, samples) == []
+
+
+class TestAnnotatedJoin:
+    def test_optional_below_required(self):
+        optional = AnnotatedSchema.build(
+            arrows=[("Dog", "age", "Int", "0/1")]
+        )
+        required = AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "1")])
+        joined = annotated_join(optional, required)
+        assert (
+            joined.participation_of("Dog", "age", "Int")
+            == Participation.REQUIRED
+        )
+
+    def test_optional_vs_absent_resolves_to_absent(self):
+        # Absence over known classes is constraint 0 — *more* information
+        # than optional, so the LUB drops the arrow.
+        optional = AnnotatedSchema.build(
+            arrows=[("Dog", "age", "Int", "0/1")]
+        )
+        absent = AnnotatedSchema.build(classes=["Dog", "Int"])
+        joined = annotated_join(optional, absent)
+        assert (
+            joined.participation_of("Dog", "age", "Int")
+            == Participation.ABSENT
+        )
+        assert annotated_leq(optional, joined)
+        assert annotated_leq(absent, joined)
+
+    def test_forbidden_vs_required_has_no_join(self):
+        required = AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "1")])
+        forbidding = AnnotatedSchema.build(classes=["Dog", "Int"])
+        with pytest.raises(IncompatibleSchemasError, match="participation"):
+            annotated_join(forbidding, required)
+
+    def test_unknown_class_is_no_opinion(self):
+        # A schema that has never heard of Dog does not forbid its arrows.
+        required = AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "1")])
+        oblivious = AnnotatedSchema.build(classes=["Cat"])
+        joined = annotated_join(required, oblivious)
+        assert (
+            joined.participation_of("Dog", "age", "Int")
+            == Participation.REQUIRED
+        )
+        from repro.core.names import name
+
+        assert name("Cat") in joined.classes
+
+    def test_specialization_cycle_raises(self):
+        one = AnnotatedSchema.build(spec=[("A", "B")])
+        two = AnnotatedSchema.build(spec=[("B", "A")])
+        with pytest.raises(IncompatibleSchemasError, match="cycle"):
+            annotated_join(one, two)
+
+    def test_closure_conflict_detected(self):
+        # One schema: required arrow on the superclass.  Other: the
+        # subclass exists with the target known and the arrow absent.
+        # The join's closure would force the required arrow down onto
+        # the subclass, contradicting the second schema's constraint 0.
+        upper = AnnotatedSchema.build(
+            arrows=[("Dog", "age", "Int", "1")],
+            spec=[("Puppy", "Dog")],
+        )
+        lower = AnnotatedSchema.build(classes=["Puppy", "Int"])
+        with pytest.raises(IncompatibleSchemasError):
+            annotated_join(upper, lower)
+
+    def test_join_all_empty_is_empty_schema(self):
+        assert annotated_join_all([]) == AnnotatedSchema.empty()
+
+    def test_binary_folding_recreates_the_section3_problem(self):
+        """Why the middle merge is n-ary: a binary join unions class
+        scopes, asserting constraint 0 on arrows neither input co-knew.
+
+        ``a`` knows Kennel (but not Dog), ``b`` knows Dog (but not
+        Kennel), and ``c`` requires ``Dog --home--> Kennel``.  Merging
+        the collection at once succeeds — neither a nor b ever had an
+        opinion on that arrow — but folding ``(a ⊔ b) ⊔ c`` fails,
+        because the intermediate result knows both classes and lacks
+        the arrow, i.e. *forbids* it.
+        """
+        a = AnnotatedSchema.build(classes=["Kennel"])
+        b = AnnotatedSchema.build(classes=["Dog"])
+        c = AnnotatedSchema.build(arrows=[("Dog", "home", "Kennel", "1")])
+
+        collection = annotated_join_all([a, b, c])
+        assert (
+            collection.participation_of("Dog", "home", "Kennel")
+            == Participation.REQUIRED
+        )
+        fold_step = annotated_join(a, b)
+        with pytest.raises(IncompatibleSchemasError):
+            annotated_join(fold_step, c)
+        # The ordering's n-ary entry point uses the collection merge,
+        # so it does not trip over the fold problem.
+        assert ANNOTATED_ORDERING.join_all([a, b, c]) == collection
+
+    def test_join_is_between_lower_and_upper_merge(self):
+        # §6's "in-between" reading made concrete: the annotated join
+        # keeps the union of classes (like the upper merge) yet respects
+        # participation information (like the lower merge).
+        one = AnnotatedSchema.build(
+            arrows=[("Dog", "name", "Str", "1"), ("Dog", "age", "Int", "1")]
+        )
+        two = AnnotatedSchema.build(
+            arrows=[("Dog", "name", "Str", "1"), ("Cat", "name", "Str", "1")]
+        )
+        joined = annotated_join(one, two)
+        lowered = lower_merge(one, two)
+        assert annotated_leq(lowered, joined)
+        assert joined.classes == one.classes | two.classes
+        assert (
+            joined.participation_of("Dog", "age", "Int")
+            == Participation.REQUIRED
+        )
+
+
+class TestAnnotatedMeet:
+    def test_meet_keeps_shared_classes_only(self):
+        one = AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "1")])
+        two = AnnotatedSchema.build(
+            arrows=[("Dog", "age", "Int", "1")], classes=["Cat"]
+        )
+        met = annotated_meet(one, two)
+        assert met.classes == one.classes
+
+    def test_meet_weakens_disagreement_to_optional(self):
+        required = AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "1")])
+        absent = AnnotatedSchema.build(classes=["Dog", "Int"])
+        met = annotated_meet(required, absent)
+        assert (
+            met.participation_of("Dog", "age", "Int")
+            == Participation.OPTIONAL
+        )
+
+    def test_meet_agrees_with_lower_merge_on_shared_class_set(self):
+        one = AnnotatedSchema.build(
+            arrows=[("Dog", "name", "Str", "1"), ("Dog", "age", "Int", "0/1")]
+        )
+        two = AnnotatedSchema.build(
+            arrows=[("Dog", "name", "Str", "0/1")], classes=["Int"]
+        )
+        assert annotated_meet(one, two) == lower_merge(one, two)
+
+    def test_meet_is_a_lower_bound(self):
+        one = AnnotatedSchema.build(
+            arrows=[("Dog", "age", "Int", "1")], spec=[("Puppy", "Dog")]
+        )
+        two = AnnotatedSchema.build(arrows=[("Dog", "age", "Int", "0/1")])
+        met = annotated_meet(one, two)
+        assert annotated_leq(met, one)
+        assert annotated_leq(met, two)
+
+
+class TestKeyedOrdering:
+    @pytest.fixture
+    def keyed_person(self) -> KeyedSchema:
+        return KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "SSN")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+
+    @pytest.fixture
+    def plain_person(self) -> KeyedSchema:
+        return KeyedSchema(
+            Schema.build(
+                arrows=[("Person", "ssn", "SSN"), ("Person", "name", "Str")]
+            )
+        )
+
+    def test_leq_requires_schema_inclusion(self, keyed_person, plain_person):
+        assert not keyed_leq(plain_person, keyed_person)
+
+    def test_leq_requires_key_containment(self, keyed_person, plain_person):
+        # plain_person's schema is above keyed_person's, but its (empty)
+        # family at Person does not contain {ssn}.
+        assert not keyed_leq(keyed_person, plain_person)
+
+    def test_join_imposes_key_on_keyless_input(
+        self, keyed_person, plain_person
+    ):
+        joined = keyed_join(keyed_person, plain_person)
+        assert joined.keys_of("Person") == KeyFamily.of({"ssn"})
+        assert keyed_leq(keyed_person, joined)
+        assert keyed_leq(plain_person, joined)
+
+    def test_join_propagates_keys_down_specialization(self):
+        parent = KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "SSN")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        child = KeyedSchema(
+            Schema.build(
+                classes=["Person"], spec=[("Employee", "Person")]
+            )
+        )
+        joined = keyed_join(parent, child)
+        assert joined.keys_of("Employee").is_superkey({"ssn"})
+
+    def test_meet_intersects_families(self):
+        schema = Schema.build(
+            arrows=[("Person", "ssn", "SSN"), ("Person", "name", "Str")]
+        )
+        one = KeyedSchema(schema, {"Person": KeyFamily.of({"ssn"})})
+        two = KeyedSchema(
+            schema, {"Person": KeyFamily.of({"ssn"}, {"name"})}
+        )
+        met = keyed_meet(one, two)
+        assert met.keys_of("Person") == KeyFamily.of({"ssn"})
+
+    def test_meet_drops_keys_over_vanished_arrows(self):
+        one = KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "SSN")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        two = KeyedSchema(
+            Schema.build(
+                arrows=[("Person", "ssn", "Code")],
+                classes=["SSN"],
+            ),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        met = keyed_meet(one, two)
+        # The ssn arrows disagree on targets, so no shared ssn arrow
+        # survives the schema meet, and the key must go with it.
+        assert met.keys_of("Person").is_empty()
+
+    def test_bottom(self):
+        bottom = KEYED_ORDERING.bottom()
+        assert bottom.schema == Schema.empty()
+
+    def test_laws_hold_on_samples(self, keyed_person, plain_person):
+        samples = [
+            keyed_person,
+            plain_person,
+            KEYED_ORDERING.bottom(),
+            keyed_join(keyed_person, plain_person),
+        ]
+        assert validate_merge_concept(KEYED_ORDERING, samples) == []
+
+
+class TestLawCheckers:
+    def test_detect_broken_reflexivity(self):
+        class Broken(WeakSchemaOrdering):
+            name = "broken"
+
+            def leq(self, left, right):
+                return False
+
+        problems = ordering_violations(Broken(), [Schema.empty()])
+        assert any("reflexive" in p for p in problems)
+
+    def test_detect_non_least_join(self, pets, licences):
+        class Greedy(WeakSchemaOrdering):
+            """A 'merge' that pads the result — an upper bound, not a LUB."""
+
+            name = "greedy"
+
+            def join(self, left, right):
+                from repro.core.ordering import join
+
+                return join(left, right).with_class("Extra")
+
+        padded = Greedy()
+        honest = WEAK_ORDERING.join(pets, licences)
+        problems = merge_law_violations(padded, [pets, licences, honest])
+        assert any("not least" in p for p in problems)
+
+    def test_detect_order_dependent_merge(self, pets, licences):
+        class OrderSensitive(WeakSchemaOrdering):
+            """A merge that remembers which operand came first."""
+
+            name = "order-sensitive"
+
+            def join(self, left, right):
+                from repro.core.ordering import join
+
+                joined = join(left, right)
+                marker = sorted(str(c) for c in left.classes)
+                if marker:
+                    joined = joined.with_class("Saw-" + marker[0])
+                return joined
+
+        problems = merge_law_violations(
+            OrderSensitive(), [pets, licences]
+        )
+        assert problems  # commutativity (and more) must fail
+
+    def test_abstract_base_requires_leq_and_join(self):
+        with pytest.raises(TypeError):
+            InformationOrdering()  # type: ignore[abstract]
+
+    def test_default_meet_is_unsupported(self):
+        class JoinOnly(InformationOrdering):
+            name = "join-only"
+
+            def leq(self, left, right):
+                return left == right
+
+            def join(self, left, right):
+                return left
+
+        with pytest.raises(NotImplementedError):
+            JoinOnly().meet(1, 2)
+
+    def test_join_all_without_bottom_rejects_empty(self):
+        class NoBottom(InformationOrdering):
+            name = "no-bottom"
+
+            def leq(self, left, right):
+                return left == right
+
+            def join(self, left, right):
+                return left
+
+        with pytest.raises(ValueError):
+            NoBottom().join_all([])
+
+    def test_singletons_are_the_documented_types(self):
+        assert isinstance(WEAK_ORDERING, WeakSchemaOrdering)
+        assert isinstance(ANNOTATED_ORDERING, AnnotatedSchemaOrdering)
+        assert isinstance(KEYED_ORDERING, KeyedSchemaOrdering)

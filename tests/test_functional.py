@@ -1,0 +1,133 @@
+"""Unit tests for the functional substrate model (§2)."""
+
+import pytest
+
+from repro.core.names import BaseName, ImplicitName
+from repro.core.proper import is_proper
+from repro.exceptions import NotProperError, TranslationError
+from repro.models.functional import (
+    FunctionalSchema,
+    from_schema,
+    merge_functional,
+    to_schema,
+)
+
+
+class TestConstruction:
+    def test_functions_recorded(self):
+        functional = FunctionalSchema(
+            functions={("Dog", "owner"): "Person"}
+        )
+        assert functional.functions_of("Dog") == {
+            "owner": BaseName("Person")
+        }
+
+    def test_inheritance_fills_d2(self):
+        functional = FunctionalSchema(
+            functions={("Dog", "owner"): "Person"},
+            isa=[("Puppy", "Dog")],
+        )
+        assert functional.functions_of("Puppy") == {
+            "owner": BaseName("Person")
+        }
+
+    def test_multilevel_inheritance(self):
+        functional = FunctionalSchema(
+            functions={("Animal", "home"): "Place"},
+            isa=[("Dog", "Animal"), ("Puppy", "Dog")],
+        )
+        assert functional.functions_of("Puppy") == {
+            "home": BaseName("Place")
+        }
+
+    def test_refinement_not_overwritten(self):
+        functional = FunctionalSchema(
+            functions={
+                ("Dog", "owner"): "Person",
+                ("Police-dog", "owner"): "Officer",
+            },
+            isa=[("Police-dog", "Dog"), ("Officer", "Person")],
+        )
+        assert functional.functions_of("Police-dog") == {
+            "owner": BaseName("Officer")
+        }
+
+    def test_isa_cycle_rejected(self):
+        with pytest.raises(TranslationError):
+            FunctionalSchema(isa=[("A", "B"), ("B", "A")])
+
+    def test_no_inherit_mode(self):
+        functional = FunctionalSchema(
+            functions={("Dog", "owner"): "Person"},
+            isa=[("Puppy", "Dog")],
+            inherit=False,
+        )
+        assert functional.functions_of("Puppy") == {}
+
+
+class TestTranslation:
+    def test_to_schema_proper(self):
+        functional = FunctionalSchema(
+            functions={("Dog", "owner"): "Person"},
+            isa=[("Puppy", "Dog")],
+        )
+        schema = to_schema(functional)
+        assert is_proper(schema)
+        assert schema.has_arrow("Puppy", "owner", "Person")
+
+    def test_round_trip(self):
+        functional = FunctionalSchema(
+            functions={
+                ("Dog", "owner"): "Person",
+                ("Police-dog", "owner"): "Officer",
+            },
+            isa=[("Police-dog", "Dog"), ("Officer", "Person")],
+        )
+        assert from_schema(to_schema(functional)) == functional
+
+    def test_from_weak_schema_rejected(self):
+        from repro.core.schema import Schema
+
+        weak = Schema.build(arrows=[("F", "a", "C"), ("F", "a", "D")])
+        with pytest.raises(NotProperError):
+            from_schema(weak)
+
+    def test_d2_incomplete_without_inherit_rejected(self):
+        functional = FunctionalSchema(
+            functions={("Dog", "owner"): "Person"},
+            isa=[("Puppy", "Dog")],
+            inherit=False,
+        )
+        from repro.exceptions import SchemaValidationError
+
+        with pytest.raises(SchemaValidationError):
+            to_schema(functional)
+
+
+class TestMerge:
+    def test_union_of_functions(self):
+        one = FunctionalSchema(functions={("Dog", "owner"): "Person"})
+        two = FunctionalSchema(functions={("Dog", "breed"): "Breed"})
+        merged = merge_functional(one, two)
+        assert merged.functions_of("Dog") == {
+            "owner": BaseName("Person"),
+            "breed": BaseName("Breed"),
+        }
+
+    def test_conflict_resolved_by_implicit_class(self):
+        one = FunctionalSchema(functions={("F", "a"): "C"})
+        two = FunctionalSchema(functions={("F", "a"): "D"})
+        merged = merge_functional(one, two)
+        assert merged.functions_of("F") == {
+            "a": ImplicitName(["C", "D"])
+        }
+
+    def test_merge_is_order_independent(self):
+        one = FunctionalSchema(functions={("F", "a"): "C"})
+        two = FunctionalSchema(functions={("F", "a"): "D"})
+        three = FunctionalSchema(
+            functions={("G", "b"): "C"}, isa=[("G", "F")]
+        )
+        assert merge_functional(one, two, three) == merge_functional(
+            three, two, one
+        )

@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic generators."""
+
+import pytest
+
+from repro.core.implicit import implicit_sets
+from repro.core.ordering import compatible
+from repro.core.proper import is_proper
+from repro.generators.pathological import (
+    diamond_chain_schemas,
+    expected_nfa_implicit_count,
+    nfa_blowup_pair,
+    nfa_blowup_schema,
+)
+from repro.generators.random_schemas import (
+    random_annotated_schema,
+    random_instance,
+    random_keyed_schema,
+    random_proper_schema,
+    random_schema_family,
+    random_weak_schema,
+)
+from repro.generators.workloads import WORKLOADS, get_workload
+from repro.instances.satisfaction import satisfies
+
+
+class TestRandomSchemas:
+    def test_deterministic(self):
+        assert random_weak_schema(seed=5) == random_weak_schema(seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_weak_schema(seed=1) != random_weak_schema(seed=2)
+
+    def test_requested_class_count(self):
+        schema = random_weak_schema(n_classes=15, seed=3)
+        assert len(schema.classes) == 15
+
+    def test_pool_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_weak_schema(n_classes=10, class_pool=["A"], seed=0)
+
+    def test_proper_schema_is_proper(self):
+        for seed in range(5):
+            assert is_proper(random_proper_schema(n_classes=10, seed=seed))
+
+    def test_family_is_compatible(self):
+        for seed in range(5):
+            family = random_schema_family(seed=seed)
+            assert compatible(*family)
+
+    def test_family_overlaps(self):
+        family = random_schema_family(
+            n_schemas=3, pool_size=15, n_classes=12, seed=4
+        )
+        shared = family[0].classes & family[1].classes
+        assert shared  # drawn from one pool, so overlap is expected
+
+    def test_keyed_schema_valid(self):
+        keyed = random_keyed_schema(seed=6)
+        for cls in keyed.declared_classes():
+            for key in keyed.keys_of(cls).min_keys:
+                assert key <= keyed.schema.out_labels(cls)
+
+    def test_annotated_schema_deterministic(self):
+        assert random_annotated_schema(seed=8) == random_annotated_schema(
+            seed=8
+        )
+
+    def test_random_instance_satisfies(self):
+        for seed in range(6):
+            schema = random_proper_schema(n_classes=7, seed=seed)
+            instance = random_instance(schema, seed=seed)
+            assert satisfies(instance, schema), f"seed {seed}"
+
+
+class TestPathological:
+    def test_nfa_blowup_is_exponential(self):
+        counts = [
+            len(implicit_sets(nfa_blowup_schema(k))) for k in (3, 4, 5, 6)
+        ]
+        assert counts == [2**3 - 1, 2**4 - 1, 2**5 - 1, 2**6 - 1]
+
+    def test_expected_count_matches(self):
+        for k in (3, 5):
+            assert expected_nfa_implicit_count(k) == 2**k - 1
+
+    def test_pair_components_are_proper(self):
+        first, second = nfa_blowup_pair(6)
+        assert is_proper(first) and is_proper(second)
+
+    def test_pair_merge_equals_single_schema(self):
+        from repro.core.merge import weak_merge
+
+        first, second = nfa_blowup_pair(5)
+        assert weak_merge(first, second) == nfa_blowup_schema(5)
+
+    def test_diamond_chain_linear(self):
+        from repro.core.merge import weak_merge
+
+        for k in (1, 4, 9):
+            one, two = diamond_chain_schemas(k)
+            assert len(implicit_sets(weak_merge(one, two))) == k
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            nfa_blowup_schema(0)
+        with pytest.raises(ValueError):
+            diamond_chain_schemas(0)
+        with pytest.raises(ValueError):
+            nfa_blowup_pair(0)
+
+
+class TestWorkloads:
+    def test_registry_names_match(self):
+        for name, workload in WORKLOADS.items():
+            assert workload.name == name
+
+    def test_workloads_reproducible(self):
+        for name in ("views-small", "diamonds-16"):
+            workload = get_workload(name)
+            assert workload.schemas() == workload.schemas()
+
+    def test_workload_schemas_compatible(self):
+        for name in ("views-small", "views-medium", "federation-wide"):
+            schemas = get_workload(name).schemas()
+            assert compatible(*schemas)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("nope")

@@ -1,0 +1,163 @@
+"""Unit tests for Imp construction and properization (§4.2)."""
+
+import pytest
+
+from repro.core.implicit import (
+    implicit_classes_of,
+    implicit_sets,
+    is_implicit,
+    properize,
+    reachable_sets,
+    strip_implicits,
+)
+from repro.core.merge import weak_merge
+from repro.core.names import BaseName, GenName, ImplicitName
+from repro.core.ordering import is_sub
+from repro.core.proper import canonical_class, is_proper
+from repro.core.schema import Schema
+from repro.figures import figure3_schemas, figure6_schemas
+
+
+def _merge_fig3() -> Schema:
+    return weak_merge(*figure3_schemas())
+
+
+class TestReachableSets:
+    def test_singleton_steps(self):
+        schema = Schema.build(arrows=[("A", "f", "B"), ("B", "f", "C")])
+        reached = reachable_sets(schema)
+        assert frozenset({BaseName("B")}) in reached
+        assert frozenset({BaseName("C")}) in reached
+
+    def test_multi_element_reach(self):
+        weak = _merge_fig3()
+        reached = reachable_sets(weak)
+        assert frozenset({BaseName("B1"), BaseName("B2")}) in reached
+
+    def test_empty_schema(self):
+        assert reachable_sets(Schema.empty()) == set()
+
+    def test_fixpoint_iterates_sets(self):
+        # R({B1,B2}, f) is only reachable by applying f to a 2-set.
+        schema = Schema.build(
+            arrows=[
+                ("A", "a", "B1"),
+                ("A", "a", "B2"),
+                ("B1", "f", "C1"),
+                ("B2", "f", "C2"),
+            ]
+        )
+        reached = reachable_sets(schema)
+        assert frozenset({BaseName("C1"), BaseName("C2")}) in reached
+
+
+class TestImplicitSets:
+    def test_figure3(self):
+        assert implicit_sets(_merge_fig3()) == {
+            frozenset({BaseName("B1"), BaseName("B2")})
+        }
+
+    def test_minimality_filter(self):
+        # Reach {Sub, Sup} has MinS {Sub}: no implicit class needed.
+        schema = Schema.build(
+            arrows=[("F", "a", "Sub"), ("F", "a", "Sup")],
+            spec=[("Sub", "Sup")],
+        )
+        assert implicit_sets(schema) == set()
+
+    def test_proper_schema_has_none(self, dog_schema):
+        assert implicit_sets(dog_schema) == set()
+
+
+class TestProperize:
+    def test_figure3_result(self):
+        result = properize(_merge_fig3())
+        imp = ImplicitName(["B1", "B2"])
+        assert imp in result.classes
+        assert result.is_spec(imp, "B1") and result.is_spec(imp, "B2")
+        assert result.has_arrow("C", "a", imp)
+        assert canonical_class(result, "C", "a") == imp
+        assert is_proper(result)
+
+    def test_inflationary(self):
+        weak = _merge_fig3()
+        assert is_sub(weak, properize(weak))
+
+    def test_identity_on_proper(self, dog_schema):
+        assert properize(dog_schema) is dog_schema or properize(
+            dog_schema
+        ) == dog_schema
+
+    def test_figure6_adds_e_below_implicit(self):
+        weak = weak_merge(*figure6_schemas())
+        result = properize(weak)
+        imp = ImplicitName(["C", "D"])
+        assert imp in result.classes
+        # E specializes both C and D, so the algorithm adds E ==> <C&D>.
+        assert result.is_spec("E", imp)
+
+    def test_implicit_classes_inherit_member_arrows(self):
+        schema = Schema.build(
+            arrows=[
+                ("F", "a", "C"),
+                ("F", "a", "D"),
+                ("C", "g", "X"),
+                ("D", "g", "X"),
+            ]
+        )
+        result = properize(schema)
+        imp = ImplicitName(["C", "D"])
+        assert result.has_arrow(imp, "g", "X")
+
+    def test_nested_implicits(self):
+        # The chained case: implicit class whose own arrows conflict.
+        schema = Schema.build(
+            arrows=[
+                ("A", "a", "B1"),
+                ("A", "a", "B2"),
+                ("B1", "f", "C1"),
+                ("B2", "f", "C2"),
+            ]
+        )
+        result = properize(schema)
+        first = ImplicitName(["B1", "B2"])
+        second = ImplicitName(["C1", "C2"])
+        assert first in result.classes and second in result.classes
+        assert result.has_arrow(first, "f", second)
+        assert is_proper(result)
+
+    def test_implicit_spec_between_implicits(self):
+        # <B1&B2&B3> must specialize <B1&B2> when both exist.
+        schema = Schema.build(
+            arrows=[
+                ("P", "a", "B1"),
+                ("P", "a", "B2"),
+                ("P", "a", "B3"),
+                ("Q", "a", "B1"),
+                ("Q", "a", "B2"),
+            ]
+        )
+        result = properize(schema)
+        big = ImplicitName(["B1", "B2", "B3"])
+        small = ImplicitName(["B1", "B2"])
+        assert result.is_spec(big, small)
+        assert canonical_class(result, "P", "a") == big
+        assert canonical_class(result, "Q", "a") == small
+
+
+class TestStripImplicits:
+    def test_round_trip(self):
+        weak = _merge_fig3()
+        assert strip_implicits(properize(weak)) == weak
+
+    def test_strip_is_noop_without_implicits(self, dog_schema):
+        assert strip_implicits(dog_schema) == dog_schema
+
+    def test_is_implicit_predicate(self):
+        assert is_implicit(ImplicitName(["A", "B"]))
+        assert is_implicit(GenName(["A", "B"]))
+        assert not is_implicit(BaseName("A"))
+
+    def test_implicit_classes_of(self):
+        result = properize(_merge_fig3())
+        assert implicit_classes_of(result) == {ImplicitName(["B1", "B2"])}

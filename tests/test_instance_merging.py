@@ -1,0 +1,149 @@
+"""Unit tests for instance federation and key-based identification."""
+
+import pytest
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema, lower_merge
+from repro.core.schema import Schema
+from repro.exceptions import InstanceError
+from repro.instances.instance import Instance
+from repro.instances.merging import federate, identify_by_keys
+from repro.instances.satisfaction import satisfies_annotated
+
+
+class TestFederate:
+    def test_disjointification(self):
+        one = Instance.build(extents={"Dog": {"rex"}})
+        two = Instance.build(extents={"Dog": {"rex"}})
+        combined = federate([one, two])
+        assert len(combined.extent("Dog")) == 2
+
+    def test_without_disjointification(self):
+        one = Instance.build(extents={"Dog": {"rex"}})
+        two = Instance.build(extents={"Dog": {"rex"}})
+        combined = federate([one, two], disjointify=False)
+        assert combined.extent("Dog") == {"rex"}
+
+    def test_union_satisfies_lower_merge(self):
+        schema_one = AnnotatedSchema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "age", "Int")]
+        )
+        schema_two = AnnotatedSchema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "breed", "Breed")]
+        )
+        inst_one = Instance.build(
+            extents={"Dog": {"rex"}, "Str": {"s"}, "Int": {"i"}},
+            values={("rex", "name"): "s", ("rex", "age"): "i"},
+        )
+        inst_two = Instance.build(
+            extents={"Dog": {"fido"}, "Str": {"t"}, "Breed": {"lab"}},
+            values={("fido", "name"): "t", ("fido", "breed"): "lab"},
+        )
+        assert satisfies_annotated(inst_one, schema_one)
+        assert satisfies_annotated(inst_two, schema_two)
+        merged_schema = lower_merge(schema_one, schema_two)
+        combined = federate([inst_one, inst_two])
+        assert satisfies_annotated(combined, merged_schema)
+
+    def test_empty_federation(self):
+        assert federate([]) == Instance.empty()
+
+
+class TestIdentifyByKeys:
+    @pytest.fixture
+    def keyed(self) -> KeyedSchema:
+        schema = Schema.build(arrows=[("Person", "ssn", "Str")])
+        return KeyedSchema(schema, {"Person": KeyFamily.of({"ssn"})})
+
+    def test_same_key_identified(self, keyed):
+        instance = Instance.build(
+            extents={"Person": {"p1", "p2"}, "Str": {"s"}},
+            values={("p1", "ssn"): "s", ("p2", "ssn"): "s"},
+        )
+        identified = identify_by_keys(instance, keyed)
+        assert len(identified.extent("Person")) == 1
+
+    def test_different_keys_kept_apart(self, keyed):
+        instance = Instance.build(
+            extents={"Person": {"p1", "p2"}, "Str": {"s1", "s2"}},
+            values={("p1", "ssn"): "s1", ("p2", "ssn"): "s2"},
+        )
+        identified = identify_by_keys(instance, keyed)
+        assert len(identified.extent("Person")) == 2
+
+    def test_undefined_key_values_never_identify(self, keyed):
+        instance = Instance.build(
+            extents={"Person": {"p1", "p2"}},
+        )
+        identified = identify_by_keys(instance, keyed)
+        assert len(identified.extent("Person")) == 2
+
+    def test_cascading_identification(self):
+        # Identifying two values can make two key tuples equal: the
+        # fixpoint must catch the second round.
+        schema = Schema.build(
+            arrows=[
+                ("Person", "ssn", "SSN"),
+                ("Account", "holder", "Person"),
+            ]
+        )
+        keyed = KeyedSchema(
+            schema,
+            {
+                "Person": KeyFamily.of({"ssn"}),
+                "Account": KeyFamily.of({"holder"}),
+            },
+        )
+        instance = Instance.build(
+            extents={
+                "Person": {"p1", "p2"},
+                "SSN": {"s"},
+                "Account": {"a1", "a2"},
+            },
+            values={
+                ("p1", "ssn"): "s",
+                ("p2", "ssn"): "s",
+                ("a1", "holder"): "p1",
+                ("a2", "holder"): "p2",
+            },
+        )
+        identified = identify_by_keys(instance, keyed)
+        assert len(identified.extent("Person")) == 1
+        assert len(identified.extent("Account")) == 1
+
+    def test_inconsistent_data_rejected(self, keyed):
+        # p1 and p2 share an ssn but have different names: identifying
+        # them forces one oid to carry two name values.
+        schema = Schema.build(
+            arrows=[
+                ("Person", "ssn", "Str"),
+                ("Person", "name", "Str"),
+            ]
+        )
+        keyed2 = KeyedSchema(schema, {"Person": KeyFamily.of({"ssn"})})
+        instance = Instance.build(
+            extents={"Person": {"p1", "p2"}, "Str": {"s", "n1", "n2"}},
+            values={
+                ("p1", "ssn"): "s",
+                ("p2", "ssn"): "s",
+                ("p1", "name"): "n1",
+                ("p2", "name"): "n2",
+            },
+        )
+        with pytest.raises(InstanceError):
+            identify_by_keys(instance, keyed2)
+
+    def test_cross_database_identification_story(self, keyed):
+        # The section 5 narrative: one source has the person, the other
+        # has the same person under a different oid.
+        g1_instance = Instance.build(
+            extents={"Person": {"bob"}, "Str": {"123"}},
+            values={("bob", "ssn"): "123"},
+        )
+        g2_instance = Instance.build(
+            extents={"Person": {"robert"}, "Str": {"123"}},
+            values={("robert", "ssn"): "123"},
+        )
+        combined = federate([g1_instance, g2_instance], disjointify=False)
+        identified = identify_by_keys(combined, keyed)
+        assert len(identified.extent("Person")) == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the Instance data structure."""
+
+import pytest
+
+from repro.core.names import BaseName
+from repro.exceptions import InstanceError
+from repro.instances.instance import Instance
+
+
+@pytest.fixture
+def dog_instance() -> Instance:
+    return Instance.build(
+        extents={
+            "Dog": {"rex", "fido"},
+            "Person": {"alice"},
+        },
+        values={
+            ("rex", "owner"): "alice",
+            ("fido", "owner"): "alice",
+        },
+    )
+
+
+class TestBuild:
+    def test_universe_inferred(self, dog_instance):
+        assert dog_instance.oids == {"rex", "fido", "alice"}
+
+    def test_extents(self, dog_instance):
+        assert dog_instance.extent("Dog") == {"rex", "fido"}
+        assert dog_instance.extent("Unknown") == frozenset()
+
+    def test_values(self, dog_instance):
+        assert dog_instance.value("rex", "owner") == "alice"
+        assert dog_instance.value("rex", "age") is None
+
+    def test_explicit_extra_oids(self):
+        instance = Instance.build(oids=["ghost"])
+        assert instance.oids == {"ghost"}
+
+    def test_empty(self):
+        assert len(Instance.empty()) == 0
+
+    def test_classes_of(self, dog_instance):
+        assert dog_instance.classes_of("rex") == {BaseName("Dog")}
+
+    def test_defined_labels(self, dog_instance):
+        assert dog_instance.defined_labels("rex") == {"owner"}
+
+
+class TestValidation:
+    def test_extent_with_unknown_oid(self):
+        with pytest.raises(InstanceError):
+            Instance(
+                frozenset({"a"}),
+                {BaseName("C"): frozenset({"b"})},
+                {},
+            )
+
+    def test_value_with_unknown_source(self):
+        with pytest.raises(InstanceError):
+            Instance(frozenset({"a"}), {}, {("x", "f"): "a"})
+
+    def test_value_with_unknown_target(self):
+        with pytest.raises(InstanceError):
+            Instance(frozenset({"a"}), {}, {("a", "f"): "x"})
+
+    def test_bad_label(self):
+        with pytest.raises(InstanceError):
+            Instance(frozenset({"a"}), {}, {("a", ""): "a"})
+
+
+class TestEquality:
+    def test_structural(self, dog_instance):
+        clone = Instance.build(
+            extents={"Dog": {"fido", "rex"}, "Person": {"alice"}},
+            values={
+                ("rex", "owner"): "alice",
+                ("fido", "owner"): "alice",
+            },
+        )
+        assert clone == dog_instance
+        assert hash(clone) != None  # hashable
+
+    def test_empty_extents_ignored(self, dog_instance):
+        padded = Instance.build(
+            extents={
+                "Dog": {"fido", "rex"},
+                "Person": {"alice"},
+                "Kennel": set(),
+            },
+            values=dog_instance.values(),
+        )
+        assert padded == dog_instance
+
+
+class TestDerived:
+    def test_restrict_classes(self, dog_instance):
+        restricted = dog_instance.restrict_classes(["Dog"])
+        assert restricted.extent("Dog") == {"rex", "fido"}
+        assert restricted.extent("Person") == frozenset()
+        assert restricted.oids == dog_instance.oids
+
+    def test_prefixed_oids(self, dog_instance):
+        prefixed = dog_instance.with_prefixed_oids("db1")
+        assert ("db1", "rex") in prefixed.extent("Dog")
+        assert prefixed.value(("db1", "rex"), "owner") == ("db1", "alice")
+
+    def test_union(self, dog_instance):
+        other = Instance.build(extents={"Dog": {"spot"}})
+        combined = dog_instance.union(other)
+        assert combined.extent("Dog") == {"rex", "fido", "spot"}
+
+    def test_union_value_conflict_rejected(self):
+        left = Instance.build(values={("a", "f"): "b"})
+        right = Instance.build(values={("a", "f"): "c"})
+        with pytest.raises(InstanceError):
+            left.union(right)
+
+    def test_union_agreeing_values_ok(self):
+        left = Instance.build(values={("a", "f"): "b"})
+        right = Instance.build(values={("a", "f"): "b"})
+        assert left.union(right) == left

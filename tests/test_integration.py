@@ -1,0 +1,202 @@
+"""End-to-end integration tests across the whole library."""
+
+import pytest
+
+from repro import (
+    AnnotatedSchema,
+    ConsistencyRelation,
+    Schema,
+    isa,
+    lower_merge,
+    merge_report,
+    upper_merge,
+)
+from repro.core.keys import KeyFamily, KeyedSchema, merge_keyed
+from repro.instances.coercion import coerce
+from repro.instances.instance import Instance
+from repro.instances.merging import federate, identify_by_keys
+from repro.instances.satisfaction import (
+    satisfies,
+    satisfies_annotated,
+    satisfies_keyed,
+)
+from repro.io import json_io
+from repro.models.er import ERAttribute, ERDiagram, EREntity, merge_er
+from repro.tools.conflicts import conflict_report, find_homonyms
+from repro.tools.rename import RenamingPlan
+
+
+class TestDesignerWorkflow:
+    """The §3 workflow: detect conflicts, rename, assert, merge."""
+
+    def test_full_session(self):
+        inventory = Schema.build(
+            arrows=[("Jaguar", "vin", "VIN")], spec=[("Jaguar", "Car")]
+        )
+        zoo = Schema.build(
+            arrows=[("Jaguar", "habitat", "Region")],
+            spec=[("Jaguar", "Feline")],
+        )
+        # 1. conflict detection finds the homonym.
+        assert find_homonyms([inventory, zoo])
+        # 2. renaming separates the notions.
+        plan = RenamingPlan().rename_class(
+            "Jaguar", "Jaguar-animal", schema_index=1
+        )
+        inventory, zoo = plan.apply([inventory, zoo])
+        assert not find_homonyms([inventory, zoo])
+        # 3. merge with an assertion; order cannot matter.
+        a = isa("Jaguar-animal", "Animal")
+        merged_one = upper_merge(inventory, zoo, assertions=[a])
+        merged_two = upper_merge(zoo, inventory, assertions=[a])
+        assert merged_one == merged_two
+        assert merged_one.has_class("Jaguar") and merged_one.has_class(
+            "Jaguar-animal"
+        )
+
+    def test_consistency_blocks_nonsense_merge(self):
+        people = Schema.build(spec=[("Emp", "Person"), ("Emp", "Payee")])
+        things = Schema.build(
+            arrows=[("Person", "doc", "Passport"), ("Payee", "doc", "Invoice")]
+        )
+        relation = ConsistencyRelation.from_groups(
+            [["Person", "Payee", "Emp"]]  # Passport/Invoice not consistent
+        )
+        from repro.exceptions import InconsistentSchemasError
+
+        with pytest.raises(InconsistentSchemasError):
+            upper_merge(people, things, consistency=relation)
+
+
+class TestSerializationPipeline:
+    def test_merge_of_deserialized_equals_serialize_of_merge(self):
+        one = Schema.build(arrows=[("A", "f", "B")], spec=[("X", "A")])
+        two = Schema.build(arrows=[("X", "g", "C")])
+        merged = upper_merge(one, two)
+        round_tripped = json_io.loads(json_io.dumps(merged))
+        assert round_tripped == merged
+        re_merged = upper_merge(
+            json_io.loads(json_io.dumps(one)),
+            json_io.loads(json_io.dumps(two)),
+        )
+        assert re_merged == merged
+
+
+class TestKeyedEndToEnd:
+    def test_merge_then_identify_objects(self):
+        # Two sources, one keyed notion of Person; merging schemas and
+        # then identifying instances by key yields one bob.
+        source_one = KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "Str")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        source_two = KeyedSchema(
+            Schema.build(
+                arrows=[("Person", "ssn", "Str"), ("Person", "name", "Str")]
+            ),
+        )
+        merged = merge_keyed(source_one, source_two)
+        assert merged.keys_of("Person") == KeyFamily.of({"ssn"})
+
+        inst_one = Instance.build(
+            extents={"Person": {"p-a"}, "Str": {"123"}},
+            values={("p-a", "ssn"): "123"},
+        )
+        inst_two = Instance.build(
+            extents={"Person": {"p-b"}, "Str": {"123", "Bob"}},
+            values={("p-b", "ssn"): "123", ("p-b", "name"): "Bob"},
+        )
+        pooled = federate([inst_one, inst_two], disjointify=False)
+        identified = identify_by_keys(pooled, merged)
+        assert len(identified.extent("Person")) == 1
+        (bob,) = identified.extent("Person")
+        assert identified.value(bob, "name") == "Bob"
+        assert identified.value(bob, "ssn") == "123"
+
+    def test_keyed_instance_satisfies_merge(self):
+        source_one = KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "Str")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        merged = merge_keyed(source_one)
+        good = Instance.build(
+            extents={"Person": {"p"}, "Str": {"1"}},
+            values={("p", "ssn"): "1"},
+        )
+        assert satisfies_keyed(good, merged)
+
+
+class TestUpperLowerDuality:
+    def test_upper_instance_coerces_lower_instances_federate(self):
+        one = Schema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "age", "Int")]
+        )
+        two = Schema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "breed", "Breed")]
+        )
+        # Upper direction: an instance of the merge restricts to both.
+        merged_up = upper_merge(one, two)
+        rich = Instance.build(
+            extents={
+                "Dog": {"rex"},
+                "Str": {"Rex"},
+                "Int": {"3"},
+                "Breed": {"lab"},
+            },
+            values={
+                ("rex", "name"): "Rex",
+                ("rex", "age"): "3",
+                ("rex", "breed"): "lab",
+            },
+        )
+        assert satisfies(rich, merged_up)
+        assert satisfies(coerce(rich, one), one)
+        assert satisfies(coerce(rich, two), two)
+        # Lower direction: instances of the inputs federate into the GLB.
+        merged_down = lower_merge(
+            AnnotatedSchema.from_schema(one),
+            AnnotatedSchema.from_schema(two),
+        )
+        thin_one = Instance.build(
+            extents={"Dog": {"a"}, "Str": {"A"}, "Int": {"1"}},
+            values={("a", "name"): "A", ("a", "age"): "1"},
+        )
+        thin_two = Instance.build(
+            extents={"Dog": {"b"}, "Str": {"B"}, "Breed": {"pug"}},
+            values={("b", "name"): "B", ("b", "breed"): "pug"},
+        )
+        pooled = federate([thin_one, thin_two])
+        assert satisfies_annotated(pooled, merged_down)
+
+
+class TestERPipelines:
+    def test_three_way_er_merge_any_order(self):
+        one = ERDiagram(
+            entities=[
+                EREntity("Dog", attributes=[ERAttribute("age", "Int")])
+            ]
+        )
+        two = ERDiagram(
+            entities=[
+                EREntity("Dog", attributes=[ERAttribute("chip", "ChipId")])
+            ]
+        )
+        three = ERDiagram(
+            entities=[EREntity("Puppy", isa=[]), EREntity("Dog")],
+        )
+        results = {
+            merge_er(one, two, three),
+            merge_er(three, one, two),
+            merge_er(two, three, one),
+        }
+        assert len(results) == 1
+
+    def test_report_and_render_round(self):
+        one = Schema.build(arrows=[("A", "f", "B")])
+        two = Schema.build(spec=[("Z", "A")])
+        report = merge_report(one, two)
+        from repro.render.ascii_art import render_report
+
+        text = render_report(report)
+        assert "merged schema (proper)" in text
+        assert conflict_report([one, two]) == ["no conflicts detected"]

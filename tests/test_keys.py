@@ -1,0 +1,205 @@
+"""Unit tests for key families and key-aware merging (§5)."""
+
+import pytest
+
+from repro.core.assertions import isa
+from repro.core.keys import (
+    KeyFamily,
+    KeyedSchema,
+    is_satisfactory,
+    merge_keyed,
+    minimal_satisfactory_assignment,
+)
+from repro.core.names import BaseName
+from repro.core.schema import Schema
+from repro.exceptions import KeyConstraintError
+from repro.figures import (
+    figure9_advisor_schema,
+    figure9_committee_schema,
+    figure9_keyed_schema,
+    figure10_keyed_schema,
+)
+
+
+class TestKeyFamily:
+    def test_minimal_antichain(self):
+        family = KeyFamily([{"a"}, {"a", "b"}, {"c"}])
+        assert family.min_keys == frozenset(
+            {frozenset({"a"}), frozenset({"c"})}
+        )
+
+    def test_upward_closure_semantics(self):
+        family = KeyFamily([{"a"}])
+        assert family.is_superkey({"a"})
+        assert family.is_superkey({"a", "b"})
+        assert not family.is_superkey({"b"})
+
+    def test_none_family(self):
+        family = KeyFamily.none()
+        assert family.is_empty()
+        assert not family.is_superkey({"a"})
+
+    def test_empty_key_is_top(self):
+        family = KeyFamily([set()])
+        assert family.is_superkey(set())
+        assert family.is_superkey({"anything"})
+
+    def test_union(self):
+        left = KeyFamily([{"a"}])
+        right = KeyFamily([{"b"}])
+        assert (left | right).min_keys == frozenset(
+            {frozenset({"a"}), frozenset({"b"})}
+        )
+
+    def test_intersection_is_pairwise_union(self):
+        left = KeyFamily([{"a"}])
+        right = KeyFamily([{"b"}])
+        both = left & right
+        assert both.min_keys == frozenset({frozenset({"a", "b"})})
+        assert both.is_superkey({"a", "b"})
+        assert not both.is_superkey({"a"})
+
+    def test_containment(self):
+        smaller = KeyFamily([{"a", "b"}])
+        larger = KeyFamily([{"a"}])
+        assert larger.contains_family(smaller)
+        assert not smaller.contains_family(larger)
+        assert smaller <= larger
+        assert larger >= smaller
+
+    def test_figure9_containment(self):
+        committee = KeyFamily.of({"faculty", "victim"})
+        advisor = KeyFamily.of({"victim"})
+        # SK(Advisor) ⊇ SK(Committee): the paper's check.
+        assert advisor.contains_family(committee)
+
+    def test_equality_and_hash(self):
+        assert KeyFamily([{"a"}, {"a", "b"}]) == KeyFamily([{"a"}])
+        assert hash(KeyFamily([{"a"}])) == hash(KeyFamily([{"a"}]))
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(KeyConstraintError):
+            KeyFamily([{""}])
+
+    def test_iteration_order_deterministic(self):
+        family = KeyFamily([{"b", "c"}, {"a"}])
+        assert list(family) == [frozenset({"a"}), frozenset({"b", "c"})]
+
+
+class TestKeyedSchema:
+    def test_valid_construction(self):
+        keyed = figure10_keyed_schema()
+        assert keyed.keys_of("Transaction") == KeyFamily.of(
+            {"loc", "at"}, {"card", "at"}
+        )
+
+    def test_unknown_class_rejected(self, dog_schema):
+        with pytest.raises(KeyConstraintError):
+            KeyedSchema(dog_schema, {"Unicorn": KeyFamily.of({"horn"})})
+
+    def test_key_outside_out_labels_rejected(self, dog_schema):
+        with pytest.raises(KeyConstraintError):
+            KeyedSchema(dog_schema, {"Dog": KeyFamily.of({"badge"})})
+
+    def test_spec_monotonicity_enforced(self):
+        schema = figure9_keyed_schema().schema
+        with pytest.raises(KeyConstraintError):
+            KeyedSchema(
+                schema,
+                {
+                    "Committee": KeyFamily.of({"victim"}),
+                    "Advisor": KeyFamily.of({"faculty", "victim"}),
+                },
+            )
+
+    def test_spec_monotonicity_skippable(self):
+        schema = Schema.build(
+            arrows=[("Sub", "f", "X"), ("Sup", "f", "X")],
+            spec=[("Sub", "Sup")],
+        )
+        keyed = KeyedSchema(
+            schema,
+            {"Sup": KeyFamily.of({"f"})},
+            check_spec_monotone=False,
+        )
+        assert keyed.keys_of("Sub").is_empty()
+
+    def test_missing_class_has_no_keys(self, dog_schema):
+        keyed = KeyedSchema(dog_schema, {})
+        assert keyed.keys_of("Dog").is_empty()
+
+    def test_equality_ignores_empty_families(self, dog_schema):
+        left = KeyedSchema(dog_schema, {"Dog": KeyFamily.none()})
+        right = KeyedSchema(dog_schema, {})
+        assert left == right
+
+
+class TestMinimalAssignment:
+    def test_figure9_merge(self):
+        merged = merge_keyed(
+            figure9_advisor_schema(),
+            figure9_committee_schema(),
+            assertions=[isa("Advisor", "Committee")],
+        )
+        assert merged.keys_of("Committee") == KeyFamily.of(
+            {"faculty", "victim"}
+        )
+        # Advisor gets its own key; the Committee key propagates as a
+        # superkey and is absorbed by {victim} ⊆ {faculty, victim}.
+        assert merged.keys_of("Advisor") == KeyFamily.of({"victim"})
+
+    def test_assignment_is_satisfactory(self):
+        inputs = [figure9_advisor_schema(), figure9_committee_schema()]
+        merged_schema = merge_keyed(
+            *inputs, assertions=[isa("Advisor", "Committee")]
+        ).schema
+        assignment = minimal_satisfactory_assignment(merged_schema, inputs)
+        assert is_satisfactory(merged_schema, assignment, inputs)
+
+    def test_assignment_is_minimal(self):
+        inputs = [figure9_advisor_schema(), figure9_committee_schema()]
+        merged_schema = merge_keyed(
+            *inputs, assertions=[isa("Advisor", "Committee")]
+        ).schema
+        ours = minimal_satisfactory_assignment(merged_schema, inputs)
+        # Dropping Advisor's committee-derived superkey is fine (it is
+        # absorbed), but dropping {victim} breaks condition 1.
+        broken = dict(ours)
+        broken[BaseName("Advisor")] = KeyFamily.of({"faculty", "victim"})
+        assert not is_satisfactory(merged_schema, broken, inputs)
+
+    def test_keys_propagate_down_spec(self):
+        sup = KeyedSchema(
+            Schema.build(arrows=[("Sup", "ssn", "Str")]),
+            {"Sup": KeyFamily.of({"ssn"})},
+        )
+        sub = KeyedSchema(
+            Schema.build(arrows=[("Sub", "name", "Str")]),
+        )
+        merged = merge_keyed(sub, sup, assertions=[isa("Sub", "Sup")])
+        assert merged.keys_of("Sub") == KeyFamily.of({"ssn"})
+
+    def test_key_strengthening_across_schemas(self):
+        # One schema has the arrow but no key; the other declares the key.
+        with_key = KeyedSchema(
+            Schema.build(arrows=[("Person", "ssn", "Str")]),
+            {"Person": KeyFamily.of({"ssn"})},
+        )
+        without_key = KeyedSchema(
+            Schema.build(
+                arrows=[("Person", "ssn", "Str"), ("Person", "name", "Str")]
+            ),
+        )
+        merged = merge_keyed(with_key, without_key)
+        assert merged.keys_of("Person") == KeyFamily.of({"ssn"})
+
+    def test_multiple_keys_survive(self):
+        merged = merge_keyed(figure10_keyed_schema())
+        assert merged.keys_of("Transaction") == KeyFamily.of(
+            {"loc", "at"}, {"card", "at"}
+        )
+
+    def test_satisfactory_requires_input_containment(self):
+        inputs = [figure10_keyed_schema()]
+        merged_schema = inputs[0].schema
+        assert not is_satisfactory(merged_schema, {}, inputs)

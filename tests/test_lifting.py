@@ -1,0 +1,97 @@
+"""Unit + property tests for instance lifting into properized schemas."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.implicit import properize
+from repro.core.lower import AnnotatedSchema, lower_merge, lower_properize
+from repro.core.merge import upper_merge, weak_merge
+from repro.core.names import GenName, ImplicitName
+from repro.figures import figure3_schemas
+from repro.generators.random_schemas import (
+    random_instance,
+    random_schema_family,
+)
+from repro.instances.instance import Instance
+from repro.instances.lifting import (
+    lift_to_lower_properized,
+    lift_to_properized,
+)
+from repro.instances.satisfaction import satisfies, satisfies_annotated
+
+MERGE_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestUpperLift:
+    def test_figure3_lift(self):
+        weak = weak_merge(*figure3_schemas())
+        proper = properize(weak)
+        instance = Instance.build(
+            extents={
+                "A1": {"x", "c"},
+                "A2": {"y", "c"},
+                "C": {"c"},
+                "B1": {"v"},
+                "B2": {"v", "w"},
+            },
+            values={("x", "a"): "v", ("y", "a"): "v", ("c", "a"): "v"},
+        )
+        assert satisfies(instance, weak)
+        lifted = lift_to_properized(instance, proper)
+        imp = ImplicitName(["B1", "B2"])
+        assert lifted.extent(imp) == {"v"}  # intersection, not w
+        assert satisfies(lifted, proper)
+
+    def test_existing_extents_kept(self):
+        weak = weak_merge(*figure3_schemas())
+        proper = properize(weak)
+        imp = ImplicitName(["B1", "B2"])
+        instance = Instance.build(
+            extents={"B1": {"v"}, "B2": {"v"}, imp: set()},
+        )
+        lifted = lift_to_properized(instance, proper)
+        assert lifted.extent(imp) == frozenset()
+
+    @given(st.integers(min_value=0, max_value=30))
+    @MERGE_SETTINGS
+    def test_lift_theorem_randomized(self, seed):
+        family = random_schema_family(
+            n_schemas=3, pool_size=10, n_classes=5, n_labels=3, seed=seed
+        )
+        weak = weak_merge(*family)
+        proper = upper_merge(*family)
+        instance = random_instance(weak, seed=seed)
+        assert satisfies(instance, weak)
+        lifted = lift_to_properized(instance, proper)
+        assert satisfies(lifted, proper)
+
+
+class TestLowerLift:
+    def test_generalization_extent_is_union(self):
+        one = AnnotatedSchema.build(arrows=[("F", "a", "C")])
+        two = AnnotatedSchema.build(arrows=[("F", "a", "D")])
+        proper = lower_properize(lower_merge(one, two))
+        gen = GenName(["C", "D"])
+        instance = Instance.build(
+            extents={"C": {"c1"}, "D": {"d1"}, "F": set()},
+        )
+        lifted = lift_to_lower_properized(instance, proper)
+        assert lifted.extent(gen) == {"c1", "d1"}
+
+    def test_federated_lift_satisfies_properized(self):
+        one = AnnotatedSchema.build(arrows=[("F", "a", "C")])
+        two = AnnotatedSchema.build(arrows=[("F", "a", "D")])
+        merged = lower_merge(one, two)
+        proper = lower_properize(merged)
+        # An instance from source one: F-objects take values in C.
+        instance = Instance.build(
+            extents={"F": {"f1"}, "C": {"c1"}, "D": set()},
+            values={("f1", "a"): "c1"},
+        )
+        assert satisfies_annotated(instance, one.with_classes(merged.classes))
+        lifted = lift_to_lower_properized(instance, proper)
+        assert satisfies_annotated(lifted, proper)

@@ -1,0 +1,223 @@
+"""Unit tests for the multivalued-arrows extension (§7 future work)."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.exceptions import SchemaValidationError
+from repro.extensions.multivalued import (
+    MultivaluedSchema,
+    Valence,
+    merge_multivalued,
+    satisfies_multivalued,
+    violations_multivalued,
+)
+from repro.instances.instance import Instance
+
+
+@pytest.fixture
+def person_schema() -> Schema:
+    return Schema.build(
+        arrows=[
+            ("Person", "ssn", "Str"),
+            ("Person", "phones", "Phone"),
+        ],
+        spec=[("Employee", "Person")],
+    )
+
+
+class TestConstruction:
+    def test_default_is_single(self, person_schema):
+        schema = MultivaluedSchema(person_schema)
+        assert schema.valence_of("Person", "ssn") == Valence.SINGLE
+
+    def test_explicit_multi(self, person_schema):
+        schema = MultivaluedSchema(
+            person_schema, {("Person", "phones"): Valence.MULTI}
+        )
+        assert schema.valence_of("Person", "phones") == Valence.MULTI
+        assert schema.multi_labels("Person") == {"phones"}
+
+    def test_unknown_class_rejected(self, person_schema):
+        with pytest.raises(SchemaValidationError):
+            MultivaluedSchema(
+                person_schema, {("Ghost", "x"): Valence.MULTI}
+            )
+
+    def test_unknown_label_rejected(self, person_schema):
+        with pytest.raises(SchemaValidationError):
+            MultivaluedSchema(
+                person_schema, {("Person", "age"): Valence.MULTI}
+            )
+
+    def test_single_propagates_down_spec(self, person_schema):
+        schema = MultivaluedSchema(
+            person_schema, {("Person", "ssn"): Valence.SINGLE}
+        )
+        assert schema.valence_of("Employee", "ssn") == Valence.SINGLE
+
+    def test_subclass_cannot_weaken(self, person_schema):
+        with pytest.raises(SchemaValidationError):
+            MultivaluedSchema(
+                person_schema,
+                {
+                    ("Person", "ssn"): Valence.SINGLE,
+                    ("Employee", "ssn"): Valence.MULTI,
+                },
+            )
+
+    def test_equality_modulo_defaults(self, person_schema):
+        explicit = MultivaluedSchema(
+            person_schema, {("Person", "ssn"): Valence.SINGLE}
+        )
+        implicit = MultivaluedSchema(person_schema)
+        assert explicit == implicit
+        assert hash(explicit) == hash(implicit)
+
+
+class TestMerge:
+    def test_upper_rule_single_wins(self):
+        one = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+            {("P", "f"): Valence.MULTI},
+        )
+        two = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+            {("P", "f"): Valence.SINGLE},
+        )
+        merged = merge_multivalued(one, two)
+        assert merged.valence_of("P", "f") == Valence.SINGLE
+
+    def test_lower_rule_multi_wins(self):
+        one = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+            {("P", "f"): Valence.MULTI},
+        )
+        two = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+            {("P", "f"): Valence.SINGLE},
+        )
+        merged = merge_multivalued(one, two, rule="lower")
+        assert merged.valence_of("P", "f") == Valence.MULTI
+
+    def test_schemas_union_up(self):
+        one = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+            {("P", "f"): Valence.MULTI},
+        )
+        two = MultivaluedSchema(
+            Schema.build(arrows=[("P", "g", "E")]),
+        )
+        merged = merge_multivalued(one, two)
+        assert merged.schema.has_arrow("P", "f", "D")
+        assert merged.schema.has_arrow("P", "g", "E")
+        assert merged.valence_of("P", "f") == Valence.MULTI
+        assert merged.valence_of("P", "g") == Valence.SINGLE
+
+    def test_order_independent(self):
+        one = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+            {("P", "f"): Valence.MULTI},
+        )
+        two = MultivaluedSchema(
+            Schema.build(arrows=[("P", "f", "D")]),
+        )
+        three = MultivaluedSchema(
+            Schema.build(arrows=[("Q", "g", "D")]),
+            {("Q", "g"): Valence.MULTI},
+        )
+        assert merge_multivalued(one, two, three) == merge_multivalued(
+            three, two, one
+        )
+
+    def test_bad_rule_rejected(self):
+        one = MultivaluedSchema(Schema.build(classes=["A"]))
+        with pytest.raises(SchemaValidationError):
+            merge_multivalued(one, rule="sideways")
+
+
+class TestInstanceSemantics:
+    @pytest.fixture
+    def schema(self, person_schema) -> MultivaluedSchema:
+        return MultivaluedSchema(
+            person_schema, {("Person", "phones"): Valence.MULTI}
+        )
+
+    def test_links_carry_multivalued_attributes(self, schema):
+        instance = Instance.build(
+            extents={
+                "Person": {"p"},
+                "Str": {"s"},
+                "Phone": {"ph1", "ph2"},
+                "Employee": set(),
+            },
+            values={("p", "ssn"): "s"},
+        )
+        links = [("p", "phones", "ph1"), ("p", "phones", "ph2")]
+        assert satisfies_multivalued(instance, schema, links)
+
+    def test_zero_links_is_fine(self, schema):
+        instance = Instance.build(
+            extents={
+                "Person": {"p"},
+                "Str": {"s"},
+                "Phone": set(),
+                "Employee": set(),
+            },
+            values={("p", "ssn"): "s"},
+        )
+        assert satisfies_multivalued(instance, schema, [])
+
+    def test_single_valued_still_required(self, schema):
+        instance = Instance.build(
+            extents={
+                "Person": {"p"},
+                "Str": set(),
+                "Phone": set(),
+                "Employee": set(),
+            },
+        )
+        problems = violations_multivalued(instance, schema, [])
+        assert any("lacks required" in p for p in problems)
+
+    def test_untyped_link_rejected(self, schema):
+        instance = Instance.build(
+            extents={
+                "Person": {"p"},
+                "Str": {"s", "stray"},
+                "Phone": set(),
+                "Employee": set(),
+            },
+            values={("p", "ssn"): "s"},
+        )
+        problems = violations_multivalued(
+            instance, schema, [("p", "phones", "stray")]
+        )
+        assert any("is not in extent" in p for p in problems)
+
+    def test_undeclared_link_rejected(self, schema):
+        instance = Instance.build(
+            extents={
+                "Person": {"p"},
+                "Str": {"s"},
+                "Phone": {"ph"},
+                "Employee": set(),
+            },
+            values={("p", "ssn"): "s"},
+        )
+        problems = violations_multivalued(
+            instance, schema, [("p", "ssn-link", "ph")]
+        )
+        assert any("no class" in p for p in problems)
+
+    def test_valuation_shadowing_rejected(self, schema):
+        instance = Instance.build(
+            extents={
+                "Person": {"p"},
+                "Str": {"s"},
+                "Phone": {"ph"},
+                "Employee": set(),
+            },
+            values={("p", "ssn"): "s", ("p", "phones"): "ph"},
+        )
+        problems = violations_multivalued(instance, schema, [])
+        assert any("declares" in p and "multivalued" in p for p in problems)

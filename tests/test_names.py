@@ -1,0 +1,146 @@
+"""Unit tests for class names and implicit-name flattening."""
+
+import pytest
+
+from repro.core.names import (
+    BaseName,
+    GenName,
+    ImplicitName,
+    base_members,
+    check_label,
+    name,
+    names,
+    sort_key,
+)
+from repro.exceptions import SchemaValidationError
+
+
+class TestBaseName:
+    def test_wraps_string(self):
+        assert BaseName("Dog").value == "Dog"
+        assert str(BaseName("Dog")) == "Dog"
+
+    def test_equality_and_hash(self):
+        assert BaseName("Dog") == BaseName("Dog")
+        assert BaseName("Dog") != BaseName("Cat")
+        assert hash(BaseName("Dog")) == hash(BaseName("Dog"))
+
+    def test_ordering_is_lexicographic(self):
+        assert BaseName("Ant") < BaseName("Bee")
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(SchemaValidationError):
+            BaseName("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SchemaValidationError):
+            BaseName(3)
+
+    def test_immutable(self):
+        cls = BaseName("Dog")
+        with pytest.raises(AttributeError):
+            cls.value = "Cat"
+
+
+class TestImplicitName:
+    def test_members_are_recorded(self):
+        imp = ImplicitName(["A", "B"])
+        assert imp.members == frozenset({BaseName("A"), BaseName("B")})
+
+    def test_order_independent(self):
+        assert ImplicitName(["A", "B"]) == ImplicitName(["B", "A"])
+
+    def test_flattens_nested_implicits(self):
+        inner = ImplicitName(["A", "B"])
+        outer = ImplicitName([inner, "C"])
+        assert outer == ImplicitName(["A", "B", "C"])
+
+    def test_flattening_is_associative(self):
+        left = ImplicitName([ImplicitName(["A", "B"]), "C"])
+        right = ImplicitName(["A", ImplicitName(["B", "C"])])
+        assert left == right
+
+    def test_does_not_flatten_gen_names(self):
+        gen = GenName(["A", "B"])
+        imp = ImplicitName([gen, "C"])
+        assert gen in imp.members
+
+    def test_requires_two_members(self):
+        with pytest.raises(SchemaValidationError):
+            ImplicitName(["A"])
+        with pytest.raises(SchemaValidationError):
+            ImplicitName(["A", "A"])
+
+    def test_str_is_origin_recording(self):
+        assert str(ImplicitName(["B", "A"])) == "<A&B>"
+
+    def test_distinct_from_gen_of_same_members(self):
+        assert ImplicitName(["A", "B"]) != GenName(["A", "B"])
+        assert hash(ImplicitName(["A", "B"])) != hash(GenName(["A", "B"]))
+
+
+class TestGenName:
+    def test_flattens_nested_gens(self):
+        inner = GenName(["A", "B"])
+        assert GenName([inner, "C"]) == GenName(["A", "B", "C"])
+
+    def test_str(self):
+        assert str(GenName(["B", "A"])) == "[A|B]"
+
+    def test_requires_two_members(self):
+        with pytest.raises(SchemaValidationError):
+            GenName(["X"])
+
+
+class TestCoercions:
+    def test_name_accepts_strings(self):
+        assert name("Dog") == BaseName("Dog")
+
+    def test_name_passes_through(self):
+        imp = ImplicitName(["A", "B"])
+        assert name(imp) is imp
+
+    def test_name_rejects_other_types(self):
+        with pytest.raises(SchemaValidationError):
+            name(3.14)
+
+    def test_names_builds_frozenset(self):
+        assert names(["A", "B", "A"]) == frozenset(
+            {BaseName("A"), BaseName("B")}
+        )
+
+    def test_check_label(self):
+        assert check_label("owner") == "owner"
+        with pytest.raises(SchemaValidationError):
+            check_label("")
+        with pytest.raises(SchemaValidationError):
+            check_label(7)
+
+
+class TestSortKey:
+    def test_total_order_across_kinds(self):
+        base = BaseName("Z")
+        imp = ImplicitName(["A", "B"])
+        gen = GenName(["A", "B"])
+        ordered = sorted([gen, imp, base], key=sort_key)
+        assert ordered == [base, imp, gen]
+
+    def test_deterministic_for_composites(self):
+        a = ImplicitName(["A", "B"])
+        b = ImplicitName(["A", "C"])
+        assert sort_key(a) < sort_key(b)
+
+    def test_rejects_non_names(self):
+        with pytest.raises(SchemaValidationError):
+            sort_key("not-a-name")
+
+
+class TestBaseMembers:
+    def test_base_name(self):
+        assert base_members(BaseName("A")) == frozenset({BaseName("A")})
+
+    def test_composite_recursion(self):
+        nested = ImplicitName([GenName(["A", "B"]), "C"])
+        assert base_members(nested) == frozenset(
+            {BaseName("A"), BaseName("B"), BaseName("C")}
+        )

@@ -1,0 +1,328 @@
+"""Unit tests for the object-oriented substrate model."""
+
+import pytest
+
+from repro.core.assertions import isa
+from repro.core.names import ImplicitName, name
+from repro.models.oo import (
+    OO_STRATIFICATION,
+    OOAttribute,
+    OOClass,
+    OODiagram,
+    from_schema,
+    merge_oo,
+    to_schema,
+)
+from repro.models.strata import StratifiedSchema
+from repro.exceptions import TranslationError
+
+
+@pytest.fixture
+def library() -> OODiagram:
+    return OODiagram(
+        classes=[
+            OOClass(
+                "Person",
+                [OOAttribute("name", "String"), OOAttribute("spouse", "Person")],
+            ),
+            OOClass("Author", [OOAttribute("royalties", "Money")], bases=("Person",)),
+            OOClass(
+                "Book",
+                [OOAttribute("title", "String"), OOAttribute("by", "Author")],
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def reviews() -> OODiagram:
+    return OODiagram(
+        classes=[
+            OOClass("Person", [OOAttribute("age", "Int")]),
+            OOClass("Book", [OOAttribute("isbn", "String")]),
+            OOClass(
+                "Review",
+                [OOAttribute("of", "Book"), OOAttribute("reviewer", "Person")],
+            ),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_value_types_inferred(self, library):
+        assert library.value_types == {"String", "Money"}
+
+    def test_explicit_value_types_are_kept(self):
+        diagram = OODiagram(
+            classes=[OOClass("A")], value_types=["Unused"]
+        )
+        assert "Unused" in diagram.value_types
+
+    def test_attribute_declaration_order_is_irrelevant(self):
+        one = OOClass(
+            "Book",
+            [OOAttribute("title", "String"), OOAttribute("by", "Author")],
+        )
+        two = OOClass(
+            "Book",
+            [OOAttribute("by", "Author"), OOAttribute("title", "String")],
+        )
+        assert one == two
+
+    def test_base_declaration_order_is_irrelevant(self):
+        assert OOClass("C", bases=("A", "B")) == OOClass("C", bases=("B", "A"))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(TranslationError, match="twice"):
+            OOClass("A", [OOAttribute("x", "Int"), OOAttribute("x", "Str")])
+
+    def test_duplicate_base_rejected(self):
+        with pytest.raises(TranslationError, match="twice"):
+            OOClass("C", bases=("A", "A"))
+
+    def test_empty_class_name_rejected(self):
+        with pytest.raises(TranslationError, match="non-empty"):
+            OOClass("")
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(TranslationError, match="non-empty"):
+            OOAttribute("", "Int")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(TranslationError, match="twice"):
+            OODiagram(classes=[OOClass("A"), OOClass("A")])
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(TranslationError, match="unknown class"):
+            OODiagram(classes=[OOClass("A", bases=("Ghost",))])
+
+    def test_inheriting_from_value_type_rejected(self):
+        with pytest.raises(TranslationError, match="unknown class"):
+            OODiagram(
+                classes=[
+                    OOClass("A", [OOAttribute("x", "Int")]),
+                    OOClass("B", bases=("Int",)),
+                ]
+            )
+
+    def test_name_cannot_be_class_and_value(self):
+        with pytest.raises(TranslationError, match="both"):
+            OODiagram(classes=[OOClass("A")], value_types=["A"])
+
+    def test_get_class(self, library):
+        assert library.get_class("Author").bases == ("Person",)
+        with pytest.raises(TranslationError, match="no class"):
+            library.get_class("Ghost")
+
+    def test_all_attributes_inherits(self, library):
+        attrs = library.all_attributes("Author")
+        assert attrs == {
+            "name": "String",
+            "spouse": "Person",
+            "royalties": "Money",
+        }
+
+    def test_all_attributes_override(self):
+        diagram = OODiagram(
+            classes=[
+                OOClass("Base", [OOAttribute("x", "Int")]),
+                OOClass("Sub", [OOAttribute("x", "Float")], bases=("Base",)),
+            ]
+        )
+        assert diagram.all_attributes("Sub")["x"] == "Float"
+
+
+class TestTranslation:
+    def test_strata_assignment(self, library):
+        stratified = to_schema(library)
+        assert stratified.policy == OO_STRATIFICATION
+        assert stratified.stratum_of("Person") == "object"
+        assert stratified.stratum_of("String") == "value"
+
+    def test_inheritance_becomes_specialization(self, library):
+        schema = to_schema(library).schema
+        assert schema.is_spec("Author", "Person")
+
+    def test_attributes_become_arrows_and_close(self, library):
+        schema = to_schema(library).schema
+        assert schema.has_arrow("Person", "name", "String")
+        # W1: Author inherits Person's arrows.
+        assert schema.has_arrow("Author", "name", "String")
+
+    def test_round_trip(self, library, reviews):
+        assert from_schema(to_schema(library)) == library
+        assert from_schema(to_schema(reviews)) == reviews
+
+    def test_round_trip_circular_and_multiple_inheritance(self):
+        diagram = OODiagram(
+            classes=[
+                OOClass("A", [OOAttribute("b", "B")]),
+                OOClass("B", [OOAttribute("a", "A")]),
+                OOClass("C", bases=("A", "B")),
+                OOClass("Meta", [OOAttribute("about", "C")]),
+            ]
+        )
+        assert from_schema(to_schema(diagram)) == diagram
+
+    def test_from_schema_rejects_wrong_policy(self, library):
+        from repro.models.strata import RELATIONAL_STRATIFICATION
+
+        stratified = StratifiedSchema(
+            to_schema(library).schema.restrict([]),
+            RELATIONAL_STRATIFICATION,
+            {},
+        )
+        with pytest.raises(TranslationError, match="OO-stratified"):
+            from_schema(stratified)
+
+
+class TestFormatDiagram:
+    def test_deterministic_text(self, library):
+        from repro.models.oo import format_diagram
+
+        text = format_diagram(library, "lib")
+        assert text.startswith("lib\n===")
+        assert "class Author (Person):" in text
+        assert "  royalties: Money" in text
+        assert "value types: Money, String" in text
+        assert text == format_diagram(library, "lib")
+
+    def test_class_without_attributes(self):
+        from repro.models.oo import format_diagram
+
+        text = format_diagram(OODiagram(classes=[OOClass("A")]))
+        assert "(no declared attributes)" in text
+
+    def test_no_title_no_underline(self, library):
+        from repro.models.oo import format_diagram
+
+        assert not format_diagram(library).startswith("=")
+
+
+class TestBaseCanonicalization:
+    def test_redundant_base_is_reduced_to_covers(self):
+        diagram = OODiagram(
+            classes=[
+                OOClass("A"),
+                OOClass("B", bases=("A",)),
+                # "A" is redundant: it is already an ancestor via "B".
+                OOClass("C", bases=("A", "B")),
+            ]
+        )
+        assert diagram.get_class("C").bases == ("B",)
+
+    def test_reduction_makes_equal_diagrams(self):
+        redundant = OODiagram(
+            classes=[
+                OOClass("A"),
+                OOClass("B", bases=("A",)),
+                OOClass("C", bases=("A", "B")),
+            ]
+        )
+        minimal = OODiagram(
+            classes=[
+                OOClass("A"),
+                OOClass("B", bases=("A",)),
+                OOClass("C", bases=("B",)),
+            ]
+        )
+        assert redundant == minimal
+
+    def test_genuine_multiple_inheritance_is_kept(self):
+        diagram = OODiagram(
+            classes=[
+                OOClass("A"),
+                OOClass("B"),
+                OOClass("C", bases=("A", "B")),
+            ]
+        )
+        assert diagram.get_class("C").bases == ("A", "B")
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(TranslationError, match="cycle"):
+            OODiagram(
+                classes=[
+                    OOClass("A", bases=("B",)),
+                    OOClass("B", bases=("A",)),
+                ]
+            )
+
+
+class TestMerge:
+    def test_merged_class_union(self, library, reviews):
+        merged = merge_oo(library, reviews)
+        assert merged.class_names() == {
+            "Person",
+            "Author",
+            "Book",
+            "Review",
+        }
+
+    def test_merged_attributes_union(self, library, reviews):
+        merged = merge_oo(library, reviews)
+        assert merged.all_attributes("Person") == {
+            "name": "String",
+            "spouse": "Person",
+            "age": "Int",
+        }
+
+    def test_merge_is_commutative(self, library, reviews):
+        assert merge_oo(library, reviews) == merge_oo(reviews, library)
+
+    def test_merge_is_associative(self, library, reviews):
+        third = OODiagram(
+            classes=[OOClass("Review", [OOAttribute("stars", "Int")])]
+        )
+        left = merge_oo(merge_oo(library, reviews), third)
+        right = merge_oo(library, merge_oo(reviews, third))
+        assert left == right
+
+    def test_merge_is_idempotent(self, library):
+        assert merge_oo(library, library) == merge_oo(library)
+
+    def test_merge_with_isa_assertion(self, library, reviews):
+        merged = merge_oo(
+            library, reviews, assertions=[isa("Review", "Book")]
+        )
+        # Review inherits Book's attributes through the asserted ISA.
+        assert merged.all_attributes("Review")["title"] == "String"
+        assert "Book" in merged.get_class("Review").bases
+
+    def test_structural_conflict_value_vs_class(self, reviews):
+        # "Int" is a value type in *reviews* but a class here.
+        clashing = OODiagram(
+            classes=[OOClass("Int", [OOAttribute("width", "Bits")])]
+        )
+        with pytest.raises(TranslationError, match="value in one"):
+            merge_oo(reviews, clashing)
+
+    def test_implicit_class_survives_round_trip(self):
+        # The Figure 3 pattern inside the OO model: C inherits from both
+        # A1 and A2, whose a-attributes have different classes, so the
+        # merge introduces an implicit class below B1 and B2.
+        one = OODiagram(
+            classes=[
+                OOClass("A1"),
+                OOClass("A2"),
+                OOClass("C", bases=("A1", "A2")),
+            ]
+        )
+        two = OODiagram(
+            classes=[
+                OOClass("A1", [OOAttribute("a", "B1")]),
+                OOClass("A2", [OOAttribute("a", "B2")]),
+                OOClass("B1"),
+                OOClass("B2"),
+            ]
+        )
+        merged = merge_oo(one, two)
+        implicit = str(ImplicitName([name("B1"), name("B2")]))
+        assert implicit in merged.class_names()
+        assert set(merged.get_class(implicit).bases) == {"B1", "B2"}
+
+    def test_merge_preserves_oo_strata(self, library, reviews):
+        # Round-tripping the merge re-validates the stratification; a
+        # mixed-stratum implicit class would have raised.
+        merged = merge_oo(library, reviews)
+        stratified = to_schema(merged)
+        assert stratified.policy == OO_STRATIFICATION

@@ -1,0 +1,148 @@
+"""Unit tests for the information ordering, joins and meets (§4.1)."""
+
+import pytest
+
+from repro.core.ordering import (
+    compatibility_cycle,
+    compatible,
+    comparable,
+    is_lower_bound,
+    is_strict_sub,
+    is_sub,
+    is_upper_bound,
+    join,
+    join_all,
+    meet,
+    meet_all,
+)
+from repro.core.schema import Schema
+from repro.exceptions import IncompatibleSchemasError
+
+
+@pytest.fixture
+def small() -> Schema:
+    return Schema.build(arrows=[("A", "f", "B")])
+
+
+@pytest.fixture
+def bigger() -> Schema:
+    return Schema.build(
+        arrows=[("A", "f", "B"), ("A", "g", "C")], spec=[("X", "A")]
+    )
+
+
+class TestOrdering:
+    def test_reflexive(self, small):
+        assert is_sub(small, small)
+
+    def test_sub(self, small, bigger):
+        assert is_sub(small, bigger)
+        assert not is_sub(bigger, small)
+        assert is_strict_sub(small, bigger)
+        assert not is_strict_sub(small, small)
+
+    def test_empty_is_bottom(self, small):
+        assert is_sub(Schema.empty(), small)
+
+    def test_comparable(self, small, bigger):
+        assert comparable(small, bigger)
+        other = Schema.build(arrows=[("Z", "h", "W")])
+        assert not comparable(small, other)
+
+    def test_antisymmetry(self, small):
+        clone = Schema.build(arrows=[("A", "f", "B")])
+        assert is_sub(small, clone) and is_sub(clone, small)
+        assert small == clone
+
+
+class TestCompatibility:
+    def test_compatible_family(self, small, bigger):
+        assert compatible(small, bigger)
+        assert compatibility_cycle([small, bigger]) is None
+
+    def test_cross_schema_cycle_detected(self):
+        one = Schema.build(spec=[("A", "B")])
+        two = Schema.build(spec=[("B", "A")])
+        assert not compatible(one, two)
+        cycle = compatibility_cycle([one, two])
+        assert cycle is not None and cycle[0] == cycle[-1]
+
+    def test_three_way_cycle(self):
+        one = Schema.build(spec=[("A", "B")])
+        two = Schema.build(spec=[("B", "C")])
+        three = Schema.build(spec=[("C", "A")])
+        assert compatible(one, two)
+        assert not compatible(one, two, three)
+
+
+class TestJoin:
+    def test_join_is_upper_bound(self, small, bigger):
+        joined = join(small, bigger)
+        assert is_upper_bound(joined, [small, bigger])
+
+    def test_join_is_least(self, small, bigger):
+        joined = join(small, bigger)
+        # bigger is itself an upper bound here, so join must be below it.
+        assert is_sub(joined, bigger)
+        assert joined == bigger
+
+    def test_join_closes_across_schemas(self):
+        # Figure 3: spec from one schema, arrows from the other.
+        spec_side = Schema.build(spec=[("C", "A1"), ("C", "A2")])
+        arrow_side = Schema.build(
+            arrows=[("A1", "a", "B1"), ("A2", "a", "B2")]
+        )
+        joined = join(spec_side, arrow_side)
+        assert joined.has_arrow("C", "a", "B1")
+        assert joined.has_arrow("C", "a", "B2")
+
+    def test_incompatible_join_raises(self):
+        one = Schema.build(spec=[("A", "B")])
+        two = Schema.build(spec=[("B", "A")])
+        with pytest.raises(IncompatibleSchemasError):
+            join(one, two)
+
+    def test_join_all_empty_is_bottom(self):
+        assert join_all([]) == Schema.empty()
+
+    def test_join_all_matches_pairwise(self, small, bigger):
+        third = Schema.build(arrows=[("C", "h", "D")])
+        assert join_all([small, bigger, third]) == join(
+            join(small, bigger), third
+        )
+
+
+class TestMeet:
+    def test_meet_is_lower_bound(self, small, bigger):
+        lower = meet(small, bigger)
+        assert is_lower_bound(lower, [small, bigger])
+
+    def test_meet_is_greatest(self, small, bigger):
+        lower = meet(small, bigger)
+        assert lower == small  # small ⊑ bigger, so meet is small
+
+    def test_meet_discards_disagreement(self):
+        one = Schema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "age", "Int")]
+        )
+        two = Schema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "breed", "Breed")]
+        )
+        lower = meet(one, two)
+        assert lower.has_arrow("Dog", "name", "Str")
+        assert not lower.has_arrow("Dog", "age", "Int")
+        assert not lower.has_class("Breed")
+
+    def test_meet_always_exists_even_when_incompatible(self):
+        one = Schema.build(spec=[("A", "B")])
+        two = Schema.build(spec=[("B", "A")])
+        lower = meet(one, two)
+        assert lower.classes == one.classes
+        assert not lower.strict_spec()
+
+    def test_meet_all_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            meet_all([])
+
+    def test_meet_all_folds(self, small, bigger):
+        assert meet_all([small, bigger, small]) == small

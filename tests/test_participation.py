@@ -1,0 +1,87 @@
+"""Unit tests for the participation semilattice (§6, Figure 11)."""
+
+import pytest
+
+from repro.core.participation import Participation, glb, glb_all, leq, lub
+from repro.exceptions import ParticipationError
+
+P0 = Participation.ABSENT
+P01 = Participation.OPTIONAL
+P1 = Participation.REQUIRED
+
+
+class TestOrder:
+    def test_reflexive(self):
+        for value in Participation:
+            assert leq(value, value)
+
+    def test_optional_is_bottom(self):
+        assert leq(P01, P0)
+        assert leq(P01, P1)
+
+    def test_maximal_elements_incomparable(self):
+        assert not leq(P0, P1)
+        assert not leq(P1, P0)
+        assert not leq(P0, P01)
+        assert not leq(P1, P01)
+
+
+class TestGlb:
+    def test_idempotent(self):
+        for value in Participation:
+            assert glb(value, value) == value
+
+    def test_disagreement_resolves_to_optional(self):
+        assert glb(P0, P1) == P01
+        assert glb(P1, P0) == P01
+        assert glb(P0, P01) == P01
+        assert glb(P1, P01) == P01
+
+    def test_glb_is_greatest_lower_bound(self):
+        for left in Participation:
+            for right in Participation:
+                bound = glb(left, right)
+                assert leq(bound, left) and leq(bound, right)
+                for candidate in Participation:
+                    if leq(candidate, left) and leq(candidate, right):
+                        assert leq(candidate, bound)
+
+    def test_commutative_associative(self):
+        for a in Participation:
+            for b in Participation:
+                assert glb(a, b) == glb(b, a)
+                for c in Participation:
+                    assert glb(glb(a, b), c) == glb(a, glb(b, c))
+
+    def test_glb_all(self):
+        assert glb_all([P1, P1, P1]) == P1
+        assert glb_all([P1, P0]) == P01
+        assert glb_all([P0]) == P0
+        with pytest.raises(ParticipationError):
+            glb_all([])
+
+
+class TestLub:
+    def test_exists_on_chains(self):
+        assert lub(P01, P1) == P1
+        assert lub(P01, P0) == P0
+        assert lub(P1, P1) == P1
+
+    def test_absent_vs_required_has_no_lub(self):
+        assert lub(P0, P1) is None
+        assert lub(P1, P0) is None
+
+
+class TestParse:
+    def test_paper_notation(self):
+        assert Participation.parse("0") == P0
+        assert Participation.parse("0/1") == P01
+        assert Participation.parse("1") == P1
+
+    def test_str_round_trip(self):
+        for value in Participation:
+            assert Participation.parse(str(value)) == value
+
+    def test_bad_text_rejected(self):
+        with pytest.raises(ParticipationError):
+            Participation.parse("2")

@@ -1,0 +1,153 @@
+"""Unit tests for proper schemas, canonical classes and D1/D2 (§2)."""
+
+import pytest
+
+from repro.core.names import BaseName
+from repro.core.proper import (
+    canonical_arrows,
+    canonical_class,
+    check_d2,
+    check_proper,
+    from_canonical,
+    is_proper,
+    properness_violations,
+)
+from repro.core.schema import Schema
+from repro.exceptions import NotProperError, SchemaValidationError
+
+
+@pytest.fixture
+def proper_schema() -> Schema:
+    return Schema.build(
+        arrows=[("Owner", "pet", "Police-dog")],
+        spec=[("Police-dog", "Dog")],
+    )
+
+
+@pytest.fixture
+def weak_only_schema() -> Schema:
+    # F has a-arrows to incomparable C and D: no canonical class.
+    return Schema.build(arrows=[("F", "a", "C"), ("F", "a", "D")])
+
+
+class TestCanonicalClass:
+    def test_least_target_found(self, proper_schema):
+        assert canonical_class(proper_schema, "Owner", "pet") == BaseName(
+            "Police-dog"
+        )
+
+    def test_empty_reach_returns_none(self, proper_schema):
+        assert canonical_class(proper_schema, "Dog", "pet") is None
+
+    def test_no_least_raises(self, weak_only_schema):
+        with pytest.raises(NotProperError):
+            canonical_class(weak_only_schema, "F", "a")
+
+
+class TestProperness:
+    def test_proper_schema_accepted(self, proper_schema):
+        assert is_proper(proper_schema)
+        assert check_proper(proper_schema) is proper_schema
+
+    def test_weak_schema_detected(self, weak_only_schema):
+        assert not is_proper(weak_only_schema)
+        violations = properness_violations(weak_only_schema)
+        assert len(violations) == 1
+        cls, label, minimal = violations[0]
+        assert cls == BaseName("F") and label == "a"
+        assert minimal == {BaseName("C"), BaseName("D")}
+
+    def test_check_proper_raises_with_witness(self, weak_only_schema):
+        with pytest.raises(NotProperError) as excinfo:
+            check_proper(weak_only_schema)
+        assert "F" in str(excinfo.value)
+
+    def test_empty_schema_is_proper(self):
+        assert is_proper(Schema.empty())
+
+    def test_comparable_targets_are_fine(self):
+        schema = Schema.build(
+            arrows=[("F", "a", "Sub"), ("F", "a", "Sup")],
+            spec=[("Sub", "Sup")],
+        )
+        assert is_proper(schema)
+        assert canonical_class(schema, "F", "a") == BaseName("Sub")
+
+
+class TestCanonicalArrows:
+    def test_extracts_partial_function(self, proper_schema):
+        table = canonical_arrows(proper_schema)
+        assert table == {
+            (BaseName("Owner"), "pet"): BaseName("Police-dog")
+        }
+
+    def test_inherited_arrows_get_own_entries(self, dog_schema):
+        table = canonical_arrows(dog_schema)
+        assert table[(BaseName("Police-dog"), "owner")] == BaseName("Person")
+
+    def test_weak_schema_rejected(self, weak_only_schema):
+        with pytest.raises(NotProperError):
+            canonical_arrows(weak_only_schema)
+
+
+class TestFromCanonical:
+    def test_round_trip(self, dog_schema):
+        rebuilt = from_canonical(
+            classes=dog_schema.classes,
+            spec=dog_schema.spec,
+            canon=canonical_arrows(dog_schema),
+        )
+        assert rebuilt == dog_schema
+
+    def test_d2_violation_rejected(self):
+        # P ==> Q, Q has an f-arrow, P has none: D2 fails.
+        with pytest.raises(SchemaValidationError):
+            from_canonical(
+                classes=["P", "Q", "R"],
+                spec=[("P", "Q")],
+                canon={("Q", "f"): "R"},
+            )
+
+    def test_d2_refinement_accepted(self):
+        schema = from_canonical(
+            classes=["P", "Q", "R", "SubR"],
+            spec=[("P", "Q"), ("SubR", "R")],
+            canon={("Q", "f"): "R", ("P", "f"): "SubR"},
+        )
+        assert schema.has_arrow("P", "f", "R")
+        assert canonical_class(schema, "P", "f") == BaseName("SubR")
+
+    def test_spec_cycle_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            from_canonical(
+                classes=["A", "B"], spec=[("A", "B"), ("B", "A")], canon={}
+            )
+
+    def test_result_is_w2_closed(self):
+        schema = from_canonical(
+            classes=["P", "S", "Sup"],
+            spec=[("S", "Sup")],
+            canon={("P", "f"): "S"},
+        )
+        assert schema.has_arrow("P", "f", "Sup")
+
+
+class TestCheckD2:
+    def test_accepts_valid_table(self, dog_schema):
+        check_d2(
+            dog_schema.classes,
+            dog_schema.spec,
+            canonical_arrows(dog_schema),
+        )
+
+    def test_rejects_incomparable_refinement(self):
+        a, b, q, p = (BaseName(x) for x in "ABQP")
+        spec = frozenset(
+            {(p, q), (a, a), (b, b), (q, q), (p, p)}
+        )
+        with pytest.raises(SchemaValidationError):
+            check_d2(
+                [a, b, q, p],
+                spec,
+                {(q, "f"): a, (p, "f"): b},  # B is not below A
+            )

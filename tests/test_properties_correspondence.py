@@ -1,0 +1,193 @@
+"""Property tests for cross-database correspondence and fusion (§5)."""
+
+from typing import Dict, List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.names import name
+from repro.core.schema import Schema
+from repro.instances.correspondence import (
+    CorrespondenceStatus,
+    analyze_correspondence,
+    federate_shared,
+    fuse,
+)
+from repro.instances.instance import Instance
+from repro.instances.merging import identify_by_keys
+
+from tests.conftest import schemas
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SSN_POOL = [f"ssn{i}" for i in range(5)]
+
+
+def person_schema(keyed: bool = True) -> KeyedSchema:
+    keys = {"Person": KeyFamily.of({"ssn"})} if keyed else {}
+    return KeyedSchema(
+        Schema.build(arrows=[("Person", "ssn", "SSN")]), keys
+    )
+
+
+@st.composite
+def person_sources(draw, max_sources: int = 3, max_people: int = 4):
+    """Random Person databases sharing an SSN value pool."""
+    count = draw(st.integers(min_value=1, max_value=max_sources))
+    sources: List[Tuple[KeyedSchema, Instance]] = []
+    for index in range(count):
+        people = draw(st.integers(min_value=0, max_value=max_people))
+        ssns = draw(
+            st.lists(
+                st.sampled_from(SSN_POOL),
+                min_size=people,
+                max_size=people,
+            )
+        )
+        extents: Dict[str, set] = {
+            "Person": {f"p{index}.{i}" for i in range(people)},
+            "SSN": set(ssns),
+        }
+        values = {
+            (f"p{index}.{i}", "ssn"): ssn for i, ssn in enumerate(ssns)
+        }
+        sources.append(
+            (person_schema(), Instance.build(extents=extents, values=values))
+        )
+    return sources
+
+
+class TestFusionInvariants:
+    @given(person_sources())
+    @RELAXED
+    def test_fusion_never_creates_objects(self, sources):
+        result = fuse(sources, value_classes=["SSN"])
+        assert result.objects_after <= result.objects_before
+        assert result.identified >= 0
+
+    @given(person_sources())
+    @RELAXED
+    def test_distinct_ssns_survive(self, sources):
+        """After fusion, Person extent size equals the number of
+        distinct SSN values — the key semantics, end to end."""
+        result = fuse(sources, value_classes=["SSN"])
+        distinct = {
+            instance.value(oid, "ssn")
+            for _keyed, instance in sources
+            for oid in instance.extent("Person")
+        }
+        assert len(result.instance.extent("Person")) == len(distinct)
+
+    @given(person_sources())
+    @RELAXED
+    def test_fused_instance_is_a_fixpoint(self, sources):
+        """Re-identifying the fused instance changes nothing."""
+        result = fuse(sources, value_classes=["SSN"])
+        again = identify_by_keys(result.instance, result.merged)
+        assert again == result.instance
+
+    @given(person_sources())
+    @RELAXED
+    def test_keyless_fusion_identifies_nothing(self, sources):
+        keyless = [
+            (person_schema(keyed=False), instance)
+            for _keyed, instance in sources
+        ]
+        result = fuse(keyless, value_classes=["SSN"])
+        assert result.identified == 0
+
+    @given(person_sources())
+    @RELAXED
+    def test_every_attribute_value_is_preserved(self, sources):
+        """Fusion may rename and collapse oids but never loses an
+        (object, label, value) fact: each source ssn assignment is
+        still present on the fused object with that ssn."""
+        result = fuse(sources, value_classes=["SSN"])
+        fused_ssns = {
+            result.instance.value(oid, "ssn")
+            for oid in result.instance.extent("Person")
+        }
+        for _keyed, instance in sources:
+            for oid in instance.extent("Person"):
+                assert instance.value(oid, "ssn") in fused_ssns
+
+
+class TestFederateShared:
+    @given(person_sources())
+    @RELAXED
+    def test_sharing_values_preserves_extent_sizes(self, sources):
+        instances = [instance for _keyed, instance in sources]
+        combined = federate_shared(instances, value_classes=["SSN"])
+        total_people = sum(
+            len(instance.extent("Person")) for instance in instances
+        )
+        assert len(combined.extent("Person")) == total_people
+        distinct_ssns = set().union(
+            *(instance.extent("SSN") for instance in instances)
+        ) if instances else set()
+        assert combined.extent("SSN") == distinct_ssns
+
+    @given(person_sources())
+    @RELAXED
+    def test_disjointification_prevents_accidental_identity(self, sources):
+        """Without keys, objects from different sources stay distinct
+        even when their private oids collide textually."""
+        instances = [instance for _keyed, instance in sources]
+        combined = federate_shared(instances, value_classes=["SSN"])
+        seen = set()
+        for index in range(len(instances)):
+            for oid in combined.extent("Person"):
+                if isinstance(oid, tuple) and oid[0] == f"src{index}":
+                    assert oid not in seen
+                    seen.add(oid)
+
+
+class TestAnalysisInvariants:
+    @given(schemas(max_classes=4), schemas(max_classes=4))
+    @RELAXED
+    def test_rows_cover_only_shared_classes(self, left, right):
+        keyed = [KeyedSchema(left), KeyedSchema(right)]
+        rows = analyze_correspondence(keyed)
+        shared = left.classes & right.classes
+        for row in rows:
+            assert row.cls in shared
+            assert len(row.holders) >= 2
+
+    @given(schemas(max_classes=4), schemas(max_classes=4))
+    @RELAXED
+    def test_keyless_inputs_give_identity_only_rows(self, left, right):
+        keyed = [KeyedSchema(left), KeyedSchema(right)]
+        rows = analyze_correspondence(keyed)
+        assert all(
+            row.status == CorrespondenceStatus.IDENTITY_ONLY for row in rows
+        )
+
+    def test_statuses_are_exhaustive_for_person_scenarios(self):
+        """Each section 5 case is reachable (regression anchor)."""
+        cases = {
+            CorrespondenceStatus.AGREED: [person_schema(), person_schema()],
+            CorrespondenceStatus.IMPOSED: [
+                person_schema(),
+                person_schema(keyed=False),
+            ],
+            CorrespondenceStatus.UNDETERMINABLE: [
+                person_schema(),
+                KeyedSchema(Schema.build(arrows=[("Person", "name", "Str")])),
+            ],
+            CorrespondenceStatus.IDENTITY_ONLY: [
+                person_schema(keyed=False),
+                person_schema(keyed=False),
+            ],
+        }
+        for expected, inputs in cases.items():
+            rows = [
+                row
+                for row in analyze_correspondence(inputs)
+                if row.cls == name("Person")
+            ]
+            assert [row.status for row in rows] == [expected]

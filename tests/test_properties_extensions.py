@@ -1,0 +1,134 @@
+"""Property tests for the extension modules (multivalued, restructure)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import upper_merge
+from repro.core.ordering import is_sub
+from repro.extensions.multivalued import (
+    MultivaluedSchema,
+    Valence,
+    merge_multivalued,
+)
+from repro.tools.restructure import (
+    inline_relationship,
+    reify_attribute,
+    reify_relationship,
+)
+
+from tests.conftest import schemas
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def multivalued_schemas(draw):
+    base = draw(schemas(max_classes=5))
+    valences = {}
+    for cls in base.sorted_classes():
+        # Only annotate arrows the class itself carries, respecting the
+        # downward-SINGLE completion by never marking a subclass MULTI.
+        if base.specializations_of(cls) != {cls}:
+            continue
+        for label in sorted(base.out_labels(cls)):
+            if draw(st.booleans()):
+                valences[(cls, label)] = Valence.MULTI
+    return MultivaluedSchema(base, valences)
+
+
+class TestMultivaluedLaws:
+    @given(multivalued_schemas(), multivalued_schemas())
+    @RELAXED
+    def test_upper_commutative(self, left, right):
+        assert merge_multivalued(left, right) == merge_multivalued(
+            right, left
+        )
+
+    @given(multivalued_schemas(), multivalued_schemas())
+    @RELAXED
+    def test_lower_commutative(self, left, right):
+        assert merge_multivalued(
+            left, right, rule="lower"
+        ) == merge_multivalued(right, left, rule="lower")
+
+    @given(multivalued_schemas())
+    @RELAXED
+    def test_idempotent(self, schema):
+        assert merge_multivalued(schema, schema) == merge_multivalued(
+            schema
+        )
+
+    @given(multivalued_schemas(), multivalued_schemas())
+    @RELAXED
+    def test_schema_part_is_ordinary_merge(self, left, right):
+        merged = merge_multivalued(left, right)
+        assert merged.schema == upper_merge(left.schema, right.schema)
+
+    @given(multivalued_schemas(), multivalued_schemas())
+    @RELAXED
+    def test_rules_bracket_each_other(self, left, right):
+        upper = merge_multivalued(left, right)
+        lower = merge_multivalued(left, right, rule="lower")
+        pairs = {
+            (cls, label)
+            for cls in upper.schema.classes
+            for label in upper.schema.out_labels(cls)
+        }
+        for cls, label in pairs:
+            # SINGLE is the stronger statement; upper never weakens a
+            # SINGLE to MULTI that lower kept SINGLE.
+            if lower.valence_of(cls, label) == Valence.SINGLE:
+                assert upper.valence_of(cls, label) == Valence.SINGLE
+
+
+class TestRestructureLaws:
+    @given(schemas(max_classes=5))
+    @RELAXED
+    def test_reify_attribute_keeps_rest_intact(self, schema):
+        candidates = [
+            (cls, label)
+            for cls in schema.sorted_classes()
+            for label in sorted(schema.out_labels(cls))
+        ]
+        if not candidates:
+            return
+        cls, label = candidates[0]
+        reified = reify_attribute(schema, cls, label, "Fresh-entity")
+        # All arrows not under the reified label survive verbatim.
+        for (s, a, t) in schema.arrows:
+            if a != label:
+                assert reified.has_arrow(s, a, t)
+        assert reified.spec >= schema.spec
+
+    @given(schemas(max_classes=5))
+    @RELAXED
+    def test_reify_then_inline_round_trips(self, schema):
+        candidates = [
+            (cls, label)
+            for cls in schema.sorted_classes()
+            for label in sorted(schema.out_labels(cls))
+            # The round trip is exact when the class's own arrow is not
+            # also carried by a strict generalization (otherwise W1
+            # regenerates the inherited copy and inlining sees extras).
+            if not any(
+                label in schema.out_labels(sup)
+                for sup in schema.generalizations_of(cls)
+                if sup != cls
+            )
+            and len(schema.min_classes(schema.reach(cls, label))) == 1
+            and schema.specializations_of(cls) == {cls}
+        ]
+        if not candidates:
+            return
+        cls, label = candidates[0]
+        reified = reify_relationship(
+            schema, cls, label, "Fresh-node", "src", "tgt"
+        )
+        back = inline_relationship(
+            reified, "Fresh-node", "src", "tgt", label
+        )
+        assert back == schema

@@ -1,0 +1,65 @@
+"""Property-based tests for the instance-level theorems (§4, §6)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lower import complete_classes, lower_merge
+from repro.core.merge import upper_merge
+from repro.generators.random_schemas import (
+    random_annotated_schema,
+    random_instance,
+    random_proper_schema,
+    random_schema_family,
+)
+from repro.instances.coercion import coerce
+from repro.instances.merging import federate
+from repro.instances.satisfaction import satisfies, satisfies_annotated
+
+MERGE_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGeneratedInstances:
+    @given(st.integers(min_value=0, max_value=40))
+    @MERGE_SETTINGS
+    def test_random_instance_satisfies_its_schema(self, seed):
+        schema = random_proper_schema(n_classes=7, n_labels=3, seed=seed)
+        instance = random_instance(schema, seed=seed)
+        assert satisfies(instance, schema)
+
+
+class TestUpperCoercionTheorem:
+    @given(st.integers(min_value=0, max_value=40))
+    @MERGE_SETTINGS
+    def test_merge_instances_coerce_to_components(self, seed):
+        family = random_schema_family(
+            n_schemas=3, pool_size=10, n_classes=5, n_labels=3, seed=seed
+        )
+        merged = upper_merge(*family)
+        instance = random_instance(merged, seed=seed)
+        assert satisfies(instance, merged)
+        for component in family:
+            assert satisfies(coerce(instance, component), component)
+
+
+class TestLowerFederationTheorem:
+    @given(st.integers(min_value=0, max_value=40))
+    @MERGE_SETTINGS
+    def test_federated_instances_satisfy_lower_merge(self, seed):
+        # Two annotated sources; instances of each required-projection
+        # satisfy each source, and their disjoint union satisfies the
+        # lower merge.
+        one = random_annotated_schema(seed=seed)
+        two = random_annotated_schema(seed=seed + 1000)
+        inst_one = random_instance(one.required_schema(), seed=seed)
+        inst_two = random_instance(
+            two.required_schema(), seed=seed + 1000
+        )
+        assert satisfies_annotated(inst_one, one)
+        assert satisfies_annotated(inst_two, two)
+        merged = lower_merge(one, two)
+        combined = federate([inst_one, inst_two])
+        assert satisfies_annotated(combined, merged)

@@ -1,0 +1,83 @@
+"""Property tests: JSON serialization is the identity on round trips."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import KeyedSchema, minimal_satisfactory_assignment
+from repro.io.json_io import dumps, loads
+from repro.models.oo import from_schema as oo_from_general
+from repro.models.oo import to_schema as oo_to_general
+
+from tests.conftest import annotated_schemas, schemas
+from tests.test_properties_oo import oo_diagrams
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRoundTrips:
+    @given(schemas())
+    @RELAXED
+    def test_schema(self, schema):
+        assert loads(dumps(schema)) == schema
+
+    @given(annotated_schemas())
+    @RELAXED
+    def test_annotated(self, schema):
+        assert loads(dumps(schema)) == schema
+
+    @given(schemas())
+    @RELAXED
+    def test_keyed(self, schema):
+        raw = {}
+        for cls in schema.sorted_classes():
+            labels = sorted(schema.out_labels(cls))
+            if labels:
+                raw[cls] = [frozenset(labels[:1])]
+        seeded = KeyedSchema(schema, raw, check_spec_monotone=False)
+        keyed = KeyedSchema(
+            schema, minimal_satisfactory_assignment(schema, [seeded])
+        )
+        assert loads(dumps(keyed)) == keyed
+
+    @given(oo_diagrams())
+    @RELAXED
+    def test_oo_diagram(self, diagram):
+        assert loads(dumps(diagram)) == diagram
+
+    @given(schemas(), st.integers(min_value=0, max_value=999))
+    @RELAXED
+    def test_instance_of_random_schema(self, schema, seed):
+        from repro.core.implicit import properize
+        from repro.exceptions import NotProperError
+        from repro.generators.random_schemas import random_instance
+        from hypothesis import assume
+
+        try:
+            proper = properize(schema)
+        except NotProperError:
+            assume(False)
+        instance = random_instance(proper, seed=seed)
+        assert loads(dumps(instance)) == instance
+
+    @given(schemas())
+    @RELAXED
+    def test_merged_schema_with_implicit_names(self, schema):
+        """Composite names survive: merge a schema with itself shifted,
+        forcing implicit classes where reach sets have two minima."""
+        from repro.core.merge import upper_merge
+
+        merged = upper_merge(schema)
+        assert loads(dumps(merged)) == merged
+
+    @given(oo_diagrams())
+    @RELAXED
+    def test_serialization_commutes_with_translation(self, diagram):
+        """dumps/loads then translate == translate directly."""
+        recovered = loads(dumps(diagram))
+        assert oo_from_general(oo_to_general(recovered)) == oo_from_general(
+            oo_to_general(diagram)
+        )

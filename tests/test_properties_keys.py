@@ -1,0 +1,150 @@
+"""Property-based tests for key families and key merging (§5)."""
+
+
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import (
+    KeyFamily,
+    KeyedSchema,
+    is_satisfactory,
+    merge_keyed,
+    minimal_satisfactory_assignment,
+)
+from repro.generators.random_schemas import random_keyed_family
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MERGE_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+LABELS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def key_families(draw):
+    n_keys = draw(st.integers(min_value=0, max_value=3))
+    keys = [
+        draw(
+            st.sets(
+                st.sampled_from(LABELS), min_size=1, max_size=len(LABELS)
+            )
+        )
+        for _ in range(n_keys)
+    ]
+    return KeyFamily(keys)
+
+
+class TestKeyFamilyAlgebra:
+    @given(key_families())
+    @RELAXED
+    def test_min_keys_form_antichain(self, family):
+        for key_one in family.min_keys:
+            for key_two in family.min_keys:
+                if key_one != key_two:
+                    assert not key_one <= key_two
+
+    @given(key_families())
+    @RELAXED
+    def test_upward_closure(self, family):
+        for key in family.min_keys:
+            assert family.is_superkey(key | {"z-extra"})
+
+    @given(key_families(), key_families())
+    @RELAXED
+    def test_union_is_least_upper_bound(self, left, right):
+        union = left | right
+        assert union.contains_family(left)
+        assert union.contains_family(right)
+        # Least: anything containing both contains the union.
+        assert (left | right | left).contains_family(union)
+
+    @given(key_families(), key_families())
+    @RELAXED
+    def test_intersection_semantics(self, left, right):
+        both = left & right
+        for labels_size in range(len(LABELS) + 1):
+            sample = set(LABELS[:labels_size])
+            assert both.is_superkey(sample) == (
+                left.is_superkey(sample) and right.is_superkey(sample)
+            )
+
+    @given(key_families(), key_families())
+    @RELAXED
+    def test_commutativity(self, left, right):
+        assert left | right == right | left
+        assert left & right == right & left
+
+    @given(key_families(), key_families(), key_families())
+    @RELAXED
+    def test_associativity(self, one, two, three):
+        assert (one | two) | three == one | (two | three)
+        assert (one & two) & three == one & (two & three)
+
+    @given(key_families())
+    @RELAXED
+    def test_idempotence(self, family):
+        assert family | family == family
+        assert family & family == family
+
+    @given(key_families(), key_families())
+    @RELAXED
+    def test_containment_is_partial_order(self, left, right):
+        if left.contains_family(right) and right.contains_family(left):
+            assert left == right
+
+
+class TestMergedAssignments:
+    @given(st.integers(min_value=0, max_value=30))
+    @MERGE_SETTINGS
+    def test_minimal_assignment_is_satisfactory(self, seed):
+        inputs = random_keyed_family(n_schemas=2, seed=seed)
+        merged = merge_keyed(*inputs)
+        assignment = minimal_satisfactory_assignment(
+            merged.schema, inputs
+        )
+        assert is_satisfactory(merged.schema, assignment, inputs)
+
+    @given(st.integers(min_value=0, max_value=30))
+    @MERGE_SETTINGS
+    def test_minimality_pointwise(self, seed):
+        inputs = random_keyed_family(n_schemas=2, seed=seed)
+        merged = merge_keyed(*inputs)
+        ours = minimal_satisfactory_assignment(merged.schema, inputs)
+        # Minimality: strictly shrinking any class's family (dropping
+        # one of its minimal keys) breaks satisfaction unless the key
+        # was implied elsewhere — in which case the propagation would
+        # have reconstructed exactly the same family.
+        for cls, family in ours.items():
+            weakened = dict(ours)
+            weakened.pop(cls)
+            if not is_satisfactory(merged.schema, weakened, inputs):
+                continue  # dropping broke it: that family was needed
+            rebuilt = minimal_satisfactory_assignment(
+                merged.schema, inputs
+            )
+            assert rebuilt[cls] == family
+
+    @given(st.integers(min_value=0, max_value=30))
+    @MERGE_SETTINGS
+    def test_merge_keyed_order_independent(self, seed):
+        one, two = random_keyed_family(n_schemas=2, seed=seed)
+        assert merge_keyed(one, two) == merge_keyed(two, one)
+
+    @given(st.integers(min_value=0, max_value=30))
+    @MERGE_SETTINGS
+    def test_merged_assignment_spec_monotone(self, seed):
+        inputs = random_keyed_family(n_schemas=2, seed=seed)
+        merged = merge_keyed(*inputs)
+        for sub, sup in merged.schema.strict_spec():
+            assert merged.keys_of(sub).contains_family(
+                merged.keys_of(sup)
+            )

@@ -1,0 +1,131 @@
+"""Property tests for the object-oriented model (§2, §7).
+
+Random class diagrams — with multiple inheritance, reference cycles and
+value types — round-trip through the general model exactly, and merges
+at the diagram level inherit the §4 laws from the underlying upper
+merge.
+"""
+
+from typing import List
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.models.oo import (
+    OOAttribute,
+    OOClass,
+    OODiagram,
+    from_schema,
+    merge_oo,
+    to_schema,
+)
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+CLASS_POOL = [f"C{i}" for i in range(6)]
+VALUE_POOL = ["Int", "Str", "Money"]
+
+
+@st.composite
+def oo_diagrams(draw, label_space: str = ""):
+    """A random class diagram over the shared class-name pool.
+
+    ``label_space`` namespaces attribute labels, so two diagrams drawn
+    with different spaces never claim the same attribute with clashing
+    types — the structural-conflict case is unit-tested separately.
+    Inheritance edges point from higher to lower pool index, keeping
+    ISA acyclic within and across diagrams.
+    """
+    count = draw(st.integers(min_value=0, max_value=len(CLASS_POOL)))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(CLASS_POOL),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    chosen = sorted(chosen, key=CLASS_POOL.index)
+    definitions: List[OOClass] = []
+    for position, cls_name in enumerate(chosen):
+        attributes = []
+        n_attrs = draw(st.integers(min_value=0, max_value=2))
+        for a in range(n_attrs):
+            target = draw(
+                st.sampled_from(VALUE_POOL + chosen)
+            )  # references may be circular
+            attributes.append(
+                OOAttribute(f"a{label_space}_{cls_name}_{a}", target)
+            )
+        bases = draw(
+            st.lists(
+                st.sampled_from(chosen[:position]),
+                max_size=min(2, position),
+                unique=True,
+            )
+        ) if position else []
+        definitions.append(
+            OOClass(cls_name, attributes=attributes, bases=bases)
+        )
+    return OODiagram(classes=definitions)
+
+
+class TestRoundTrip:
+    @given(oo_diagrams())
+    @RELAXED
+    def test_round_trip_is_identity(self, diagram):
+        assert from_schema(to_schema(diagram)) == diagram
+
+    @given(oo_diagrams())
+    @RELAXED
+    def test_translation_preserves_inherited_attributes(self, diagram):
+        schema = to_schema(diagram).schema
+        for cls in diagram.classes:
+            for attr_name, attr_type in diagram.all_attributes(
+                cls.name
+            ).items():
+                assert schema.has_arrow(cls.name, attr_name, attr_type)
+
+
+class TestMergeLaws:
+    @given(oo_diagrams(label_space="x"), oo_diagrams(label_space="y"))
+    @RELAXED
+    def test_commutative(self, one, two):
+        assert merge_oo(one, two) == merge_oo(two, one)
+
+    @given(
+        oo_diagrams(label_space="x"),
+        oo_diagrams(label_space="y"),
+        oo_diagrams(label_space="z"),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_associative(self, one, two, three):
+        left = merge_oo(merge_oo(one, two), three)
+        right = merge_oo(one, merge_oo(two, three))
+        assert left == right
+        assert left == merge_oo(one, two, three)
+
+    @given(oo_diagrams())
+    @RELAXED
+    def test_idempotent(self, diagram):
+        assert merge_oo(diagram, diagram) == merge_oo(diagram)
+
+    @given(oo_diagrams(label_space="x"), oo_diagrams(label_space="y"))
+    @RELAXED
+    def test_merge_is_an_upper_bound_classwise(self, one, two):
+        merged = merge_oo(one, two)
+        assert merged.class_names() >= one.class_names()
+        assert merged.class_names() >= two.class_names()
+        for diagram in (one, two):
+            for cls in diagram.classes:
+                inherited = merged.all_attributes(cls.name)
+                for attr_name in diagram.all_attributes(cls.name):
+                    assert attr_name in inherited

@@ -1,0 +1,135 @@
+"""Unit tests for the relational substrate model (§2, §3)."""
+
+import pytest
+
+from repro.core.keys import KeyFamily
+from repro.exceptions import TranslationError
+from repro.models.relational import (
+    RelationSchema,
+    RelationalDatabase,
+    from_schema,
+    merge_relational,
+    merge_relational_keyed,
+    to_keyed_schema,
+    to_schema,
+)
+
+
+@pytest.fixture
+def person_db() -> RelationalDatabase:
+    return RelationalDatabase(
+        [
+            RelationSchema(
+                "Person",
+                {"ssn": "Str", "name": "Str", "address": "Str"},
+                keys=[{"ssn"}, {"name", "address"}],
+            )
+        ]
+    )
+
+
+class TestValidation:
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(TranslationError):
+            RelationSchema("R", {})
+
+    def test_key_over_unknown_attribute_rejected(self):
+        with pytest.raises(TranslationError):
+            RelationSchema("R", {"a": "D"}, keys=[{"b"}])
+
+    def test_duplicate_relation_rejected(self):
+        relation = RelationSchema("R", {"a": "D"})
+        with pytest.raises(TranslationError):
+            RelationalDatabase([relation, relation])
+
+    def test_lookup_error(self):
+        database = RelationalDatabase([])
+        with pytest.raises(TranslationError):
+            database.relation("R")
+
+
+class TestTranslation:
+    def test_strata(self, person_db):
+        stratified = to_schema(person_db)
+        assert stratified.stratum_of("Person") == "relation"
+        assert stratified.stratum_of("Str") == "domain"
+
+    def test_no_spec_edges(self, person_db):
+        assert not to_schema(person_db).schema.strict_spec()
+
+    def test_keyed_translation(self, person_db):
+        keyed = to_keyed_schema(person_db)
+        family = keyed.keys_of("Person")
+        assert family.is_superkey({"ssn"})
+        assert family.is_superkey({"name", "address"})
+        assert not family.is_superkey({"name"})
+
+    def test_round_trip_modulo_keys(self, person_db):
+        back = from_schema(to_schema(person_db))
+        assert back.relation("Person").attribute_map() == person_db.relation(
+            "Person"
+        ).attribute_map()
+
+
+class TestMerge:
+    def test_section3_dog_example(self):
+        one = RelationalDatabase(
+            [
+                RelationSchema(
+                    "Dog",
+                    {"License#": "Str", "Owner": "Str", "Breed": "Str"},
+                )
+            ]
+        )
+        two = RelationalDatabase(
+            [
+                RelationSchema(
+                    "Dog", {"Name": "Str", "Age": "Int", "Breed": "Str"}
+                )
+            ]
+        )
+        merged = merge_relational(one, two)
+        assert merged.relation("Dog").attribute_names() == {
+            "License#",
+            "Owner",
+            "Name",
+            "Age",
+            "Breed",
+        }
+
+    def test_disjoint_relations_coexist(self):
+        one = RelationalDatabase([RelationSchema("A", {"x": "D"})])
+        two = RelationalDatabase([RelationSchema("B", {"y": "D"})])
+        merged = merge_relational(one, two)
+        assert {r.name for r in merged.relations} == {"A", "B"}
+
+    def test_domain_conflict_detected(self):
+        one = RelationalDatabase([RelationSchema("R", {"age": "Int"})])
+        two = RelationalDatabase([RelationSchema("R", {"age": "Str"})])
+        with pytest.raises(TranslationError) as excinfo:
+            merge_relational(one, two)
+        assert "typed differently" in str(excinfo.value)
+
+    def test_keyed_merge(self, person_db):
+        extra = RelationalDatabase(
+            [
+                RelationSchema(
+                    "Person",
+                    {"ssn": "Str", "phone": "Str"},
+                )
+            ]
+        )
+        merged, keys = merge_relational_keyed(person_db, extra)
+        assert merged.relation("Person").attribute_names() == {
+            "ssn",
+            "name",
+            "address",
+            "phone",
+        }
+        assert keys["Person"].is_superkey({"ssn"})
+
+    def test_merge_is_order_independent(self, person_db):
+        extra = RelationalDatabase([RelationSchema("Other", {"z": "D"})])
+        assert merge_relational(person_db, extra) == merge_relational(
+            extra, person_db
+        )

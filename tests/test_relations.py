@@ -1,0 +1,144 @@
+"""Unit tests for the binary-relation toolkit."""
+
+import pytest
+
+from repro.core import relations
+
+
+class TestClosures:
+    def test_reflexive_closure(self):
+        closed = relations.reflexive_closure({(1, 2)}, [1, 2, 3])
+        assert closed == frozenset({(1, 2), (1, 1), (2, 2), (3, 3)})
+
+    def test_transitive_closure_chain(self):
+        closed = relations.transitive_closure({(1, 2), (2, 3), (3, 4)})
+        assert (1, 4) in closed
+        assert (1, 3) in closed
+        assert (4, 1) not in closed
+
+    def test_transitive_closure_of_cycle_contains_self_loops(self):
+        closed = relations.transitive_closure({(1, 2), (2, 1)})
+        assert (1, 1) in closed and (2, 2) in closed
+
+    def test_reflexive_transitive_closure(self):
+        closed = relations.reflexive_transitive_closure({(1, 2)}, [1, 2, 9])
+        assert (9, 9) in closed and (1, 2) in closed and (1, 1) in closed
+
+
+class TestPredicates:
+    def test_is_reflexive(self):
+        assert relations.is_reflexive({(1, 1), (2, 2)}, [1, 2])
+        assert not relations.is_reflexive({(1, 1)}, [1, 2])
+
+    def test_is_transitive(self):
+        assert relations.is_transitive({(1, 2), (2, 3), (1, 3)})
+        assert not relations.is_transitive({(1, 2), (2, 3)})
+
+    def test_is_antisymmetric(self):
+        assert relations.is_antisymmetric({(1, 2), (1, 1)})
+        assert not relations.is_antisymmetric({(1, 2), (2, 1)})
+
+    def test_is_partial_order(self):
+        order = relations.reflexive_transitive_closure({(1, 2)}, [1, 2])
+        assert relations.is_partial_order(order, [1, 2])
+        assert not relations.is_partial_order({(1, 2)}, [1, 2])
+
+
+class TestFindCycle:
+    def test_no_cycle(self):
+        assert relations.find_cycle({(1, 2), (2, 3)}) is None
+
+    def test_self_loops_ignored(self):
+        assert relations.find_cycle({(1, 1), (1, 2)}) is None
+
+    def test_two_cycle_found(self):
+        cycle = relations.find_cycle({(1, 2), (2, 1)})
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {1, 2}
+
+    def test_longer_cycle_found(self):
+        cycle = relations.find_cycle({(1, 2), (2, 3), (3, 1), (3, 4)})
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert {1, 2, 3} <= set(cycle)
+
+
+class TestExtremalElements:
+    ORDER = relations.reflexive_transitive_closure(
+        {("c", "a"), ("c", "b"), ("d", "c")}, ["a", "b", "c", "d", "e"]
+    )
+
+    def test_minimal_elements(self):
+        assert relations.minimal_elements({"a", "b", "c"}, self.ORDER) == {
+            "c"
+        }
+        assert relations.minimal_elements({"a", "b"}, self.ORDER) == {
+            "a",
+            "b",
+        }
+
+    def test_maximal_elements(self):
+        assert relations.maximal_elements({"a", "b", "c"}, self.ORDER) == {
+            "a",
+            "b",
+        }
+
+    def test_least_element_exists(self):
+        assert relations.least_element({"a", "c", "d"}, self.ORDER) == "d"
+
+    def test_least_element_missing(self):
+        assert relations.least_element({"a", "b"}, self.ORDER) is None
+
+    def test_least_of_singleton(self):
+        assert relations.least_element({"e"}, self.ORDER) == "e"
+
+    def test_greatest_element(self):
+        assert relations.greatest_element({"a", "c", "d"}, self.ORDER) == "a"
+        assert relations.greatest_element({"a", "b"}, self.ORDER) is None
+
+    def test_down_and_up_sets(self):
+        assert relations.down_set("a", self.ORDER) == {"a", "c", "d"}
+        assert relations.up_set("c", self.ORDER) == {"a", "b", "c"}
+
+
+class TestCovers:
+    def test_transitive_edge_removed(self):
+        order = relations.reflexive_transitive_closure(
+            {(1, 2), (2, 3)}, [1, 2, 3]
+        )
+        assert relations.covers(order) == frozenset({(1, 2), (2, 3)})
+
+    def test_diamond_keeps_all_sides(self):
+        order = relations.reflexive_transitive_closure(
+            {("bot", "l"), ("bot", "r"), ("l", "top"), ("r", "top")},
+            ["bot", "l", "r", "top"],
+        )
+        assert relations.covers(order) == frozenset(
+            {("bot", "l"), ("bot", "r"), ("l", "top"), ("r", "top")}
+        )
+
+
+class TestTopologicalOrder:
+    def test_respects_order(self):
+        order = relations.reflexive_transitive_closure(
+            {(1, 2), (2, 3)}, [1, 2, 3]
+        )
+        result = relations.topological_order([1, 2, 3], order)
+        assert result.index(1) < result.index(2) < result.index(3)
+
+    def test_deterministic(self):
+        order = relations.reflexive_closure(set(), [3, 1, 2])
+        assert relations.topological_order(
+            [3, 1, 2], order
+        ) == relations.topological_order([2, 1, 3], order)
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            relations.topological_order([1, 2], {(1, 2), (2, 1)})
+
+
+class TestRestrict:
+    def test_keeps_internal_pairs_only(self):
+        rel = {(1, 2), (2, 3), (3, 1)}
+        assert relations.restrict(rel, {1, 2}) == frozenset({(1, 2)})

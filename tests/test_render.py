@@ -1,0 +1,145 @@
+"""Unit tests for the ASCII and DOT renderers."""
+
+import pytest
+
+from repro.core.lower import AnnotatedSchema
+from repro.core.merge import merge_report
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+from repro.figures import figure3_schemas, figure9_keyed_schema
+from repro.render.ascii_art import (
+    render_annotated,
+    render_keyed,
+    render_report,
+    render_schema,
+)
+from repro.render.dot import annotated_to_dot, schema_to_dot
+
+
+class TestRenderSchema:
+    def test_sections_present(self, dog_schema):
+        text = render_schema(dog_schema, "dogs")
+        assert "dogs" in text
+        assert "classes (6):" in text
+        assert "Police-dog ==> Dog" in text
+        assert "Dog --owner--> Person" in text
+
+    def test_deterministic(self, dog_schema):
+        assert render_schema(dog_schema) == render_schema(dog_schema)
+
+    def test_empty_schema(self):
+        assert "(empty schema)" in render_schema(Schema.empty())
+
+    def test_covers_only(self):
+        schema = Schema.build(spec=[("A", "B"), ("B", "C")])
+        text = render_schema(schema)
+        assert "A ==> B" in text and "B ==> C" in text
+        assert "A ==> C" not in text
+
+
+class TestRenderKeyed:
+    def test_keys_section(self):
+        text = render_keyed(figure9_keyed_schema(), "figure 9")
+        assert "keys (2 keyed class(es)):" in text
+        assert "Advisor: {victim}" in text
+        assert "Committee: {faculty, victim}" in text
+
+
+class TestRenderAnnotated:
+    def test_optional_marker(self):
+        schema = AnnotatedSchema.build(
+            arrows=[
+                ("Dog", "name", "Str", Participation.REQUIRED),
+                ("Dog", "age", "Int", Participation.OPTIONAL),
+            ]
+        )
+        text = render_annotated(schema)
+        assert "Dog --name--> Str" in text
+        assert "Dog --age?--> Int" in text
+
+
+class TestRenderReport:
+    def test_full_report(self):
+        report = merge_report(*figure3_schemas())
+        text = render_report(report)
+        assert "input 1" in text and "input 2" in text
+        assert "weak merge (LUB)" in text
+        assert "implicit classes introduced below: {B1, B2}" in text
+        assert "merged schema (proper)" in text
+
+
+class TestDot:
+    def test_digraph_structure(self, dog_schema):
+        text = schema_to_dot(dog_schema, "dogs")
+        assert text.startswith('digraph "dogs" {')
+        assert text.endswith("}")
+        assert 'label="Dog"' in text
+        assert "style=bold" in text  # an ISA edge exists
+
+    def test_implicit_class_dashed(self):
+        from repro.core.merge import upper_merge
+
+        merged = upper_merge(*figure3_schemas())
+        text = schema_to_dot(merged)
+        assert "style=dashed" in text
+
+    def test_label_quoting(self):
+        schema = Schema.build(arrows=[('We"ird', "f", "B")])
+        text = schema_to_dot(schema)
+        assert '\\"' in text
+
+    def test_inherited_arrows_not_drawn(self, dog_schema):
+        text = schema_to_dot(dog_schema)
+        # Police-dog inherits owner from Dog; the figure convention
+        # omits the inherited copy.
+        dog_line = [l for l in text.splitlines() if 'label="owner"' in l]
+        assert len(dog_line) == 1
+
+    def test_annotated_optional_dashed(self):
+        schema = AnnotatedSchema.build(
+            arrows=[("Dog", "age", "Int", Participation.OPTIONAL)]
+        )
+        text = annotated_to_dot(schema)
+        assert "style=dashed" in text
+
+    def test_deterministic(self, dog_schema):
+        assert schema_to_dot(dog_schema) == schema_to_dot(dog_schema)
+
+
+class TestRenderInstance:
+    def test_renders_extents_and_values(self):
+        from repro.instances.instance import Instance
+        from repro.render.ascii_art import render_instance
+
+        instance = Instance.build(
+            extents={"Dog": {"d1"}, "Person": {"p1"}},
+            values={("d1", "owner"): "p1"},
+        )
+        text = render_instance(instance, "pets")
+        assert text.startswith("pets\n====")
+        assert "objects (2):" in text
+        assert "Dog (1): 'd1'" in text
+        assert "'d1'.owner = 'p1'" in text
+
+    def test_empty_instance(self):
+        from repro.instances.instance import Instance
+        from repro.render.ascii_art import render_instance
+
+        assert "(empty instance)" in render_instance(Instance.empty())
+
+    def test_deterministic(self):
+        from repro.instances.instance import Instance
+        from repro.render.ascii_art import render_instance
+
+        instance = Instance.build(
+            extents={"Dog": {"b", "a", "c"}},
+            values={("a", "x"): "b", ("c", "x"): "a"},
+        )
+        assert render_instance(instance) == render_instance(instance)
+
+    def test_tuple_oids_render(self):
+        from repro.instances.instance import Instance
+        from repro.render.ascii_art import render_instance
+
+        instance = Instance.build(extents={"Dog": {("src0", "d1")}})
+        assert "('src0', 'd1')" in render_instance(instance)

@@ -1,0 +1,43 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.analysis.report import (
+    full_report,
+    main,
+    report_figure_3,
+    report_figure_11,
+    report_figures_1_2,
+    report_figures_4_5,
+    report_figures_6_to_8,
+    report_figures_9_10,
+    report_growth,
+)
+
+
+class TestSections:
+    def test_every_section_passes(self):
+        for section in (
+            report_figures_1_2,
+            report_figure_3,
+            report_figures_4_5,
+            report_figures_6_to_8,
+            report_figures_9_10,
+            report_figure_11,
+            report_growth,
+        ):
+            lines = section()
+            assert lines, section.__name__
+            assert all("FAIL" not in line for line in lines)
+
+
+class TestFullReport:
+    def test_mentions_every_figure(self):
+        text = full_report()
+        for figure in ("Figures 1-2", "Figure 3", "Figures 4-5",
+                       "Figures 6-8", "Figures 9-10", "Figure 11"):
+            assert figure in text
+        assert text.endswith("all claims reproduced")
+
+    def test_main_exit_code(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out

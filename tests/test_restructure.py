@@ -1,0 +1,117 @@
+"""Unit tests for schema restructuring (§7 structural conflicts)."""
+
+import pytest
+
+from repro.core.merge import upper_merge
+from repro.core.names import BaseName
+from repro.core.schema import Schema
+from repro.exceptions import SchemaValidationError
+from repro.tools.restructure import (
+    inline_relationship,
+    reify_attribute,
+    reify_relationship,
+)
+
+
+class TestReifyAttribute:
+    def test_basic_reification(self):
+        schema = Schema.build(arrows=[("Person", "address", "Str")])
+        reified = reify_attribute(schema, "Person", "address", "Address")
+        assert reified.has_arrow("Person", "address", "Address")
+        assert reified.has_arrow("Address", "value", "Str")
+        assert not reified.has_arrow("Person", "address", "Str")
+
+    def test_enables_merge_with_entity_view(self):
+        # One schema models address as a string attribute, the other as
+        # an entity with structure.  Reifying the first makes them agree.
+        flat = Schema.build(arrows=[("Person", "address", "Str")])
+        structured = Schema.build(
+            arrows=[
+                ("Person", "address", "Address"),
+                ("Address", "street", "Str"),
+                ("Address", "city", "Str"),
+            ]
+        )
+        reified = reify_attribute(flat, "Person", "address", "Address")
+        merged = upper_merge(reified, structured)
+        targets = merged.min_classes(merged.reach("Person", "address"))
+        assert targets == {BaseName("Address")}
+
+    def test_inherited_copies_regenerate(self):
+        schema = Schema.build(
+            arrows=[("Person", "address", "Str")],
+            spec=[("Employee", "Person")],
+        )
+        reified = reify_attribute(schema, "Person", "address", "Address")
+        assert reified.has_arrow("Employee", "address", "Address")
+        assert not reified.has_arrow("Employee", "address", "Str")
+
+    def test_existing_class_rejected(self):
+        schema = Schema.build(arrows=[("Person", "address", "Str")])
+        with pytest.raises(SchemaValidationError):
+            reify_attribute(schema, "Person", "address", "Str")
+
+    def test_missing_arrow_rejected(self):
+        schema = Schema.build(classes=["Person"])
+        with pytest.raises(SchemaValidationError):
+            reify_attribute(schema, "Person", "ghost", "G")
+
+
+class TestReifyRelationship:
+    def test_basic(self):
+        schema = Schema.build(arrows=[("Dog", "lives-in", "Kennel")])
+        reified = reify_relationship(
+            schema, "Dog", "lives-in", "Lives", "occ", "home"
+        )
+        assert reified.has_arrow("Lives", "occ", "Dog")
+        assert reified.has_arrow("Lives", "home", "Kennel")
+        assert not reified.has_arrow("Dog", "lives-in", "Kennel")
+
+    def test_matches_node_style_schema(self):
+        arrow_style = Schema.build(arrows=[("Dog", "lives-in", "Kennel")])
+        node_style = Schema.build(
+            arrows=[("Lives", "occ", "Dog"), ("Lives", "home", "Kennel")]
+        )
+        reified = reify_relationship(
+            arrow_style, "Dog", "lives-in", "Lives", "occ", "home"
+        )
+        assert upper_merge(reified, node_style) == upper_merge(node_style)
+
+
+class TestInlineRelationship:
+    def test_round_trip(self):
+        schema = Schema.build(arrows=[("Dog", "lives-in", "Kennel")])
+        reified = reify_relationship(
+            schema, "Dog", "lives-in", "Lives", "occ", "home"
+        )
+        back = inline_relationship(
+            reified, "Lives", "occ", "home", "lives-in"
+        )
+        assert back == schema
+
+    def test_extra_arrows_rejected(self):
+        schema = Schema.build(
+            arrows=[
+                ("Lives", "occ", "Dog"),
+                ("Lives", "home", "Kennel"),
+                ("Lives", "since", "Date"),
+            ]
+        )
+        with pytest.raises(SchemaValidationError):
+            inline_relationship(schema, "Lives", "occ", "home", "lives-in")
+
+    def test_referenced_node_rejected(self):
+        schema = Schema.build(
+            arrows=[
+                ("Lives", "occ", "Dog"),
+                ("Lives", "home", "Kennel"),
+                ("Audit", "entry", "Lives"),
+            ]
+        )
+        with pytest.raises(SchemaValidationError):
+            inline_relationship(schema, "Lives", "occ", "home", "lives-in")
+
+    def test_unknown_node_rejected(self):
+        schema = Schema.build(classes=["A"])
+        with pytest.raises(SchemaValidationError):
+            inline_relationship(schema, "Lives", "occ", "home", "x")

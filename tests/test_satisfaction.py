@@ -1,0 +1,170 @@
+"""Unit tests for instance-satisfies-schema (§§1, 5, 6 semantics)."""
+
+import pytest
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+from repro.instances.instance import Instance
+from repro.instances.satisfaction import (
+    satisfies,
+    satisfies_annotated,
+    satisfies_keyed,
+    violations_annotated,
+    violations_keyed,
+    violations_weak,
+)
+
+P01 = Participation.OPTIONAL
+P1 = Participation.REQUIRED
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.build(
+        arrows=[("Dog", "owner", "Person")],
+        spec=[("Puppy", "Dog")],
+    )
+
+
+class TestWeakSatisfaction:
+    def test_good_instance(self, schema):
+        instance = Instance.build(
+            extents={"Dog": {"rex"}, "Person": {"alice"}, "Puppy": set()},
+            values={("rex", "owner"): "alice"},
+        )
+        assert satisfies(instance, schema)
+
+    def test_spec_containment_enforced(self, schema):
+        instance = Instance.build(
+            extents={"Puppy": {"rex"}, "Dog": set(), "Person": set()},
+        )
+        problems = violations_weak(instance, schema)
+        assert any("extent" in p for p in problems)
+
+    def test_missing_attribute_detected(self, schema):
+        instance = Instance.build(
+            extents={"Dog": {"rex"}, "Person": {"alice"}},
+        )
+        problems = violations_weak(instance, schema)
+        assert any("lacks required attribute" in p for p in problems)
+
+    def test_ill_typed_attribute_detected(self, schema):
+        instance = Instance.build(
+            extents={"Dog": {"rex", "spot"}, "Person": set()},
+            values={("rex", "owner"): "spot", ("spot", "owner"): "rex"},
+        )
+        problems = violations_weak(instance, schema)
+        assert any("is not in" in p for p in problems)
+
+    def test_closure_arrows_checked(self, schema):
+        # Puppy inherits the owner arrow through W1.
+        instance = Instance.build(
+            extents={
+                "Puppy": {"rex"},
+                "Dog": {"rex"},
+                "Person": {"alice"},
+            },
+        )
+        assert not satisfies(instance, schema)
+
+    def test_empty_instance_satisfies_everything(self, schema):
+        assert satisfies(Instance.empty(), schema)
+
+
+class TestKeyedSatisfaction:
+    @pytest.fixture
+    def keyed(self) -> KeyedSchema:
+        schema = Schema.build(arrows=[("Person", "ssn", "Str")])
+        return KeyedSchema(schema, {"Person": KeyFamily.of({"ssn"})})
+
+    def test_unique_keys_ok(self, keyed):
+        instance = Instance.build(
+            extents={"Person": {"p1", "p2"}, "Str": {"s1", "s2"}},
+            values={("p1", "ssn"): "s1", ("p2", "ssn"): "s2"},
+        )
+        assert satisfies_keyed(instance, keyed)
+
+    def test_duplicate_key_detected(self, keyed):
+        instance = Instance.build(
+            extents={"Person": {"p1", "p2"}, "Str": {"s1"}},
+            values={("p1", "ssn"): "s1", ("p2", "ssn"): "s1"},
+        )
+        problems = violations_keyed(instance, keyed)
+        assert any("agree on key" in p for p in problems)
+
+    def test_composite_key(self):
+        schema = Schema.build(
+            arrows=[
+                ("T", "loc", "Machine"),
+                ("T", "at", "Time"),
+            ]
+        )
+        keyed = KeyedSchema(schema, {"T": KeyFamily.of({"loc", "at"})})
+        instance = Instance.build(
+            extents={
+                "T": {"t1", "t2"},
+                "Machine": {"m"},
+                "Time": {"noon", "night"},
+            },
+            values={
+                ("t1", "loc"): "m",
+                ("t1", "at"): "noon",
+                ("t2", "loc"): "m",
+                ("t2", "at"): "night",
+            },
+        )
+        assert satisfies_keyed(instance, keyed)
+
+
+class TestAnnotatedSatisfaction:
+    @pytest.fixture
+    def annotated(self) -> AnnotatedSchema:
+        return AnnotatedSchema.build(
+            arrows=[
+                ("Dog", "name", "Str", P1),
+                ("Dog", "age", "Int", P01),
+            ]
+        )
+
+    def test_optional_may_be_missing(self, annotated):
+        instance = Instance.build(
+            extents={"Dog": {"rex"}, "Str": {"s"}, "Int": set()},
+            values={("rex", "name"): "s"},
+        )
+        assert satisfies_annotated(instance, annotated)
+
+    def test_required_must_be_present(self, annotated):
+        instance = Instance.build(
+            extents={"Dog": {"rex"}, "Str": set(), "Int": set()},
+        )
+        problems = violations_annotated(instance, annotated)
+        assert any("lacks required" in p for p in problems)
+
+    def test_optional_value_must_be_licensed(self, annotated):
+        instance = Instance.build(
+            extents={"Dog": {"rex"}, "Str": {"s"}, "Int": set()},
+            values={("rex", "name"): "s", ("rex", "age"): "rex"},
+        )
+        problems = violations_annotated(instance, annotated)
+        assert any("lies in no present" in p for p in problems)
+
+    def test_forbidden_label_detected(self):
+        schema = AnnotatedSchema.build(
+            classes=["Dog", "Str"],
+            arrows=[("Cat", "name", "Str", P1)],
+        )
+        instance = Instance.build(
+            extents={"Dog": {"rex"}, "Str": {"s"}, "Cat": set()},
+            values={("rex", "name"): "s"},
+        )
+        problems = violations_annotated(instance, schema)
+        assert any("constraint 0" in p for p in problems)
+
+    def test_spec_containment(self):
+        schema = AnnotatedSchema.build(spec=[("Puppy", "Dog")])
+        instance = Instance.build(
+            extents={"Puppy": {"rex"}, "Dog": set()},
+        )
+        assert not satisfies_annotated(instance, schema)

@@ -1,0 +1,220 @@
+"""Unit tests for the Schema data structure (weak schemas, §4.1)."""
+
+import pytest
+
+from repro.core.names import BaseName, ImplicitName
+from repro.core.schema import Schema
+from repro.exceptions import IncompatibleSchemasError, SchemaValidationError
+
+
+class TestBuild:
+    def test_empty(self):
+        schema = Schema.empty()
+        assert schema.is_empty()
+        assert len(schema) == 0
+
+    def test_classes_from_edges_are_added(self):
+        schema = Schema.build(arrows=[("Dog", "owner", "Person")])
+        assert schema.has_class("Dog") and schema.has_class("Person")
+
+    def test_strings_coerced_to_names(self):
+        schema = Schema.build(classes=["Dog"])
+        assert BaseName("Dog") in schema.classes
+
+    def test_spec_reflexive_transitive_closure(self):
+        schema = Schema.build(spec=[("A", "B"), ("B", "C")])
+        assert schema.is_spec("A", "C")
+        assert schema.is_spec("A", "A")
+
+    def test_w1_closure_inherits_arrows(self, dog_schema):
+        # Police-dog ==> Dog, Dog --owner--> Person  ⟹  Police-dog --owner--> Person
+        assert dog_schema.has_arrow("Police-dog", "owner", "Person")
+        assert dog_schema.has_arrow("Guide-dog", "breed", "Breed")
+
+    def test_w2_closure_lifts_targets(self):
+        schema = Schema.build(
+            arrows=[("Owner", "pet", "Police-dog")],
+            spec=[("Police-dog", "Dog")],
+        )
+        assert schema.has_arrow("Owner", "pet", "Dog")
+
+    def test_w1_w2_interact(self):
+        schema = Schema.build(
+            arrows=[("A", "f", "X")],
+            spec=[("B", "A"), ("X", "Y")],
+        )
+        assert schema.has_arrow("B", "f", "Y")
+
+    def test_specialization_cycle_rejected(self):
+        with pytest.raises(IncompatibleSchemasError) as excinfo:
+            Schema.build(spec=[("A", "B"), ("B", "A")])
+        assert excinfo.value.cycle
+
+    def test_longer_cycle_rejected(self):
+        with pytest.raises(IncompatibleSchemasError):
+            Schema.build(spec=[("A", "B"), ("B", "C"), ("C", "A")])
+
+    def test_malformed_arrow_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            Schema.build(arrows=[("A", "B")])
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            Schema.build(arrows=[("A", "", "B")])
+
+
+class TestConstructorValidation:
+    def test_arrow_endpoint_outside_classes(self):
+        with pytest.raises(SchemaValidationError):
+            Schema(
+                frozenset({BaseName("A")}),
+                frozenset({(BaseName("A"), "f", BaseName("B"))}),
+                frozenset({(BaseName("A"), BaseName("A"))}),
+            )
+
+    def test_missing_reflexivity(self):
+        with pytest.raises(SchemaValidationError):
+            Schema(frozenset({BaseName("A")}), frozenset(), frozenset())
+
+    def test_missing_transitivity(self):
+        a, b, c = BaseName("A"), BaseName("B"), BaseName("C")
+        refl = {(a, a), (b, b), (c, c)}
+        with pytest.raises(SchemaValidationError):
+            Schema(
+                frozenset({a, b, c}),
+                frozenset(),
+                frozenset(refl | {(a, b), (b, c)}),
+            )
+
+    def test_unclosed_arrows_rejected(self):
+        a, b, p = BaseName("A"), BaseName("B"), BaseName("P")
+        spec = {(a, a), (b, b), (p, p), (p, a)}
+        # P ==> A and A --f--> B requires P --f--> B, which is missing.
+        with pytest.raises(SchemaValidationError) as excinfo:
+            Schema(
+                frozenset({a, b, p}),
+                frozenset({(a, "f", b)}),
+                frozenset(spec),
+            )
+        assert "W1/W2" in str(excinfo.value)
+
+    def test_non_name_class_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            Schema(frozenset({"raw-string"}), frozenset(), frozenset())
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self, dog_schema):
+        rebuilt = Schema.build(
+            arrows=[
+                ("Dog", "owner", "Person"),
+                ("Dog", "breed", "Breed"),
+                ("Police-dog", "badge", "Badge"),
+            ],
+            spec=[("Police-dog", "Dog"), ("Guide-dog", "Dog")],
+        )
+        assert rebuilt == dog_schema
+        assert hash(rebuilt) == hash(dog_schema)
+
+    def test_inequality(self, dog_schema):
+        assert dog_schema != Schema.empty()
+        assert dog_schema != "not a schema"
+
+    def test_usable_in_sets(self, dog_schema):
+        assert len({dog_schema, dog_schema}) == 1
+
+
+class TestQueries:
+    def test_reach(self, dog_schema):
+        assert dog_schema.reach("Dog", "owner") == {BaseName("Person")}
+        assert dog_schema.reach("Dog", "badge") == frozenset()
+
+    def test_reach_set(self, dog_schema):
+        reached = dog_schema.reach_set(["Dog", "Police-dog"], "owner")
+        assert reached == {BaseName("Person")}
+
+    def test_out_labels(self, dog_schema):
+        assert dog_schema.out_labels("Police-dog") == {
+            "owner",
+            "breed",
+            "badge",
+        }
+
+    def test_specializations_and_generalizations(self, dog_schema):
+        subs = dog_schema.specializations_of("Dog")
+        assert BaseName("Police-dog") in subs and BaseName("Guide-dog") in subs
+        sups = dog_schema.generalizations_of("Police-dog")
+        assert BaseName("Dog") in sups
+
+    def test_min_classes(self, dog_schema):
+        minimal = dog_schema.min_classes(["Dog", "Police-dog", "Person"])
+        assert minimal == {BaseName("Police-dog"), BaseName("Person")}
+
+    def test_roots_and_leaves(self, dog_schema):
+        assert BaseName("Dog") in dog_schema.root_classes()
+        assert BaseName("Police-dog") in dog_schema.leaf_classes()
+        assert BaseName("Police-dog") not in dog_schema.root_classes()
+
+    def test_contains_and_iter(self, dog_schema):
+        assert "Dog" in dog_schema
+        assert list(dog_schema) == sorted(
+            dog_schema.classes, key=lambda c: str(c)
+        )
+
+    def test_spec_covers_hides_transitive(self):
+        schema = Schema.build(spec=[("A", "B"), ("B", "C")])
+        assert (BaseName("A"), BaseName("C")) not in schema.spec_covers()
+        assert (BaseName("A"), BaseName("B")) in schema.spec_covers()
+
+    def test_stats(self, dog_schema):
+        stats = dog_schema.stats()
+        assert stats["classes"] == 6
+        assert stats["implicit_classes"] == 0
+        assert stats["spec_edges"] == 2
+
+
+class TestDerivedSchemas:
+    def test_restrict_keeps_weak_schema(self, dog_schema):
+        restricted = dog_schema.restrict(["Dog", "Person", "Police-dog"])
+        assert restricted.has_arrow("Dog", "owner", "Person")
+        assert not restricted.has_class("Breed")
+        assert restricted.is_spec("Police-dog", "Dog")
+
+    def test_without_classes(self, dog_schema):
+        smaller = dog_schema.without_classes(["Badge"])
+        assert not smaller.has_class("Badge")
+        assert smaller.has_arrow("Police-dog", "owner", "Person")
+
+    def test_rename(self, dog_schema):
+        renamed = dog_schema.rename({"Dog": "Canine"})
+        assert renamed.has_class("Canine")
+        assert not renamed.has_class("Dog")
+        assert renamed.has_arrow("Canine", "owner", "Person")
+        assert renamed.is_spec("Police-dog", "Canine")
+
+    def test_rename_collapse_rejected(self, dog_schema):
+        with pytest.raises(SchemaValidationError):
+            dog_schema.rename({"Dog": "Person"})
+
+    def test_rename_labels(self, dog_schema):
+        renamed = dog_schema.rename_labels({"owner": "keeper"})
+        assert renamed.has_arrow("Dog", "keeper", "Person")
+        assert not renamed.has_arrow("Dog", "owner", "Person")
+
+    def test_with_arrow_recloses(self, dog_schema):
+        extended = dog_schema.with_arrow("Dog", "licence", "Licence")
+        assert extended.has_arrow("Police-dog", "licence", "Licence")
+
+    def test_with_spec_recloses(self, dog_schema):
+        extended = dog_schema.with_spec("Puppy", "Dog")
+        assert extended.has_arrow("Puppy", "owner", "Person")
+
+    def test_with_class_idempotent(self, dog_schema):
+        assert dog_schema.with_class("Dog") is dog_schema
+        extended = dog_schema.with_class("Cat")
+        assert extended.has_class("Cat")
+        assert extended.is_spec("Cat", "Cat")
+
+    def test_immutability(self, dog_schema):
+        with pytest.raises(AttributeError):
+            dog_schema.classes = frozenset()

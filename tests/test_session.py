@@ -1,0 +1,150 @@
+"""Unit tests for IntegrationSession (the designer workflow object)."""
+
+import pytest
+
+from repro.core.consistency import ConsistencyRelation
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.schema import Schema
+from repro.exceptions import InconsistentSchemasError, SchemaError
+from repro.tools.session import IntegrationSession
+
+
+@pytest.fixture
+def session() -> IntegrationSession:
+    return (
+        IntegrationSession()
+        .add_schema(
+            "registry",
+            Schema.build(arrows=[("Hound", "license", "LicenseNo")]),
+        )
+        .add_schema(
+            "clinic",
+            Schema.build(arrows=[("Dog", "chart", "Chart")]),
+        )
+    )
+
+
+class TestRegistration:
+    def test_names_in_order(self, session):
+        assert session.schema_names() == ("registry", "clinic")
+
+    def test_duplicate_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.add_schema("registry", Schema.empty())
+
+    def test_unknown_scope_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.rename_class("A", "B", schema="nope")
+
+
+class TestWorkflow:
+    def test_rename_then_merge_unifies(self, session):
+        session.rename_class("Hound", "Dog", schema="registry")
+        merged = session.merge()
+        assert merged.has_arrow("Dog", "license", "LicenseNo")
+        assert merged.has_arrow("Dog", "chart", "Chart")
+        assert not merged.has_class("Hound")
+
+    def test_assertions_participate(self, session):
+        session.rename_class("Hound", "Dog", schema="registry")
+        session.assert_isa("Puppy", "Dog")
+        merged = session.merge()
+        assert merged.has_arrow("Puppy", "chart", "Chart")
+
+    def test_decisions_are_not_destructive(self, session):
+        session.rename_class("Hound", "Dog", schema="registry")
+        first = session.merge()
+        # Re-merging gives the same result: inputs were never mutated.
+        assert session.merge() == first
+
+    def test_conflict_report_reflects_renamings(self, session):
+        report_before = session.conflict_report()
+        session.rename_class("Hound", "Dog", schema="registry")
+        report_after = session.conflict_report()
+        # Before: two disjoint schemas, nothing to say.  After the
+        # unifying rename, the detector asks the (legitimate) homonym
+        # question about the now-shared class with disjoint signatures.
+        assert report_before == ["no conflicts detected"]
+        assert any("Dog" in line and "homonym" in line for line in report_after)
+
+    def test_consistency_gate(self, session):
+        # Force an implicit class by giving both schemas conflicting
+        # arrow targets, then forbid it.
+        session = (
+            IntegrationSession()
+            .add_schema(
+                "one", Schema.build(arrows=[("F", "a", "C")])
+            )
+            .add_schema(
+                "two", Schema.build(arrows=[("F", "a", "D")])
+            )
+            .set_consistency(ConsistencyRelation())  # nothing consistent
+        )
+        with pytest.raises(InconsistentSchemasError):
+            session.merge()
+
+    def test_report_exposes_intermediates(self, session):
+        session.rename_class("Hound", "Dog", schema="registry")
+        report = session.report()
+        assert report.merged == session.merge()
+        assert len(report.inputs) == 2
+
+
+class TestKeyedSessions:
+    def test_keyed_merge(self):
+        session = (
+            IntegrationSession()
+            .add_keyed_schema(
+                "people",
+                KeyedSchema(
+                    Schema.build(arrows=[("Person", "ssn", "Str")]),
+                    {"Person": KeyFamily.of({"ssn"})},
+                ),
+            )
+            .add_schema(
+                "extra",
+                Schema.build(arrows=[("Person", "name", "Str")]),
+            )
+        )
+        merged = session.merge_keyed()
+        assert merged.keys_of("Person") == KeyFamily.of({"ssn"})
+        assert merged.schema.has_arrow("Person", "name", "Str")
+
+    def test_keyed_sessions_reject_renamings(self):
+        session = (
+            IntegrationSession()
+            .add_keyed_schema(
+                "people",
+                KeyedSchema(
+                    Schema.build(arrows=[("Person", "ssn", "Str")]),
+                    {"Person": KeyFamily.of({"ssn"})},
+                ),
+            )
+            .rename_class("Person", "Human")
+        )
+        with pytest.raises(SchemaError):
+            session.merge_keyed()
+
+
+class TestOrderIndependence:
+    def test_permuted_sessions_agree(self):
+        one = Schema.build(arrows=[("A", "f", "B")])
+        two = Schema.build(spec=[("Z", "A")])
+        three = Schema.build(arrows=[("Z", "g", "C")])
+        forward = (
+            IntegrationSession()
+            .add_schema("one", one)
+            .add_schema("two", two)
+            .add_schema("three", three)
+            .assert_isa("C", "B")
+            .merge()
+        )
+        backward = (
+            IntegrationSession()
+            .add_schema("three", three)
+            .add_schema("one", one)
+            .add_schema("two", two)
+            .assert_isa("C", "B")
+            .merge()
+        )
+        assert forward == backward

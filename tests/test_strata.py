@@ -1,0 +1,173 @@
+"""Unit tests for stratification and strata preservation (§2, §7)."""
+
+import pytest
+
+from repro.core.assertions import isa
+from repro.core.schema import Schema
+from repro.exceptions import TranslationError
+from repro.models.strata import (
+    ER_STRATIFICATION,
+    RELATIONAL_STRATIFICATION,
+    StratifiedSchema,
+    Stratification,
+    merge_stratified,
+)
+
+
+def _er_stratified(schema: Schema, assignment) -> StratifiedSchema:
+    return StratifiedSchema(schema, ER_STRATIFICATION, assignment)
+
+
+class TestStratification:
+    def test_relational_rules(self):
+        assert RELATIONAL_STRATIFICATION.allows_arrow("relation", "domain")
+        assert not RELATIONAL_STRATIFICATION.allows_arrow(
+            "relation", "relation"
+        )
+        assert not RELATIONAL_STRATIFICATION.allows_spec(
+            "relation", "relation"
+        )
+
+    def test_er_rules(self):
+        assert ER_STRATIFICATION.allows_arrow("relationship", "entity")
+        assert ER_STRATIFICATION.allows_arrow("entity", "domain")
+        assert not ER_STRATIFICATION.allows_arrow("domain", "entity")
+        assert ER_STRATIFICATION.allows_spec("entity", "entity")
+        assert not ER_STRATIFICATION.allows_spec("entity", "relationship")
+
+    def test_unknown_stratum_in_rule_rejected(self):
+        with pytest.raises(TranslationError):
+            Stratification(
+                name="broken",
+                strata=("a",),
+                arrow_rules=frozenset({("a", "b")}),
+                spec_rules=frozenset(),
+            )
+
+
+class TestStratifiedSchema:
+    def test_valid(self):
+        schema = Schema.build(arrows=[("Dog", "age", "Int")])
+        stratified = _er_stratified(
+            schema, {"Dog": "entity", "Int": "domain"}
+        )
+        assert stratified.stratum_of("Dog") == "entity"
+        assert stratified.classes_in("domain") == {
+            next(iter(schema.reach("Dog", "age")))
+        }
+
+    def test_missing_assignment_rejected(self):
+        schema = Schema.build(classes=["Dog"])
+        with pytest.raises(TranslationError):
+            _er_stratified(schema, {})
+
+    def test_unknown_stratum_rejected(self):
+        schema = Schema.build(classes=["Dog"])
+        with pytest.raises(TranslationError):
+            _er_stratified(schema, {"Dog": "starship"})
+
+    def test_extra_assignment_rejected(self):
+        schema = Schema.build(classes=["Dog"])
+        with pytest.raises(TranslationError):
+            _er_stratified(schema, {"Dog": "entity", "Cat": "entity"})
+
+    def test_forbidden_arrow_rejected(self):
+        schema = Schema.build(arrows=[("Int", "weird", "Dog")])
+        with pytest.raises(TranslationError):
+            _er_stratified(schema, {"Dog": "entity", "Int": "domain"})
+
+    def test_forbidden_spec_rejected(self):
+        schema = Schema.build(spec=[("Dog", "Lives")])
+        with pytest.raises(TranslationError):
+            _er_stratified(
+                schema, {"Dog": "entity", "Lives": "relationship"}
+            )
+
+
+class TestMergeStratified:
+    def test_merge_preserves_strata(self):
+        one = _er_stratified(
+            Schema.build(arrows=[("Dog", "age", "Int")]),
+            {"Dog": "entity", "Int": "domain"},
+        )
+        two = _er_stratified(
+            Schema.build(arrows=[("Dog", "owner", "Person")]),
+            {"Dog": "entity", "Person": "domain"},
+        )
+        merged = merge_stratified(one, two)
+        assert merged.stratum_of("Dog") == "entity"
+        assert merged.schema.has_arrow("Dog", "age", "Int")
+        assert merged.schema.has_arrow("Dog", "owner", "Person")
+
+    def test_implicit_classes_inherit_stratum(self):
+        one = _er_stratified(
+            Schema.build(
+                arrows=[("R", "a", "E1")],
+            ),
+            {"R": "relationship", "E1": "entity"},
+        )
+        two = _er_stratified(
+            Schema.build(arrows=[("R", "a", "E2")]),
+            {"R": "relationship", "E2": "entity"},
+        )
+        merged = merge_stratified(one, two)
+        implicit = [
+            cls
+            for cls in merged.schema.classes
+            if cls not in one.schema.classes | two.schema.classes
+        ]
+        assert len(implicit) == 1
+        assert merged.stratum_of(implicit[0]) == "entity"
+
+    def test_stratum_conflict_rejected(self):
+        one = _er_stratified(
+            Schema.build(classes=["Thing"]), {"Thing": "entity"}
+        )
+        two = _er_stratified(
+            Schema.build(classes=["Thing"]), {"Thing": "domain"}
+        )
+        with pytest.raises(TranslationError) as excinfo:
+            merge_stratified(one, two)
+        assert "structural conflict" in str(excinfo.value)
+
+    def test_mixed_stratum_implicit_rejected(self):
+        # R gains arrows to an entity and a domain: the implicit class
+        # would mix strata, which cannot translate back.
+        one = _er_stratified(
+            Schema.build(arrows=[("R", "a", "E")]),
+            {"R": "relationship", "E": "entity"},
+        )
+        two = _er_stratified(
+            Schema.build(arrows=[("R", "a", "D")]),
+            {"R": "relationship", "D": "domain"},
+        )
+        with pytest.raises(TranslationError) as excinfo:
+            merge_stratified(one, two)
+        assert "mixes strata" in str(excinfo.value)
+
+    def test_policy_mismatch_rejected(self):
+        er = _er_stratified(
+            Schema.build(classes=["Dog"]), {"Dog": "entity"}
+        )
+        rel = StratifiedSchema(
+            Schema.build(classes=["Dog"]),
+            RELATIONAL_STRATIFICATION,
+            {"Dog": "relation"},
+        )
+        with pytest.raises(TranslationError):
+            merge_stratified(er, rel)
+
+    def test_assertion_classes_must_be_stratified(self):
+        one = _er_stratified(
+            Schema.build(classes=["Dog"]), {"Dog": "entity"}
+        )
+        with pytest.raises(TranslationError):
+            merge_stratified(one, assertions=[isa("Mystery", "Dog")])
+
+    def test_assertion_over_known_classes_fine(self):
+        one = _er_stratified(
+            Schema.build(classes=["Dog", "Animal"]),
+            {"Dog": "entity", "Animal": "entity"},
+        )
+        merged = merge_stratified(one, assertions=[isa("Dog", "Animal")])
+        assert merged.schema.is_spec("Dog", "Animal")

@@ -1,0 +1,143 @@
+"""Unit + property tests for the hand-writable text format."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.keys import KeyFamily, KeyedSchema
+from repro.core.lower import AnnotatedSchema
+from repro.core.names import BaseName, GenName, ImplicitName
+from repro.core.participation import Participation
+from repro.core.schema import Schema
+from repro.exceptions import SerializationError
+from repro.figures import figure2_schema, figure9_keyed_schema
+from repro.io.text_format import (
+    format_annotated,
+    format_keyed,
+    format_schema,
+    parse,
+)
+
+from tests.conftest import annotated_schemas, schemas
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestParse:
+    def test_basic_document(self):
+        schema = parse(
+            """
+            # dog registry
+            class Kennel
+            Police-dog ==> Dog
+            Dog --owner--> Person
+            """
+        )
+        assert isinstance(schema, Schema)
+        assert schema.has_class("Kennel")
+        assert schema.is_spec("Police-dog", "Dog")
+        assert schema.has_arrow("Police-dog", "owner", "Person")  # closure
+
+    def test_optional_marks_give_annotated(self):
+        schema = parse("Dog --age?--> Int\nDog --name--> Str\n")
+        assert isinstance(schema, AnnotatedSchema)
+        assert (
+            schema.participation_of("Dog", "age", "Int")
+            == Participation.OPTIONAL
+        )
+        assert (
+            schema.participation_of("Dog", "name", "Str")
+            == Participation.REQUIRED
+        )
+
+    def test_key_lines_give_keyed(self):
+        document = """
+        T --loc--> Machine
+        T --at--> Time
+        T --card--> Card
+        key T: {loc, at}, {card, at}
+        """
+        keyed = parse(document)
+        assert isinstance(keyed, KeyedSchema)
+        assert keyed.keys_of("T") == KeyFamily.of(
+            {"loc", "at"}, {"card", "at"}
+        )
+
+    def test_quoted_names(self):
+        schema = parse('"Police dog" ==> Dog\n')
+        assert schema.has_class(BaseName("Police dog"))
+
+    def test_composite_names(self):
+        schema = parse("<B1&B2> ==> B1\n[C|D] ==> Top\n")
+        assert ImplicitName(["B1", "B2"]) in schema.classes
+        assert GenName(["C", "D"]) in schema.classes
+
+    def test_comments_and_blanks_ignored(self):
+        schema = parse("\n# nothing\n   \nclass A  # trailing\n")
+        assert schema.classes == {BaseName("A")}
+
+    def test_mixing_keys_and_marks_rejected(self):
+        with pytest.raises(SerializationError):
+            parse("Dog --age?--> Int\nkey Dog: {age}\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(SerializationError) as excinfo:
+            parse("class A\nwhat is this\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_empty_key_set_rejected(self):
+        with pytest.raises(SerializationError):
+            parse("T --a--> D\nkey T: {}\n")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SerializationError):
+            parse("class a{b\n")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SerializationError):
+            parse("A -- --> B\n")
+
+
+class TestRoundTrips:
+    def test_figure2(self):
+        schema = figure2_schema()
+        assert parse(format_schema(schema)) == schema
+
+    def test_figure9_keyed(self):
+        keyed = figure9_keyed_schema()
+        assert parse(format_keyed(keyed)) == keyed
+
+    def test_annotated_example(self):
+        schema = AnnotatedSchema.build(
+            arrows=[
+                ("Dog", "name", "Str", Participation.REQUIRED),
+                ("Dog", "age", "Int", Participation.OPTIONAL),
+            ],
+            spec=[("Puppy", "Dog")],
+        )
+        assert parse(format_annotated(schema)) == schema
+
+    @given(schemas())
+    @RELAXED
+    def test_schema_round_trip(self, schema):
+        assert parse(format_schema(schema)) == schema
+
+    @given(annotated_schemas())
+    @RELAXED
+    def test_annotated_round_trip(self, schema):
+        parsed = parse(format_annotated(schema))
+        if isinstance(parsed, Schema):
+            # No optional arrows: the document parses as plain; compare
+            # through the canonical embedding.
+            parsed = AnnotatedSchema.from_schema(parsed)
+        assert parsed == schema
+
+    def test_composite_name_round_trip(self):
+        from repro.core.merge import upper_merge
+        from repro.figures import figure3_schemas
+
+        merged = upper_merge(*figure3_schemas())
+        assert parse(format_schema(merged)) == merged

@@ -1,0 +1,195 @@
+"""Unit tests for conflict detection, renaming plans and the diff tool."""
+
+import pytest
+
+from repro.core.diff import diff, explain_merge
+from repro.core.merge import upper_merge
+from repro.core.names import BaseName
+from repro.core.ordering import is_sub
+from repro.core.schema import Schema
+from repro.exceptions import SchemaValidationError
+from repro.tools.conflicts import (
+    conflict_report,
+    find_homonyms,
+    find_incompatibility,
+    find_structural_conflicts,
+    find_synonyms,
+)
+from repro.tools.rename import RenamingPlan
+
+
+class TestHomonyms:
+    def test_disjoint_signatures_flagged(self):
+        one = Schema.build(
+            arrows=[("Jaguar", "top-speed", "Kmh")]
+        )
+        two = Schema.build(arrows=[("Jaguar", "habitat", "Region")])
+        homonyms = find_homonyms([one, two])
+        assert len(homonyms) == 1
+        assert homonyms[0].name == BaseName("Jaguar")
+        assert "same notion?" in homonyms[0].describe()
+
+    def test_overlapping_signatures_not_flagged(self):
+        one = Schema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "age", "Int")]
+        )
+        two = Schema.build(
+            arrows=[("Dog", "name", "Str"), ("Dog", "breed", "Breed")]
+        )
+        assert find_homonyms([one, two]) == []
+
+    def test_arrowless_classes_not_flagged(self):
+        one = Schema.build(classes=["Dog"])
+        two = Schema.build(arrows=[("Dog", "age", "Int")])
+        assert find_homonyms([one, two]) == []
+
+
+class TestSynonyms:
+    def test_similar_signatures_flagged(self):
+        one = Schema.build(
+            arrows=[
+                ("Hound", "name", "Str"),
+                ("Hound", "age", "Int"),
+                ("Hound", "breed", "Breed"),
+            ]
+        )
+        two = Schema.build(
+            arrows=[
+                ("Dog", "name", "Str"),
+                ("Dog", "age", "Int"),
+                ("Dog", "breed", "Breed"),
+            ]
+        )
+        synonyms = find_synonyms([one, two])
+        assert len(synonyms) == 1
+        assert synonyms[0].similarity == 1.0
+        assert "rename to unify?" in synonyms[0].describe()
+
+    def test_threshold_respected(self):
+        one = Schema.build(arrows=[("A", "x", "D")])
+        two = Schema.build(arrows=[("B", "y", "D")])
+        assert find_synonyms([one, two], threshold=0.5) == []
+
+    def test_shared_classes_not_candidates(self):
+        one = Schema.build(arrows=[("Dog", "name", "Str")])
+        two = Schema.build(arrows=[("Dog", "name", "Str")])
+        assert find_synonyms([one, two]) == []
+
+
+class TestStructuralConflicts:
+    def test_label_vs_class(self):
+        one = Schema.build(arrows=[("Person", "address", "Str")])
+        two = Schema.build(arrows=[("Address", "street", "Str")])
+        # "address" is a label in one schema; "Address" the class differs
+        # by case, so construct a genuine clash:
+        three = Schema.build(classes=["address"])
+        conflicts = find_structural_conflicts([one, three])
+        assert len(conflicts) == 1
+        assert conflicts[0].kind == "attribute-vs-class"
+
+    def test_no_false_positive(self, dog_schema):
+        assert find_structural_conflicts([dog_schema]) == []
+
+
+class TestConflictReport:
+    def test_clean_report(self, dog_schema):
+        assert conflict_report([dog_schema]) == ["no conflicts detected"]
+
+    def test_incompatibility_reported_first(self):
+        one = Schema.build(spec=[("A", "B")])
+        two = Schema.build(spec=[("B", "A")])
+        report = conflict_report([one, two])
+        assert report[0].startswith("INCOMPATIBLE")
+        assert find_incompatibility([one, two]) is not None
+
+
+class TestRenamingPlan:
+    def test_global_class_rename(self):
+        one = Schema.build(arrows=[("Hound", "name", "Str")])
+        two = Schema.build(arrows=[("Hound", "age", "Int")])
+        plan = RenamingPlan().rename_class("Hound", "Dog")
+        renamed = plan.apply([one, two])
+        assert all(s.has_class("Dog") for s in renamed)
+
+    def test_scoped_rename(self):
+        one = Schema.build(classes=["Jaguar"])
+        two = Schema.build(classes=["Jaguar"])
+        plan = RenamingPlan().rename_class(
+            "Jaguar", "Jaguar-car", schema_index=0
+        )
+        renamed = plan.apply([one, two])
+        assert renamed[0].has_class("Jaguar-car")
+        assert renamed[1].has_class("Jaguar")
+
+    def test_label_rename(self):
+        schema = Schema.build(arrows=[("Dog", "moniker", "Str")])
+        plan = RenamingPlan().rename_label("moniker", "name")
+        (renamed,) = plan.apply([schema])
+        assert renamed.has_arrow("Dog", "name", "Str")
+
+    def test_contradictory_rename_rejected(self):
+        plan = RenamingPlan().rename_class("A", "B")
+        with pytest.raises(SchemaValidationError):
+            plan.rename_class("A", "C")
+
+    def test_contradictory_label_rename_rejected(self):
+        plan = RenamingPlan().rename_label("x", "y")
+        with pytest.raises(SchemaValidationError):
+            plan.rename_label("x", "z")
+
+    def test_irrelevant_entries_skipped(self, dog_schema):
+        plan = RenamingPlan().rename_class("Unicorn", "Horse")
+        assert plan.apply([dog_schema]) == [dog_schema]
+
+    def test_homonym_resolution_end_to_end(self):
+        # Separate the two Jaguars, then merge cleanly.
+        cars = Schema.build(arrows=[("Jaguar", "top-speed", "Kmh")])
+        cats = Schema.build(arrows=[("Jaguar", "habitat", "Region")])
+        plan = RenamingPlan().rename_class(
+            "Jaguar", "Jaguar-animal", schema_index=1
+        )
+        renamed = plan.apply([cars, cats])
+        merged = upper_merge(*renamed)
+        assert merged.has_class("Jaguar") and merged.has_class(
+            "Jaguar-animal"
+        )
+        assert find_homonyms(renamed) == []
+
+
+class TestDiff:
+    def test_empty_diff(self, dog_schema):
+        assert diff(dog_schema, dog_schema).is_empty()
+
+    def test_sub_detection(self, dog_schema):
+        smaller = dog_schema.restrict(["Dog", "Person"])
+        delta = diff(smaller, dog_schema)
+        assert delta.left_is_sub()
+        assert not delta.right_is_sub()
+        assert delta.left_is_sub() == is_sub(smaller, dog_schema)
+
+    def test_summary_lines(self, dog_schema):
+        delta = diff(Schema.empty(), dog_schema)
+        lines = delta.summary_lines()
+        assert any("only in right" in line for line in lines)
+
+    def test_identical_summary(self, dog_schema):
+        assert diff(dog_schema, dog_schema).summary_lines() == [
+            "schemas are identical"
+        ]
+
+    def test_explain_merge(self, dog_schema):
+        other = Schema.build(arrows=[("Dog", "licence", "Licence")])
+        merged = upper_merge(dog_schema, other)
+        lines = explain_merge(merged, dog_schema)
+        assert any("classes added" in line for line in lines)
+        assert not any("WARNING" in line for line in lines)
+
+    def test_explain_merge_warns_on_loss(self, dog_schema):
+        lines = explain_merge(Schema.empty(), dog_schema)
+        assert lines[0].startswith("WARNING")
+
+    def test_explain_nothing_added(self, dog_schema):
+        lines = explain_merge(dog_schema, dog_schema)
+        assert lines == [
+            "merge added nothing (original was already complete)"
+        ]
