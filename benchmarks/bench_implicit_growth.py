@@ -20,7 +20,6 @@ from repro.analysis.growth import (
 )
 from repro.core.merge import upper_merge
 from repro.generators.pathological import (
-    diamond_chain_schemas,
     nfa_blowup_pair,
 )
 from repro.generators.workloads import get_workload

@@ -1,0 +1,319 @@
+#!/usr/bin/env python
+"""Benchmark runner — one trajectory artifact for CI and local runs.
+
+Runs the merge-engine scalability/memoization cases in-process (timed
+through :mod:`benchmarks._timing`, the same helper the pytest conftest
+uses, so both paths emit byte-compatible trajectory files) and, in full
+mode, every ``bench_*.py`` suite via pytest with JSON output folded into
+the same artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runner.py               # full run
+    PYTHONPATH=src python benchmarks/runner.py --smoke       # CI smoke
+    PYTHONPATH=src python benchmarks/runner.py --json out.json
+
+Full mode enforces the acceptance bar: the 200-schema ``join_all`` case
+must be at least ``--min-speedup`` (default 5.0) times faster than the
+preserved pre-engine reference implementation, else exit 1.  Smoke mode
+uses smaller sizes, skips the pytest sweep and only records ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Any, Dict, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+sys.path.insert(0, _HERE)
+for _candidate in (os.path.join(_ROOT, "src"),):
+    if _candidate not in sys.path:
+        sys.path.insert(0, _candidate)
+
+from _timing import record, time_call, write_trajectory  # noqa: E402
+
+from repro.core.lower import lower_merge  # noqa: E402
+from repro.core.ordering import is_sub, join_all  # noqa: E402
+from repro.generators.random_schemas import (  # noqa: E402
+    random_annotated_schema,
+    random_schema_family,
+)
+from repro.perf import clear_caches, engine_stats  # noqa: E402
+from repro.perf.reference import (  # noqa: E402
+    reference_is_sub,
+    reference_join_all,
+    reference_lower_merge,
+)
+
+ACCEPTANCE_SIZE = 200
+
+
+def _family(n_schemas: int) -> List[Any]:
+    return random_schema_family(
+        n_schemas=n_schemas,
+        pool_size=60,
+        n_classes=14,
+        n_labels=6,
+        arrow_density=0.2,
+        spec_density=0.08,
+        seed=7,
+    )
+
+
+def run_scalability(sizes: List[int], repeat: int) -> List[Dict[str, Any]]:
+    """join_all versus the pre-engine reference across family sizes."""
+    records: List[Dict[str, Any]] = []
+    for size in sizes:
+        family = _family(size)
+        results: Dict[str, Any] = {}
+        engine = time_call(
+            lambda: results.__setitem__("engine", join_all(family)),
+            repeat=repeat,
+            setup=clear_caches,
+        )
+        reference = time_call(
+            lambda: results.__setitem__("ref", reference_join_all(family)),
+            repeat=repeat,
+        )
+        if results["engine"] != results["ref"]:
+            raise AssertionError(f"engine result differs at size {size}")
+        speedup = reference["best_s"] / engine["best_s"]
+        print(
+            f"  join_all/{size}: engine {engine['best_s'] * 1000:.1f} ms, "
+            f"reference {reference['best_s'] * 1000:.1f} ms "
+            f"({speedup:.1f}x)"
+        )
+        records.append(
+            record(
+                f"join_all/{size}",
+                "scalability",
+                engine,
+                schemas=size,
+                acceptance=(size == ACCEPTANCE_SIZE),
+                speedup_vs_reference=speedup,
+            )
+        )
+        records.append(
+            record(
+                f"reference_join_all/{size}",
+                "scalability",
+                reference,
+                schemas=size,
+            )
+        )
+    return records
+
+
+def run_memoization(repeat: int) -> List[Dict[str, Any]]:
+    """Warm is_sub versus the unmemoized containment test."""
+    family = _family(80)
+    merged = join_all(family)
+    pairs = [(g, merged) for g in family]
+
+    def probe() -> int:
+        return sum(1 for left, right in pairs if is_sub(left, right))
+
+    def probe_reference() -> int:
+        return sum(1 for left, right in pairs if reference_is_sub(left, right))
+
+    if probe() != probe_reference():
+        raise AssertionError("memoized is_sub disagrees with reference")
+    warm = time_call(probe, repeat=repeat)
+    cold = time_call(probe_reference, repeat=repeat)
+    return [
+        record("is_sub/warm", "memoization", warm, pairs=len(pairs)),
+        record("is_sub/cold", "memoization", cold, pairs=len(pairs)),
+    ]
+
+
+def run_lower(repeat: int, count: int) -> List[Dict[str, Any]]:
+    """lower_merge versus the pre-engine per-arrow-lookup version."""
+    schemas = [
+        random_annotated_schema(
+            n_classes=12, n_labels=5, arrow_density=0.25, seed=i
+        )
+        for i in range(count)
+    ]
+    if lower_merge(*schemas) != reference_lower_merge(*schemas):
+        raise AssertionError("lower_merge disagrees with reference")
+    engine = time_call(lambda: lower_merge(*schemas), repeat=repeat)
+    reference = time_call(lambda: reference_lower_merge(*schemas), repeat=repeat)
+    return [
+        record(f"lower_merge/{count}", "lower", engine, schemas=count),
+        record(
+            f"reference_lower_merge/{count}", "lower", reference, schemas=count
+        ),
+    ]
+
+
+def run_pytest_suites(skip: List[str]) -> List[Dict[str, Any]]:
+    """Run every bench_*.py through pytest, folding its JSON output.
+
+    Legacy suites use pytest-benchmark (``--benchmark-json``); the
+    engine suite uses the conftest's ``--bench-json``.  Either way the
+    stats land in the same trajectory records.
+    """
+    records: List[Dict[str, Any]] = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    for path in sorted(glob.glob(os.path.join(_HERE, "bench_*.py"))):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        if stem in skip:
+            continue
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out_path = tmp.name
+        uses_conftest_timer = stem == "bench_merge_engine"
+        cmd = [sys.executable, "-m", "pytest", path, "-q"]
+        if uses_conftest_timer:
+            cmd += ["--bench-json", out_path]
+        else:
+            cmd += ["--benchmark-only", f"--benchmark-json={out_path}"]
+        print(f"  pytest {stem} ...", flush=True)
+        try:
+            proc = subprocess.run(
+                cmd, env=env, cwd=_ROOT, capture_output=True, text=True
+            )
+            if proc.returncode != 0:
+                records.append(
+                    record(
+                        stem,
+                        "pytest",
+                        {
+                            "best_s": None,
+                            "mean_s": None,
+                            "repeat": 0,
+                            "runs": [],
+                        },
+                        error=proc.stdout[-2000:] + proc.stderr[-2000:],
+                    )
+                )
+                continue
+            try:
+                with open(out_path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError) as exc:
+                # Suite exited 0 but left no readable JSON (e.g. plugin
+                # missing): record it rather than silently omitting the
+                # suite from the artifact.
+                records.append(
+                    record(
+                        stem,
+                        "pytest",
+                        {
+                            "best_s": None,
+                            "mean_s": None,
+                            "repeat": 0,
+                            "runs": [],
+                        },
+                        error=f"no benchmark JSON produced: {exc}",
+                    )
+                )
+                continue
+        finally:
+            try:
+                os.unlink(out_path)
+            except OSError:
+                pass
+        if uses_conftest_timer:
+            for entry in payload.get("records", []):
+                entry = dict(entry)
+                entry["group"] = f"pytest/{stem}"
+                records.append(entry)
+        else:
+            for bench in payload.get("benchmarks", []):
+                stats = bench.get("stats", {})
+                records.append(
+                    record(
+                        bench.get("name", stem),
+                        f"pytest/{stem}",
+                        {
+                            "best_s": stats.get("min"),
+                            "mean_s": stats.get("mean"),
+                            "repeat": stats.get("rounds", 0),
+                            "runs": [],
+                        },
+                    )
+                )
+    return records
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes, no pytest sweep, no speedup gate (CI smoke job)",
+    )
+    parser.add_argument(
+        "--json",
+        default=os.path.join(_ROOT, "BENCH_merge_engine.json"),
+        help="trajectory output path (default: repo-root BENCH_merge_engine.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="acceptance floor for the 200-schema join_all case (full mode)",
+    )
+    parser.add_argument(
+        "--skip-pytest-suite",
+        action="store_true",
+        help="skip the per-file pytest sweep even in full mode",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [40, 80] if args.smoke else [50, 100, ACCEPTANCE_SIZE, 320]
+    repeat = 3 if args.smoke else 5
+
+    print("merge-engine scalability:")
+    records = run_scalability(sizes, repeat)
+    print("memoization:")
+    records += run_memoization(repeat)
+    print("lower merge:")
+    records += run_lower(repeat, count=10 if args.smoke else 30)
+    if not args.smoke and not args.skip_pytest_suite:
+        print("pytest suites:")
+        records += run_pytest_suites(skip=[])
+
+    acceptance = [
+        r
+        for r in records
+        if r.get("acceptance") and r.get("speedup_vs_reference") is not None
+    ]
+    summary: Dict[str, Any] = {"smoke": args.smoke}
+    if acceptance:
+        summary["join_all_speedup"] = acceptance[0]["speedup_vs_reference"]
+        summary["min_speedup_required"] = None if args.smoke else args.min_speedup
+        summary["acceptance_pass"] = args.smoke or (
+            acceptance[0]["speedup_vs_reference"] >= args.min_speedup
+        )
+    write_trajectory(
+        args.json,
+        records,
+        suite="merge_engine",
+        meta={"summary": summary, "engine_stats": engine_stats()},
+    )
+    print(f"wrote {args.json}")
+    if summary.get("acceptance_pass") is False:
+        print(
+            f"FAIL: join_all speedup {summary['join_all_speedup']:.2f}x "
+            f"< required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if "join_all_speedup" in summary:
+        print(f"join_all speedup: {summary['join_all_speedup']:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

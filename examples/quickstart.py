@@ -10,7 +10,7 @@ origin.  Run with::
 """
 
 from repro import Schema, isa, merge_report, upper_merge
-from repro.render.ascii_art import render_report, render_schema
+from repro.render.ascii_art import render_report
 
 
 def main() -> None:

@@ -24,7 +24,6 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Dict, List, Sequence, Set
 
-from repro.core import relations
 from repro.core.merge import weak_merge
 from repro.core.names import ClassName, sort_key
 from repro.core.proper import check_proper

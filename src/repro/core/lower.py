@@ -38,7 +38,6 @@ from typing import (
     Iterable,
     List,
     Mapping,
-    Optional,
     Sequence,
     Set,
     Tuple,
@@ -64,6 +63,13 @@ from repro.exceptions import (
     ParticipationError,
     SchemaValidationError,
 )
+from repro.perf.memo import MemoCache
+
+# Bounded memo for the refined ordering (see repro.perf): annotated
+# schemas are immutable with precomputed hashes, so entries never go
+# stale and the bound is purely a memory ceiling.
+_ANNOTATED_LEQ_CACHE = MemoCache("lower.annotated_leq", maxsize=16384)
+_MISS = MemoCache.MISS
 
 __all__ = [
     "AnnotatedSchema",
@@ -278,8 +284,12 @@ class AnnotatedSchema:
         raise AttributeError("AnnotatedSchema is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AnnotatedSchema):
             return NotImplemented
+        if self._hash != other._hash:
+            return False
         return (
             self._classes == other._classes
             and self._spec == other._spec
@@ -391,11 +401,24 @@ def annotated_leq(left: AnnotatedSchema, right: AnnotatedSchema) -> bool:
     satisfy ``K_left(e) ≤ K_right(e)`` in the Figure 11 order — where an
     arrow absent over known classes means constraint ``0``, which is
     maximal information, not ignorance.
+
+    Memoized on the operand pair; lower-merge pipelines and the GLB
+    property checks probe the same pairs repeatedly.
     """
+    if left is right:
+        return True
+    key = (left, right)
+    cached = _ANNOTATED_LEQ_CACHE.get(key)
+    if cached is not _MISS:
+        return cached
+    return _ANNOTATED_LEQ_CACHE.put(key, _annotated_leq_cold(left, right))
+
+
+def _annotated_leq_cold(left: AnnotatedSchema, right: AnnotatedSchema) -> bool:
     if not (left.classes <= right.classes and left.spec <= right.spec):
         return False
-    table_left = left.participation_table()
-    table_right = right.participation_table()
+    table_left = left._participation
+    table_right = right._participation
     known = left.classes
     for arrow, constraint in table_left.items():
         if not leq(constraint, table_right.get(arrow, Participation.ABSENT)):
@@ -464,14 +487,15 @@ def lower_merge(
     all_arrows: Set[Arrow] = set()
     for schema in completed:
         all_arrows |= schema.present_arrows()
+    # Direct table lookups instead of per-arrow accessor calls: on wide
+    # federations this loop dominates, and the method-call overhead
+    # (name coercion included) is a measurable constant factor.
+    tables = [schema._participation for schema in completed]
+    absent = Participation.ABSENT
     table: Dict[Arrow, Participation] = {}
     for arrow in all_arrows:
-        source, label, target = arrow
-        combined = glb_all(
-            schema.participation_of(source, label, target)
-            for schema in completed
-        )
-        if combined != Participation.ABSENT:
+        combined = glb_all(t.get(arrow, absent) for t in tables)
+        if combined != absent:
             table[arrow] = combined
     # The pointwise GLB of closed tables is closed (each rule's premise
     # in the merge implies the premise in some/all inputs — see module

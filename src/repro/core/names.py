@@ -32,6 +32,16 @@ from functools import total_ordering
 from typing import FrozenSet, Iterable, Tuple, Union
 
 from repro.exceptions import SchemaValidationError
+from repro.perf.interning import InternTable
+
+# Hash-consing tables: structurally equal names become pointer-equal,
+# so the millions of element comparisons inside closure computations
+# short-circuit on identity (CPython compares identity before calling
+# __eq__).  Structural __eq__/__hash__ stay correct for values evicted
+# from a full table, so interning is transparent.
+_BASE_INTERN = InternTable("names.base")
+_IMPLICIT_INTERN = InternTable("names.implicit")
+_GEN_INTERN = InternTable("names.gen")
 
 __all__ = [
     "BaseName",
@@ -63,13 +73,25 @@ class BaseName:
 
     __slots__ = ("_value", "_hash")
 
-    def __init__(self, value: str):
+    def __new__(cls, value: str):
+        if cls is BaseName and type(value) is str:
+            cached = _BASE_INTERN.get(value)
+            if cached is not None:
+                return cached
         if not isinstance(value, str) or not value:
             raise SchemaValidationError(
                 f"class names must be non-empty strings, got {value!r}"
             )
+        self = object.__new__(cls)
         object.__setattr__(self, "_value", value)
         object.__setattr__(self, "_hash", hash(("BaseName", value)))
+        if cls is BaseName:
+            _BASE_INTERN.put(value, self)
+        return self
+
+    def __init__(self, value: str):
+        # Construction (and interning) happens in __new__; nothing to do.
+        pass
 
     @property
     def value(self) -> str:
@@ -80,6 +102,8 @@ class BaseName:
         raise AttributeError("BaseName is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, BaseName) and self._value == other._value
 
     def __lt__(self, other) -> bool:
@@ -119,15 +143,26 @@ class ImplicitName:
 
     __slots__ = ("_members", "_hash")
 
-    def __init__(self, members: Iterable[Union["ClassName", str]]):
+    def __new__(cls, members: Iterable[Union["ClassName", str]]):
         flat = _flatten(members, ImplicitName)
         if len(flat) < 2:
             raise SchemaValidationError(
                 "an implicit class must sit below at least two classes, "
                 f"got members {sorted(map(str, flat))!r}"
             )
+        if cls is ImplicitName:
+            cached = _IMPLICIT_INTERN.get(flat)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "_members", flat)
         object.__setattr__(self, "_hash", hash(("ImplicitName", flat)))
+        if cls is ImplicitName:
+            _IMPLICIT_INTERN.put(flat, self)
+        return self
+
+    def __init__(self, members: Iterable[Union["ClassName", str]]):
+        pass
 
     @property
     def members(self) -> FrozenSet["ClassName"]:
@@ -138,6 +173,8 @@ class ImplicitName:
         raise AttributeError("ImplicitName is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, ImplicitName) and self._members == other._members
 
     def __lt__(self, other) -> bool:
@@ -168,15 +205,26 @@ class GenName:
 
     __slots__ = ("_members", "_hash")
 
-    def __init__(self, members: Iterable[Union["ClassName", str]]):
+    def __new__(cls, members: Iterable[Union["ClassName", str]]):
         flat = _flatten(members, GenName)
         if len(flat) < 2:
             raise SchemaValidationError(
                 "a generalization class must sit above at least two "
                 f"classes, got members {sorted(map(str, flat))!r}"
             )
+        if cls is GenName:
+            cached = _GEN_INTERN.get(flat)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "_members", flat)
         object.__setattr__(self, "_hash", hash(("GenName", flat)))
+        if cls is GenName:
+            _GEN_INTERN.put(flat, self)
+        return self
+
+    def __init__(self, members: Iterable[Union["ClassName", str]]):
+        pass
 
     @property
     def members(self) -> FrozenSet["ClassName"]:
@@ -187,6 +235,8 @@ class GenName:
         raise AttributeError("GenName is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, GenName) and self._members == other._members
 
     def __lt__(self, other) -> bool:

@@ -26,6 +26,16 @@ from repro.core import relations
 from repro.core.names import ClassName
 from repro.core.schema import Schema
 from repro.exceptions import IncompatibleSchemasError
+from repro.perf.closure import ClosureBuilder
+from repro.perf.memo import MemoCache
+
+# Bounded memo caches (see repro.perf).  Schemas are immutable with
+# precomputed hashes and interned, so keys compare by identity in the
+# common case and results can never go stale; the bound is purely a
+# memory ceiling.
+_IS_SUB_CACHE = MemoCache("ordering.is_sub", maxsize=32768)
+_COMPAT_CACHE = MemoCache("ordering.compatible", maxsize=8192)
+_MISS = MemoCache.MISS
 
 __all__ = [
     "is_sub",
@@ -43,12 +53,23 @@ __all__ = [
 
 
 def is_sub(left: Schema, right: Schema) -> bool:
-    """Does ``left ⊑ right`` hold in the information ordering?"""
-    return (
+    """Does ``left ⊑ right`` hold in the information ordering?
+
+    Memoized on the (interned) operand pair — merge pipelines and
+    bound checks ask the same containment questions repeatedly.
+    """
+    if left is right:
+        return True
+    key = (left, right)
+    cached = _IS_SUB_CACHE.get(key)
+    if cached is not _MISS:
+        return cached
+    result = (
         left.classes <= right.classes
         and left.arrows <= right.arrows
         and left.spec <= right.spec
     )
+    return _IS_SUB_CACHE.put(key, result)
 
 
 def is_strict_sub(left: Schema, right: Schema) -> bool:
@@ -97,8 +118,16 @@ def compatibility_cycle(
 
 
 def compatible(*schemas: Schema) -> bool:
-    """Is the collection compatible (i.e. does the upper merge exist)?"""
-    return compatibility_cycle(list(schemas)) is None
+    """Is the collection compatible (i.e. does the upper merge exist)?
+
+    Memoized on the operand tuple; the same families are probed over
+    and over by interactive sessions and the analysis layer.
+    """
+    key = schemas
+    cached = _COMPAT_CACHE.get(key)
+    if cached is not _MISS:
+        return cached
+    return _COMPAT_CACHE.put(key, compatibility_cycle(list(schemas)) is None)
 
 
 def join(left: Schema, right: Schema) -> Schema:
@@ -106,7 +135,14 @@ def join(left: Schema, right: Schema) -> Schema:
 
     Raises :class:`~repro.exceptions.IncompatibleSchemasError` when the
     schemas are incompatible (no upper bound exists).
+
+    Lattice fast paths: if one operand is below the other, the other
+    *is* the join (both operands are already closed).
     """
+    if left is right or is_sub(left, right):
+        return right
+    if is_sub(right, left):
+        return left
     return join_all([left, right])
 
 
@@ -121,25 +157,34 @@ def join_all(schemas: Iterable[Schema]) -> Schema:
 
     ``join_all([])`` is the empty schema, the bottom of the ordering, so
     the operation is a total monoid on compatible families.
+
+    Implementation: the whole collection is folded through one
+    :class:`repro.perf.closure.ClosureBuilder`.  The specialization
+    closure is delta-updated per novel edge (cycles — incompatibility —
+    surface during insertion, replacing the old separate compatibility
+    pass that closed the union a second time) and arrows are closed once
+    at the end with the grouped W1/W2 sweep.
     """
     schema_list: List[Schema] = list(schemas)
     if not schema_list:
         return Schema.empty()
-    cycle = compatibility_cycle(schema_list)
-    if cycle is not None:
+    if len(schema_list) == 1:
+        # A weak schema is its own join: already closed, already interned.
+        return schema_list[0]
+    builder = ClosureBuilder()
+    try:
+        for g in schema_list:
+            builder.add_schema(g)
+    except IncompatibleSchemasError:
+        # Re-derive the witness from the full union so the error carries
+        # the same cycle the pre-engine implementation reported.
+        cycle = compatibility_cycle(schema_list) or ()
         raise IncompatibleSchemasError(
             "schemas are incompatible; their combined specializations "
             "contain the cycle " + " ==> ".join(str(c) for c in cycle),
             cycle=cycle,
-        )
-    all_arrows = set()
-    all_classes = set()
-    all_spec = set()
-    for g in schema_list:
-        all_arrows |= g.arrows
-        all_classes |= g.classes
-        all_spec |= g.spec
-    return Schema.build(classes=all_classes, arrows=all_arrows, spec=all_spec)
+        ) from None
+    return builder.build()
 
 
 def meet(left: Schema, right: Schema) -> Schema:

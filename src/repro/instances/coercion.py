@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.lower import lower_merge
 from repro.core.ordering import is_sub
 from repro.core.schema import Schema
 from repro.instances.instance import Instance

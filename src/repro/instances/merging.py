@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Dict, Hashable, Sequence, Tuple
 
 from repro.core.keys import KeyedSchema
-from repro.core.lower import AnnotatedSchema
 from repro.core.names import sort_key
 from repro.exceptions import InstanceError
 from repro.instances.instance import Instance, Oid

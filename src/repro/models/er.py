@@ -24,8 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple, Union
 
-from repro.core.implicit import is_implicit
-from repro.core.keys import KeyFamily, KeyedSchema, merge_keyed
+from repro.core.keys import KeyFamily, KeyedSchema
 from repro.core.names import ClassName, name, sort_key
 from repro.core.schema import Schema
 from repro.exceptions import TranslationError

@@ -21,10 +21,8 @@ names, and always yields a proper — hence functional — result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Tuple, Union
 
-from repro.core.implicit import is_implicit
 from repro.core.merge import upper_merge
 from repro.core.names import ClassName, Label, name
 from repro.core.proper import canonical_arrows, from_canonical

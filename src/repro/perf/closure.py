@@ -1,0 +1,187 @@
+"""Incremental closure: fold many schemas through one mutable builder.
+
+``join_all`` used to (a) compute the transitive closure of the union
+specialization once for the compatibility check, (b) recompute the very
+same closure inside ``Schema.build``, and (c) run the naive per-arrow
+W1/W2 closure.  Folding a *sequence* of joins (``reduce(join, ...)``)
+was worse still: n full re-closures for n schemas.
+
+:class:`ClosureBuilder` replaces all of that with one mutable
+specialization index, delta-updated per novel edge
+(:func:`repro.core.relations.closure_insert` — cycles surface at
+insertion time, so there is no separate compatibility pass), one raw
+arrow pool, and a single grouped arrow-closure at :meth:`build` time.
+The closure's reach index is handed to the finished
+:class:`~repro.core.schema.Schema` so the first ``reach`` query is free
+as well.
+
+The builder is the engine room of ``repro.core.ordering.join_all`` and
+is public API for callers that accumulate schemas over time (sessions,
+streaming merges): add schemas as they arrive, ``build()`` when a
+closed value is needed, keep adding afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.core import relations
+from repro.core.names import ClassName, Label, name
+from repro.core.schema import (
+    Arrow,
+    Schema,
+    SpecEdge,
+    _closure_index,
+    _coerce_arrow,
+    _index_arrows,
+)
+from repro.exceptions import IncompatibleSchemasError
+
+__all__ = ["ClosureBuilder"]
+
+
+class ClosureBuilder:
+    """A mutable accumulator whose ``build()`` is the LUB of everything added.
+
+    Invariants: ``_succ``/``_pred`` always hold the reflexive-transitive
+    closure of the specialization edges seen so far (every registered
+    class maps to a set containing itself), and ``_raw_arrows`` holds
+    un-closed input arrows.  Arrows are closed once, at build time —
+    closing them per addition would redo work the final grouped pass
+    does in one sweep.
+    """
+
+    __slots__ = ("_classes", "_raw_arrows", "_succ", "_pred")
+
+    def __init__(self, schemas: Iterable[Schema] = ()):
+        self._classes: Set[ClassName] = set()
+        self._raw_arrows: Set[Arrow] = set()
+        self._succ: Dict[ClassName, Set[ClassName]] = {}
+        self._pred: Dict[ClassName, Set[ClassName]] = {}
+        for schema in schemas:
+            self.add_schema(schema)
+
+    def add_class(self, cls: ClassName) -> "ClosureBuilder":
+        """Register a class (idempotent)."""
+        cls = name(cls)
+        if cls not in self._classes:
+            self._classes.add(cls)
+            self._succ.setdefault(cls, {cls})
+            self._pred.setdefault(cls, {cls})
+        return self
+
+    def _insert_edge(self, sub, sup, undo=None) -> None:
+        """closure_insert with the domain error both entry points share."""
+        try:
+            relations.closure_insert(self._succ, self._pred, sub, sup, undo)
+        except ValueError:
+            raise IncompatibleSchemasError(
+                "specialization edges form a cycle: "
+                + " ==> ".join(str(c) for c in (sub, sup, sub)),
+                cycle=(sub, sup, sub),
+            ) from None
+
+    def add_spec_edge(self, sub: ClassName, sup: ClassName) -> "ClosureBuilder":
+        """Add ``sub ==> sup``, delta-updating the closure.
+
+        Raises :class:`~repro.exceptions.IncompatibleSchemasError` the
+        moment an edge closes a cycle — no separate compatibility pass.
+        """
+        sub, sup = name(sub), name(sup)
+        self.add_class(sub)
+        self.add_class(sup)
+        self._insert_edge(sub, sup)
+        return self
+
+    def add_arrow(
+        self, source: ClassName, label: Label, target: ClassName
+    ) -> "ClosureBuilder":
+        """Add one raw arrow (closed at build time)."""
+        arrow = _coerce_arrow((source, label, target))
+        self.add_class(arrow[0])
+        self.add_class(arrow[2])
+        self._raw_arrows.add(arrow)
+        return self
+
+    def add_schema(self, schema: Schema) -> "ClosureBuilder":
+        """Fold a whole (closed) schema into the accumulator — atomically.
+
+        On :class:`~repro.exceptions.IncompatibleSchemasError` the
+        accumulator is rolled back to its pre-call state, so a streaming
+        caller can catch the error, drop the offending schema, and keep
+        going; ``build()`` then reflects exactly the accepted schemas.
+
+        Rollback uses :func:`repro.core.relations.closure_insert`'s undo
+        log — the pairs actually inserted are recorded and discarded
+        again on failure, so the cost is proportional to the work done,
+        not the accumulator size — and arrows are folded in last, after
+        nothing can fail.
+        """
+        added_classes = []
+        for cls in schema.classes:
+            if cls not in self._classes:
+                self.add_class(cls)
+                added_classes.append(cls)
+        succ = self._succ
+        pred = self._pred
+        undo = []
+        try:
+            for sub, sup in schema.spec:
+                if sub is not sup and sub != sup and sup not in succ[sub]:
+                    self._insert_edge(sub, sup, undo)
+        except IncompatibleSchemasError:
+            for lower, upper in undo:
+                succ[lower].discard(upper)
+                pred[upper].discard(lower)
+            for cls in added_classes:
+                # Registered isolated this call; after the pair rollback
+                # they appear in no other class's sets — safe to drop.
+                self._classes.discard(cls)
+                succ.pop(cls, None)
+                pred.pop(cls, None)
+            raise
+        self._raw_arrows |= schema.arrows
+        return self
+
+    def is_spec(self, sub: ClassName, sup: ClassName) -> bool:
+        """Does ``sub ==> sup`` hold in the accumulated closure?"""
+        sub, sup = name(sub), name(sup)
+        return sub == sup or sup in self._succ.get(sub, ())
+
+    def spec_pairs(self) -> FrozenSet[SpecEdge]:
+        """The current reflexive-transitive specialization closure."""
+        return frozenset(
+            (sub, sup)
+            for sub, sups in self._succ.items()
+            for sup in sups
+        )
+
+    def build(
+        self,
+        extra_arrows: Iterable[Arrow] = (),
+    ) -> Schema:
+        """Close the accumulated components into an (interned) Schema.
+
+        The builder stays usable afterwards — ``build`` is a snapshot,
+        not a terminal operation; *extra_arrows* participate in this
+        snapshot only (coerced and validated like every other input,
+        with unseen endpoints appearing as isolated classes).
+        """
+        raw = self._raw_arrows
+        classes = frozenset(self._classes)
+        spec = self.spec_pairs()
+        extra = [_coerce_arrow(edge) for edge in extra_arrows]
+        if extra:
+            raw = raw | set(extra)
+            new_classes = frozenset(
+                endpoint
+                for source, _label, target in extra
+                for endpoint in (source, target)
+                if endpoint not in classes
+            )
+            if new_classes:
+                classes |= new_classes
+                spec |= frozenset((cls, cls) for cls in new_classes)
+        index = _closure_index(raw, self._pred, self._succ)
+        arrows = _index_arrows(index)
+        return Schema._from_closed(classes, arrows, spec, reach_index=index)

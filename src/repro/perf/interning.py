@@ -1,0 +1,108 @@
+"""Hash-consing intern tables — the substrate of the merge engine.
+
+The core algebra hashes and compares :class:`~repro.core.names.ClassName`
+values millions of times inside closure computations; profiling the
+200-schema ``join_all`` sweep shows ~3.7M Python-level ``__eq__`` calls
+resolving set-membership collisions.  CPython's ``PyObject_RichCompareBool``
+short-circuits on *identity* before ever calling ``__eq__``, so making
+structurally equal values pointer-equal (classic hash-consing) removes
+that entire cost without touching any call site.
+
+This module is deliberately free of ``repro.core`` imports: the name
+classes themselves intern through these tables, so anything here that
+imported the core would be a cycle.
+
+Tables are *bounded*.  When a table exceeds its capacity the oldest
+entries are evicted (insertion order — Python dicts are ordered), which
+only weakens the pointer-equality fast path: structural ``__eq__`` and
+``__hash__`` remain correct for every value, interned or not, so
+eviction can never change a result.  That is the cache-invalidation
+story in one line — interned values are immutable, so there is nothing
+to invalidate, only memory to bound.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = [
+    "InternTable",
+    "intern_stats",
+    "clear_intern_tables",
+]
+
+
+_REGISTRY: Dict[str, "InternTable"] = {}
+
+
+class InternTable:
+    """A bounded identity table mapping structural keys to canonical values.
+
+    ``get`` / ``put`` are kept primitive (no factory callback) because
+    the hot callers construct the value inline only on a miss and the
+    extra closure allocation of a factory API is measurable there.
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "evictions", "_table")
+
+    def __init__(self, name: str, maxsize: int = 65536, register: bool = True):
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._table: Dict[Hashable, Any] = {}
+        if register:
+            _REGISTRY[name] = self
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The canonical value for *key*, or ``None`` if not interned."""
+        value = self._table.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Register *value* as the canonical representative of *key*."""
+        table = self._table
+        if len(table) >= self.maxsize:
+            # Evict the oldest quarter in one sweep; per-insert single
+            # evictions would make every put near capacity pay a dict
+            # reshuffle.  pop(..., None) tolerates a concurrent sweep on
+            # another thread deleting the same snapshot keys — eviction
+            # is best-effort, correctness never depends on it.
+            drop = max(1, self.maxsize // 4)
+            for old in list(table)[:drop]:
+                table.pop(old, None)
+            self.evictions += drop
+        table[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are telemetry)."""
+        self._table.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._table),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def intern_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size statistics for every registered intern table."""
+    return {name: table.stats() for name, table in sorted(_REGISTRY.items())}
+
+
+def clear_intern_tables() -> None:
+    """Empty every registered intern table (safe: eviction-equivalent)."""
+    for table in _REGISTRY.values():
+        table.clear()

@@ -1,0 +1,104 @@
+"""Bounded memo caches for the decision procedures of the ordering.
+
+``is_sub``, ``compatible`` and ``annotated_leq`` are called in tight
+loops by merge pipelines, property tests and the analysis layer, almost
+always on a small working set of schemas (the inputs of the current
+merge and their intermediates).  Because :class:`~repro.core.schema.Schema`
+and :class:`~repro.core.lower.AnnotatedSchema` are immutable with
+precomputed hashes — and interned, so cache-key comparisons usually
+short-circuit on identity — memoizing these predicates is sound with no
+invalidation protocol at all: a key can never refer to a value that
+later changes.  The only resource to manage is memory, hence the LRU
+bound.
+
+Like :mod:`repro.perf.interning`, this module must not import
+``repro.core`` (the core imports *it*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable
+
+__all__ = ["MemoCache", "cache_stats", "clear_memo_caches"]
+
+
+_REGISTRY: Dict[str, "MemoCache"] = {}
+
+
+class _Miss:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "<MemoCache.MISS>"
+
+
+class MemoCache:
+    """A bounded LRU mapping from hashable keys to computed results.
+
+    ``get`` returns the :data:`MemoCache.MISS` sentinel on a miss so
+    that ``None``/``False`` results are cacheable.
+    """
+
+    MISS = _Miss()
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_table")
+
+    def __init__(self, name: str, maxsize: int = 16384, register: bool = True):
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._table: Dict[Hashable, Any] = {}
+        if register:
+            _REGISTRY[name] = self
+
+    def get(self, key: Hashable) -> Any:
+        table = self._table
+        # pop-then-reinsert refreshes recency (dicts preserve insertion
+        # order) in single GIL-atomic dict operations, so a concurrent
+        # get/put on another thread cannot observe a half-applied
+        # refresh or raise KeyError.
+        value = table.pop(key, MemoCache.MISS)
+        if value is MemoCache.MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+            table[key] = value
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        table = self._table
+        while len(table) >= self.maxsize:
+            try:
+                table.pop(next(iter(table)), None)
+            except (StopIteration, RuntimeError):
+                # Another thread emptied or resized the table mid-scan;
+                # eviction is best-effort, correctness never depends on it.
+                break
+        table[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._table),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size statistics for every registered memo cache."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+
+
+def clear_memo_caches() -> None:
+    """Empty every registered memo cache (results are recomputed cold)."""
+    for cache in _REGISTRY.values():
+        cache.clear()

@@ -10,7 +10,7 @@ class universe so merges actually overlap.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import pytest
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for the baseline mergers (§1, §3, Figure 5)."""
 
-import pytest
 
 from repro.baselines.naive import (
     naive_binary_merge,
@@ -14,7 +13,7 @@ from repro.baselines.superviews import (
     lost_information,
 )
 from repro.core.merge import upper_merge
-from repro.core.names import BaseName, ImplicitName
+from repro.core.names import ImplicitName
 from repro.core.proper import is_proper
 from repro.core.schema import Schema
 from repro.figures import figure3_schemas, figure4_schemas

@@ -1,7 +1,6 @@
 """Integration tests for the schema-merge CLI."""
 
 import json
-from pathlib import Path
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.merge import upper_merge, weak_merge
+from repro.core.merge import upper_merge
 from repro.core.schema import Schema
 from repro.figures import figure3_schemas
 from repro.instances.coercion import check_upper_coercion, coerce

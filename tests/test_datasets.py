@@ -1,9 +1,8 @@
 """Integration tests over the curated scenario datasets."""
 
-import pytest
 
 from repro.core.implicit import implicit_classes_of
-from repro.core.keys import KeyFamily, merge_keyed
+from repro.core.keys import merge_keyed
 from repro.core.lower import (
     annotated_leq,
     complete_classes,

@@ -2,10 +2,8 @@
 the prose claims.  These are the FIG experiments of DESIGN.md run as
 assertions (the benchmark harness re-runs them with timing)."""
 
-import pytest
 
 from repro.core.implicit import implicit_classes_of, properize
-from repro.core.keys import KeyFamily
 from repro.core.merge import upper_merge, weak_merge
 from repro.core.names import BaseName, ImplicitName
 from repro.core.ordering import is_sub

@@ -1,6 +1,5 @@
 """Unit tests for Imp construction and properization (§4.2)."""
 
-import pytest
 
 from repro.core.implicit import (
     implicit_classes_of,

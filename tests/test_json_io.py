@@ -4,12 +4,10 @@ import json
 
 import pytest
 
-from repro.core.keys import KeyFamily, KeyedSchema
 from repro.core.lower import AnnotatedSchema
 from repro.core.merge import upper_merge
 from repro.core.names import BaseName, GenName, ImplicitName
 from repro.core.participation import Participation
-from repro.core.schema import Schema
 from repro.exceptions import SerializationError
 from repro.figures import (
     figure1_er_diagram,

@@ -12,7 +12,6 @@ from repro.core.lower import (
 )
 from repro.core.names import BaseName, GenName
 from repro.core.participation import Participation
-from repro.core.schema import Schema
 from repro.exceptions import (
     IncompatibleSchemasError,
     ParticipationError,

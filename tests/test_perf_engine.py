@@ -1,0 +1,277 @@
+"""Property tests for the merge engine: warm paths ≡ cold paths.
+
+The engine (repro.perf) must be *observationally invisible*: interning,
+memoization and incremental closure may only change speed, never
+results.  Every test here drives a randomized workload twice — through
+the engine and through the preserved pre-engine reference
+implementations (:mod:`repro.perf.reference`) — and asserts equality,
+including across cache clears (which simulate eviction at the worst
+possible moment).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lower import annotated_leq, lower_merge
+from repro.core.names import BaseName, GenName, ImplicitName
+from repro.core.ordering import compatible, is_sub, join_all
+from repro.core.schema import Schema
+from repro.generators.random_schemas import (
+    random_annotated_schema,
+    random_schema_family,
+    random_weak_schema,
+)
+from repro.perf import MemoCache, clear_caches, engine_stats
+from repro.perf.closure import ClosureBuilder
+from repro.perf.reference import (
+    reference_annotated_leq,
+    reference_compatible,
+    reference_is_sub,
+    reference_join_all,
+    reference_lower_merge,
+)
+from tests.conftest import annotated_schemas, schema_pairs, schemas
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestInterning:
+    def test_base_names_pointer_equal(self):
+        assert BaseName("Dog") is BaseName("Dog")
+
+    def test_composite_names_pointer_equal(self):
+        assert ImplicitName(["A", "B"]) is ImplicitName([BaseName("B"), "A"])
+        assert GenName(["A", "B"]) is GenName(["B", "A"])
+        assert ImplicitName(["A", "B"]) != GenName(["A", "B"])
+
+    def test_schemas_pointer_equal(self):
+        def build():
+            return Schema.build(
+                arrows=[("Dog", "owner", "Person")], spec=[("Puppy", "Dog")]
+            )
+
+        assert build() is build()
+
+    def test_interning_survives_clear(self):
+        before = Schema.build(arrows=[("A", "f", "B")])
+        clear_caches()
+        after = Schema.build(arrows=[("A", "f", "B")])
+        # Pointer-equality may be lost across a clear (that is the
+        # documented eviction semantics) but equality never is.
+        assert before == after and hash(before) == hash(after)
+
+    @RELAXED
+    @given(schemas())
+    def test_random_schema_rebuild_interns(self, schema):
+        rebuilt = Schema.build(
+            classes=schema.classes, arrows=schema.arrows, spec=schema.spec
+        )
+        assert rebuilt is schema
+
+
+class TestMemoizedPredicates:
+    @RELAXED
+    @given(schema_pairs())
+    def test_is_sub_matches_reference(self, pair):
+        left, right = pair
+        for a, b in [(left, right), (right, left), (left, left)]:
+            assert is_sub(a, b) == reference_is_sub(a, b)
+            # Warm hit must agree with the cold value too.
+            assert is_sub(a, b) == reference_is_sub(a, b)
+
+    @RELAXED
+    @given(schema_pairs())
+    def test_is_sub_after_cache_clear(self, pair):
+        left, right = pair
+        warm = is_sub(left, right)
+        clear_caches()
+        assert is_sub(left, right) == warm
+
+    @RELAXED
+    @given(schema_pairs())
+    def test_compatible_matches_reference(self, pair):
+        left, right = pair
+        assert compatible(left, right) == reference_compatible(left, right)
+        assert compatible(left, right) == reference_compatible(left, right)
+
+    @RELAXED
+    @given(annotated_schemas(), annotated_schemas())
+    def test_annotated_leq_matches_reference(self, left, right):
+        for a, b in [(left, right), (right, left), (left, left)]:
+            assert annotated_leq(a, b) == reference_annotated_leq(a, b)
+        clear_caches()
+        assert annotated_leq(left, right) == reference_annotated_leq(
+            left, right
+        )
+
+
+class TestJoinEquivalence:
+    @RELAXED
+    @given(st.lists(schemas(), max_size=5))
+    def test_join_all_matches_reference(self, family):
+        assert join_all(family) == reference_join_all(family)
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_join_all_matches_reference_generated(self, seed):
+        family = random_schema_family(
+            n_schemas=6,
+            pool_size=18,
+            n_classes=8,
+            n_labels=4,
+            arrow_density=0.25,
+            spec_density=0.15,
+            seed=seed,
+        )
+        assert join_all(family) == reference_join_all(family)
+
+    def test_join_all_large_family(self):
+        family = random_schema_family(
+            n_schemas=60, pool_size=40, n_classes=10, n_labels=5, seed=11
+        )
+        assert join_all(family) == reference_join_all(family)
+
+    def test_closure_builder_incremental_equals_batch(self):
+        family = random_schema_family(n_schemas=8, seed=3)
+        builder = ClosureBuilder()
+        for i, schema in enumerate(family):
+            builder.add_schema(schema)
+            # Every prefix snapshot must equal the batch join of the prefix.
+            assert builder.build() == reference_join_all(family[: i + 1])
+
+    def test_closure_builder_rejects_incompatible_atomically(self):
+        from repro.exceptions import IncompatibleSchemasError
+
+        accepted = Schema.build(
+            arrows=[("A", "f", "B")], spec=[("Sub", "Sup")]
+        )
+        poison = Schema.build(
+            arrows=[("Evil", "g", "B")], spec=[("Sup", "Sub")]
+        )
+        builder = ClosureBuilder([accepted])
+        try:
+            builder.add_schema(poison)
+            raise AssertionError("expected IncompatibleSchemasError")
+        except IncompatibleSchemasError:
+            pass
+        # The rejected schema must leave no trace: classes, arrows, spec.
+        assert builder.build() == accepted
+
+    def test_closure_builder_coerces_inputs(self):
+        from repro.exceptions import SchemaValidationError
+
+        built = (
+            ClosureBuilder()
+            .add_class("A")
+            .add_arrow("A", "f", "B")
+            .build(extra_arrows=[("X", "g", "Y")])
+        )
+        # Raw strings are coerced to names and endpoints join C, so the
+        # result passes the validating public constructor (cache cleared
+        # first so the intern table cannot short-circuit validation).
+        clear_caches()
+        assert built == Schema(built.classes, built.arrows, built.spec)
+        assert built.has_arrow("X", "g", "Y") and built.has_class("Y")
+        with pytest.raises(SchemaValidationError):
+            ClosureBuilder().add_arrow("A", 123, "B")
+        with pytest.raises(SchemaValidationError):
+            ClosureBuilder().build(extra_arrows=[("A", "", "B")])
+
+
+class TestLowerEquivalence:
+    @given(st.integers(min_value=0, max_value=25))
+    @settings(max_examples=15, deadline=None)
+    def test_lower_merge_matches_reference(self, seed):
+        inputs = [
+            random_annotated_schema(
+                n_classes=8, n_labels=4, arrow_density=0.3, seed=seed * 7 + i
+            )
+            for i in range(3)
+        ]
+        assert lower_merge(*inputs) == reference_lower_merge(*inputs)
+        assert lower_merge(
+            *inputs, import_specializations=True
+        ) == reference_lower_merge(*inputs, import_specializations=True)
+
+
+class TestIncrementalUpdates:
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_with_arrows_equals_rebuild(self, seed):
+        base = random_weak_schema(
+            n_classes=8, n_labels=3, arrow_density=0.25, spec_density=0.2,
+            seed=seed,
+        )
+        classes = [str(c) for c in base.sorted_classes()]
+        extra = [
+            (classes[seed % len(classes)], "zz", classes[(seed * 3) % len(classes)]),
+            ("Fresh", "ww", classes[0]),
+        ]
+        incremental = base.with_arrows(extra)
+        rebuilt = Schema.build(
+            classes=base.classes,
+            arrows=list(base.arrows) + extra,
+            spec=base.spec,
+        )
+        assert incremental == rebuilt
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_with_spec_equals_rebuild(self, seed):
+        base = random_weak_schema(
+            n_classes=8, n_labels=3, arrow_density=0.25, spec_density=0.2,
+            seed=seed,
+        )
+        classes = [str(c) for c in base.sorted_classes()]
+        sub = classes[seed % len(classes)]
+        sup = classes[(seed * 5 + 1) % len(classes)]
+        try:
+            incremental = base.with_spec(sub, sup)
+        except Exception as exc:  # incompatible: rebuild must agree
+            rebuilt_raises = False
+            try:
+                Schema.build(
+                    classes=base.classes,
+                    arrows=base.arrows,
+                    spec=list(base.spec) + [(sub, sup)],
+                )
+            except type(exc):
+                rebuilt_raises = True
+            assert rebuilt_raises
+            return
+        rebuilt = Schema.build(
+            classes=base.classes,
+            arrows=base.arrows,
+            spec=list(base.spec) + [(sub, sup)],
+        )
+        assert incremental == rebuilt
+
+
+class TestCacheMachinery:
+    def test_memo_cache_bounded_lru(self):
+        cache = MemoCache("test.bounded", maxsize=4, register=False)
+        for i in range(10):
+            cache.put(i, i * 2)
+        assert len(cache) == 4
+        assert cache.get(9) == 18
+        assert cache.get(0) is MemoCache.MISS
+
+    def test_memo_cache_caches_falsy_values(self):
+        cache = MemoCache("test.falsy", maxsize=4, register=False)
+        cache.put("k", False)
+        assert cache.get("k") is False
+
+    def test_engine_stats_shape(self):
+        is_sub(Schema.empty(), Schema.empty())
+        stats = engine_stats()
+        assert "intern" in stats and "memo" in stats
+        assert "ordering.is_sub" in stats["memo"]
+        for table in stats["intern"].values():
+            assert {"size", "hits", "misses"} <= set(table)

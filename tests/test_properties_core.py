@@ -13,7 +13,7 @@ from repro.core.implicit import (
     properize,
     strip_implicits,
 )
-from repro.core.merge import upper_merge, weak_merge
+from repro.core.merge import upper_merge
 from repro.core.ordering import is_sub, join, meet
 from repro.core.proper import (
     canonical_arrows,

@@ -4,7 +4,6 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.merge import upper_merge
-from repro.core.ordering import is_sub
 from repro.extensions.multivalued import (
     MultivaluedSchema,
     Valence,

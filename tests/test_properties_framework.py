@@ -11,7 +11,6 @@ from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.framework import (
-    ANNOTATED_ORDERING,
     KEYED_ORDERING,
     WEAK_ORDERING,
     annotated_join,

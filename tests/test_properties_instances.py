@@ -3,7 +3,7 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.lower import complete_classes, lower_merge
+from repro.core.lower import lower_merge
 from repro.core.merge import upper_merge
 from repro.generators.random_schemas import (
     random_annotated_schema,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.keys import (
     KeyFamily,
-    KeyedSchema,
     is_satisfactory,
     merge_keyed,
     minimal_satisfactory_assignment,

@@ -3,14 +3,13 @@
 from hypothesis import HealthCheck, given, settings
 
 from repro.core.lower import (
-    AnnotatedSchema,
     annotated_leq,
     complete_classes,
     lower_merge,
     lower_properize,
     lower_properness_violations,
 )
-from repro.core.participation import Participation, glb, leq
+from repro.core.participation import glb
 
 from tests.conftest import annotated_schemas
 

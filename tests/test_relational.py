@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.keys import KeyFamily
 from repro.exceptions import TranslationError
 from repro.models.relational import (
     RelationSchema,

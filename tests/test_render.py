@@ -1,6 +1,5 @@
 """Unit tests for the ASCII and DOT renderers."""
 
-import pytest
 
 from repro.core.lower import AnnotatedSchema
 from repro.core.merge import merge_report

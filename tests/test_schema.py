@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.names import BaseName, ImplicitName
+from repro.core.names import BaseName
 from repro.core.schema import Schema
 from repro.exceptions import IncompatibleSchemasError, SchemaValidationError
 
