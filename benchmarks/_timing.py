@@ -1,4 +1,8 @@
-"""The one timing / trajectory-JSON helper shared by conftest and runner.
+"""The one trajectory-JSON helper shared by conftest and runner.
+
+The timing kernel itself lives in :mod:`repro.perf.timing` (re-exported
+here) so that in-package callers (:mod:`repro.service.bench`) measure
+identically without importing the benchmarks tree.
 
 ``benchmarks/conftest.py`` (pytest runs) and ``benchmarks/runner.py``
 (the CI harness) both emit trajectory files through :func:`write_trajectory`,
@@ -21,8 +25,9 @@ Record shape (``TRAJECTORY_SCHEMA_VERSION`` guards it)::
 from __future__ import annotations
 
 import json
-import time
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, Optional
+
+from repro.perf.timing import time_call
 
 TRAJECTORY_SCHEMA_VERSION = 1
 
@@ -33,37 +38,6 @@ __all__ = [
     "trajectory",
     "write_trajectory",
 ]
-
-
-def time_call(
-    fn: Callable[[], Any],
-    repeat: int = 5,
-    warmup: int = 1,
-    setup: Optional[Callable[[], Any]] = None,
-) -> Dict[str, Any]:
-    """Best-of-*repeat* wall-clock timing of ``fn()``.
-
-    *setup* (when given) runs before every timed call, outside the
-    clock — used e.g. to clear the engine caches so a benchmark measures
-    the cold path on purpose.
-    """
-    for _ in range(warmup):
-        if setup is not None:
-            setup()
-        fn()
-    runs: List[float] = []
-    for _ in range(repeat):
-        if setup is not None:
-            setup()
-        start = time.perf_counter()
-        fn()
-        runs.append(time.perf_counter() - start)
-    return {
-        "best_s": min(runs),
-        "mean_s": sum(runs) / len(runs),
-        "repeat": repeat,
-        "runs": runs,
-    }
 
 
 def record(name: str, group: str, timing: Dict[str, Any], **extra: Any) -> Dict[str, Any]:

@@ -1,0 +1,97 @@
+"""SERVICE — long-lived merge-service benchmarks: sharding, caching, replay.
+
+These time :class:`repro.service.MergeService` against the cold
+``join_all`` path on named request streams from
+:mod:`repro.generators.workloads`, asserting the service's two load-
+bearing invariants along the way: every answer equals the cold-path
+merge of the same schemas, and a registration invalidates only the
+component it touches.  The speedup floors here are deliberately loose
+(shared CI runners jitter); ``benchmarks/runner.py --suite service``
+enforces the strict ≥10x acceptance bar on the 200-schema sharded
+workload and records the exact ratios in ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ordering import join_all
+from repro.core.schema import Schema
+from repro.generators.workloads import get_request_stream
+from repro.perf import clear_caches
+from repro.service import MergeService, replay
+
+WORKLOAD = "service-sharded-small"
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return get_request_stream(WORKLOAD).make()
+
+
+@pytest.fixture(scope="module")
+def service(stream):
+    initial, _requests = stream
+    svc = MergeService(initial)
+    for sid in svc.components():
+        svc.merged_view(sid)
+    svc.merged_view()
+    return svc
+
+
+def test_global_view_equals_cold_join_all(service, stream):
+    initial, _requests = stream
+    assert service.merged_view() == join_all(initial)
+
+
+def test_component_views_equal_cold_join_all(service):
+    for sid in service.components():
+        cold = join_all(list(service.component_schemas(sid)))
+        assert service.merged_view(sid) == cold
+
+
+def test_warm_view_vs_cold_join_all(perf_record, service, stream):
+    initial, _requests = stream
+    cold = perf_record(
+        "join_all/cold",
+        "service",
+        lambda: join_all(initial),
+        setup=clear_caches,
+        schemas=len(initial),
+    )
+    warm = perf_record(
+        "merged_view/warm",
+        "service",
+        lambda: service.merged_view(),
+        schemas=len(initial),
+    )
+    speedup = cold["best_s"] / warm["best_s"]
+    assert speedup >= 5.0, f"warm view only {speedup:.1f}x faster than cold"
+
+
+def test_register_invalidates_only_touched_component(service):
+    components = sorted(service.components())
+    assert len(components) > 1, "sharded workload must shard"
+    for sid in components:
+        service.merged_view(sid)
+    anchor = str(service.component_schemas(components[0])[0].sorted_classes()[0])
+    before = service.service_stats()["component_cache"]["misses"]
+    service.register([Schema.build(arrows=[(anchor, "probe", "BenchProbe")])])
+    for sid in sorted(service.components()):
+        service.merged_view(sid)
+    after = service.service_stats()["component_cache"]["misses"]
+    assert after - before == 1, (
+        f"registration recomputed {after - before} components, expected 1"
+    )
+
+
+def test_stream_replay(perf_record, stream):
+    initial, requests = stream
+    timing = perf_record(
+        "stream_replay",
+        "service",
+        lambda: replay(MergeService(initial), requests),
+        repeat=3,
+        requests=len(requests),
+    )
+    assert timing["best_s"] > 0

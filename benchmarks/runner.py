@@ -1,22 +1,31 @@
 #!/usr/bin/env python
-"""Benchmark runner — one trajectory artifact for CI and local runs.
+"""Benchmark runner — one trajectory artifact per suite for CI and local runs.
 
-Runs the merge-engine scalability/memoization cases in-process (timed
-through :mod:`benchmarks._timing`, the same helper the pytest conftest
-uses, so both paths emit byte-compatible trajectory files) and, in full
-mode, every ``bench_*.py`` suite via pytest with JSON output folded into
-the same artifact.
+Suites register themselves in :data:`SUITES` (``@suite(...)``); each one
+produces a list of trajectory records plus a summary, is written to its
+own ``BENCH_<name>.json`` at the repo root, and may enforce an
+acceptance bar (exit 1 on failure).  Adding a suite is one decorated
+function — no copy-paste of argument parsing, timing or serialization.
+
+Current suites:
+
+* ``merge_engine`` — the PR-2 engine against the preserved pre-engine
+  reference (``join_all`` scalability, memoized ``is_sub``, lower
+  merge) plus, in full mode, every ``bench_*.py`` via pytest.
+  Acceptance: 200-schema ``join_all`` ≥ ``--min-speedup`` (5x) over the
+  reference.
+* ``service`` — the long-lived :class:`repro.service.MergeService`
+  replaying named request streams (:mod:`repro.generators.workloads`).
+  Acceptance: warm ``merged_view`` ≥ ``--min-view-speedup`` (10x) over
+  cold ``join_all`` on the 200-schema sharded workload, and a
+  registration must invalidate only its own component.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/runner.py               # full run
-    PYTHONPATH=src python benchmarks/runner.py --smoke       # CI smoke
-    PYTHONPATH=src python benchmarks/runner.py --json out.json
-
-Full mode enforces the acceptance bar: the 200-schema ``join_all`` case
-must be at least ``--min-speedup`` (default 5.0) times faster than the
-preserved pre-engine reference implementation, else exit 1.  Smoke mode
-uses smaller sizes, skips the pytest sweep and only records ratios.
+    PYTHONPATH=src python benchmarks/runner.py                  # all suites
+    PYTHONPATH=src python benchmarks/runner.py --suite service
+    PYTHONPATH=src python benchmarks/runner.py --smoke          # CI smoke
+    PYTHONPATH=src python benchmarks/runner.py --suite service --json out.json
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ import os
 import subprocess
 import sys
 import tempfile
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, NamedTuple, Tuple
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
@@ -53,6 +62,38 @@ from repro.perf.reference import (  # noqa: E402
 )
 
 ACCEPTANCE_SIZE = 200
+
+# Suites whose bench_*.py files time through the conftest ``perf_record``
+# fixture (--bench-json) rather than pytest-benchmark.
+_CONFTEST_TIMER_SUITES = {"bench_merge_engine", "bench_service"}
+
+SuiteResult = Tuple[List[Dict[str, Any]], Dict[str, Any]]
+
+
+class Suite(NamedTuple):
+    """One registered benchmark suite."""
+
+    name: str
+    default_json: str
+    run: Callable[[argparse.Namespace], SuiteResult]
+
+
+SUITES: Dict[str, Suite] = {}
+
+
+def suite(name: str, default_json: str):
+    """Register a suite function: ``(args) -> (records, meta)``.
+
+    *meta* must contain a ``summary`` dict; if that carries
+    ``acceptance_pass: False`` the runner exits non-zero after writing
+    every artifact.
+    """
+
+    def register(fn: Callable[[argparse.Namespace], SuiteResult]):
+        SUITES[name] = Suite(name, default_json, fn)
+        return fn
+
+    return register
 
 
 def _family(n_schemas: int) -> List[Any]:
@@ -156,9 +197,9 @@ def run_lower(repeat: int, count: int) -> List[Dict[str, Any]]:
 def run_pytest_suites(skip: List[str]) -> List[Dict[str, Any]]:
     """Run every bench_*.py through pytest, folding its JSON output.
 
-    Legacy suites use pytest-benchmark (``--benchmark-json``); the
-    engine suite uses the conftest's ``--bench-json``.  Either way the
-    stats land in the same trajectory records.
+    Legacy suites use pytest-benchmark (``--benchmark-json``); suites in
+    :data:`_CONFTEST_TIMER_SUITES` use the conftest's ``--bench-json``.
+    Either way the stats land in the same trajectory records.
     """
     records: List[Dict[str, Any]] = []
     env = dict(os.environ)
@@ -171,7 +212,7 @@ def run_pytest_suites(skip: List[str]) -> List[Dict[str, Any]]:
             continue
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             out_path = tmp.name
-        uses_conftest_timer = stem == "bench_merge_engine"
+        uses_conftest_timer = stem in _CONFTEST_TIMER_SUITES
         cmd = [sys.executable, "-m", "pytest", path, "-q"]
         if uses_conftest_timer:
             cmd += ["--bench-json", out_path]
@@ -246,31 +287,9 @@ def run_pytest_suites(skip: List[str]) -> List[Dict[str, Any]]:
     return records
 
 
-def main(argv: List[str] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sizes, no pytest sweep, no speedup gate (CI smoke job)",
-    )
-    parser.add_argument(
-        "--json",
-        default=os.path.join(_ROOT, "BENCH_merge_engine.json"),
-        help="trajectory output path (default: repo-root BENCH_merge_engine.json)",
-    )
-    parser.add_argument(
-        "--min-speedup",
-        type=float,
-        default=5.0,
-        help="acceptance floor for the 200-schema join_all case (full mode)",
-    )
-    parser.add_argument(
-        "--skip-pytest-suite",
-        action="store_true",
-        help="skip the per-file pytest sweep even in full mode",
-    )
-    args = parser.parse_args(argv)
-
+@suite("merge_engine", "BENCH_merge_engine.json")
+def merge_engine_suite(args: argparse.Namespace) -> SuiteResult:
+    """The PR-2 engine cases plus (full mode) the pytest sweep."""
     sizes = [40, 80] if args.smoke else [50, 100, ACCEPTANCE_SIZE, 320]
     repeat = 3 if args.smoke else 5
 
@@ -282,7 +301,9 @@ def main(argv: List[str] = None) -> int:
     records += run_lower(repeat, count=10 if args.smoke else 30)
     if not args.smoke and not args.skip_pytest_suite:
         print("pytest suites:")
-        records += run_pytest_suites(skip=[])
+        # bench_service belongs to the service suite's artifact; timing
+        # its heavy workloads here too would double-measure them.
+        records += run_pytest_suites(skip=["bench_service"])
 
     acceptance = [
         r
@@ -296,22 +317,169 @@ def main(argv: List[str] = None) -> int:
         summary["acceptance_pass"] = args.smoke or (
             acceptance[0]["speedup_vs_reference"] >= args.min_speedup
         )
-    write_trajectory(
-        args.json,
-        records,
-        suite="merge_engine",
-        meta={"summary": summary, "engine_stats": engine_stats()},
+        if summary["acceptance_pass"]:
+            print(f"join_all speedup: {summary['join_all_speedup']:.1f}x")
+        else:
+            print(
+                f"FAIL: join_all speedup {summary['join_all_speedup']:.2f}x "
+                f"< required {args.min_speedup}x",
+                file=sys.stderr,
+            )
+    return records, {"summary": summary, "engine_stats": engine_stats()}
+
+
+@suite("service", "BENCH_service.json")
+def service_suite(args: argparse.Namespace) -> SuiteResult:
+    """MergeService request-stream workloads (repro.service.bench)."""
+    from repro.service.bench import run_bench
+
+    acceptance_workload = (
+        "service-sharded-small" if args.smoke else "service-sharded-200"
     )
-    print(f"wrote {args.json}")
-    if summary.get("acceptance_pass") is False:
+    workloads = (
+        [acceptance_workload]
+        if args.smoke
+        else [acceptance_workload, "service-mixed-200"]
+    )
+    repeat = 2 if args.smoke else 3
+
+    records: List[Dict[str, Any]] = []
+    results: Dict[str, Any] = {}
+    print("merge service:")
+    for workload in workloads:
+        result = run_bench(workload, repeat=repeat)
+        results[workload] = result
+        summary = result["summary"]
+        timings = result["timings"]
+        is_acceptance = workload == acceptance_workload
         print(
-            f"FAIL: join_all speedup {summary['join_all_speedup']:.2f}x "
-            f"< required {args.min_speedup}x",
+            f"  {workload}: warm view "
+            f"{summary['view_speedup_vs_cold_join_all']:.0f}x vs cold "
+            f"join_all, {summary['requests_per_second']:.0f} req/s, "
+            f"invalidation "
+            f"{'ok' if summary['invalidation_ok'] else 'FAILED'}"
+        )
+        records.append(
+            record(
+                f"{workload}/join_all_cold",
+                "service",
+                timings["join_all_cold"],
+                schemas=result["initial_schemas"],
+            )
+        )
+        records.append(
+            record(
+                f"{workload}/merged_view_warm",
+                "service",
+                timings["merged_view_warm"],
+                schemas=result["initial_schemas"],
+                acceptance=is_acceptance,
+                speedup_vs_cold_join_all=(
+                    summary["view_speedup_vs_cold_join_all"]
+                ),
+            )
+        )
+        records.append(
+            record(
+                f"{workload}/stream_replay",
+                "service",
+                timings["stream_replay"],
+                requests=result["requests"],
+                requests_per_second=summary["requests_per_second"],
+            )
+        )
+
+    accepted = results[acceptance_workload]["summary"]
+    summary = {
+        "smoke": args.smoke,
+        "acceptance_workload": acceptance_workload,
+        "view_speedup": accepted["view_speedup_vs_cold_join_all"],
+        "invalidation_ok": accepted["invalidation_ok"],
+        "min_view_speedup_required": (
+            None if args.smoke else args.min_view_speedup
+        ),
+        # The invalidation invariant must hold even in smoke mode; the
+        # speedup floor only gates full runs (smoke sizes are too small
+        # to measure fairly on shared runners).
+        "acceptance_pass": accepted["invalidation_ok"]
+        and (
+            args.smoke
+            or accepted["view_speedup_vs_cold_join_all"]
+            >= args.min_view_speedup
+        ),
+    }
+    if not summary["acceptance_pass"]:
+        print(
+            f"FAIL: service acceptance on {acceptance_workload}: "
+            f"view speedup {summary['view_speedup']:.1f}x "
+            f"(need ≥ {args.min_view_speedup}x), invalidation_ok="
+            f"{summary['invalidation_ok']}",
             file=sys.stderr,
         )
+    meta = {
+        "summary": summary,
+        "workloads": results,
+        "service_stats": results[acceptance_workload]["service_stats"],
+    }
+    return records, meta
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES) + ["all"],
+        default="all",
+        help="which registered suite to run (default: all)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes, no pytest sweep, no speedup gates (CI smoke job)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help=(
+            "trajectory output path (single suite only; default: the "
+            "suite's BENCH_<name>.json at the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="merge_engine acceptance floor for 200-schema join_all",
+    )
+    parser.add_argument(
+        "--min-view-speedup",
+        type=float,
+        default=10.0,
+        help="service acceptance floor: warm merged_view vs cold join_all",
+    )
+    parser.add_argument(
+        "--skip-pytest-suite",
+        action="store_true",
+        help="skip the per-file pytest sweep even in full mode",
+    )
+    args = parser.parse_args(argv)
+
+    selected = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.json and len(selected) > 1:
+        parser.error("--json requires a single --suite")
+
+    failed: List[str] = []
+    for name in selected:
+        entry = SUITES[name]
+        records, meta = entry.run(args)
+        out_path = args.json or os.path.join(_ROOT, entry.default_json)
+        write_trajectory(out_path, records, suite=name, meta=meta)
+        print(f"wrote {out_path}")
+        if meta.get("summary", {}).get("acceptance_pass") is False:
+            failed.append(name)
+    if failed:
+        print(f"acceptance failed: {', '.join(failed)}", file=sys.stderr)
         return 1
-    if "join_all_speedup" in summary:
-        print(f"join_all speedup: {summary['join_all_speedup']:.1f}x")
     return 0
 
 

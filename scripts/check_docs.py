@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Documentation checks: doctests green, referenced paths exist.
+
+Two passes, both exercised by the CI ``docs`` job and runnable locally
+with no arguments::
+
+    python scripts/check_docs.py
+
+1. **Doctests** — every module in :data:`DOCTEST_MODULES` is imported
+   and run through :func:`doctest.testmod`.  These are the ``>>>``
+   examples in the public-API docstrings (README quickstart claims
+   live here too: if an example in the docs rots, this fails).
+2. **Link check** — every markdown link target and every backticked
+   repo path in ``README.md`` and ``docs/*.md`` must exist on disk.
+   Only tokens under the known source roots are treated as paths, so
+   prose code spans (``repro.service``, shell invocations, generated
+   artifacts) are not false positives.
+
+Exit code: 0 all green, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+DOCTEST_MODULES = [
+    "repro.core.schema",
+    "repro.perf",
+    "repro.perf.interning",
+    "repro.perf.memo",
+    "repro.perf.closure",
+    "repro.perf.reference",
+    "repro.service",
+    "repro.service.service",
+    "repro.service.shards",
+    "repro.service.snapshots",
+]
+
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+# A backticked token is checked as a path only when it starts under one
+# of these roots (or is a tracked top-level file); everything else in
+# code spans is prose, shell, or a generated artifact.
+PATH_ROOTS = (
+    "src/",
+    "docs/",
+    "examples/",
+    "benchmarks/",
+    "tests/",
+    "scripts/",
+    ".github/",
+)
+TOP_LEVEL_FILES = {
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "SNIPPETS.md",
+    "pyproject.toml",
+    "setup.py",
+}
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+
+
+def check_doctests() -> int:
+    failures = 0
+    for module_name in DOCTEST_MODULES:
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module, verbose=False)
+        status = "ok" if result.failed == 0 else "FAIL"
+        print(
+            f"  doctest {module_name}: {result.attempted} examples {status}"
+        )
+        failures += result.failed
+    return failures
+
+
+def _candidate_paths(text: str):
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0], "link"
+    for match in CODE_SPAN.finditer(text):
+        # First shell word only: `benchmarks/runner.py --suite service`
+        # names the file, the rest is invocation.
+        token = match.group(1).split()[0] if match.group(1).split() else ""
+        token = token.split(":", 1)[0]  # `core/schema.py:_closure_index`
+        if token.startswith(PATH_ROOTS) or token in TOP_LEVEL_FILES:
+            yield token, "code span"
+
+
+def check_links() -> int:
+    failures = 0
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        seen = set()
+        for target, kind in _candidate_paths(text):
+            if target in seen:
+                continue
+            seen.add(target)
+            # Markdown links resolve relative to the containing file;
+            # backticked paths are written repo-relative.
+            base = doc.parent if kind == "link" else ROOT
+            resolved = (base / target).resolve()
+            if not resolved.exists() and not (ROOT / target).exists():
+                print(
+                    f"  BROKEN {kind} in {doc.relative_to(ROOT)}: {target}"
+                )
+                failures += 1
+        print(f"  links {doc.relative_to(ROOT)}: {len(seen)} checked")
+    return failures
+
+
+def main() -> int:
+    print("doctests:")
+    doctest_failures = check_doctests()
+    print("doc links:")
+    link_failures = check_links()
+    if doctest_failures or link_failures:
+        print(
+            f"FAIL: {doctest_failures} doctest failure(s), "
+            f"{link_failures} broken path(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("docs check: all green")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,18 @@ which is how every example in the paper is written down.
 
 Proper schemas (section 2) are weak schemas satisfying an extra
 canonicality condition; see :mod:`repro.core.proper`.
+
+>>> from repro.core.schema import Schema
+>>> g = Schema.build(arrows=[("Employee", "salary", "Int")],
+...                  spec=[("Manager", "Employee")])
+>>> g.has_arrow("Manager", "salary", "Int")  # W1: arrows are inherited
+True
+>>> sorted(str(c) for c in g.specializations_of("Employee"))
+['Employee', 'Manager']
+>>> g == Schema.build(arrows=[("Employee", "salary", "Int"),
+...                           ("Manager", "salary", "Int")],
+...                   spec=[("Manager", "Employee")])  # same closure
+True
 """
 
 from __future__ import annotations

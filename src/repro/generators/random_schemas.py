@@ -125,6 +125,7 @@ def random_schema_family(
     arrow_density: float = 0.15,
     spec_density: float = 0.1,
     seed: int = 0,
+    prefix: str = "C",
 ) -> List[Schema]:
     """A family of schemas over one shared class pool.
 
@@ -134,9 +135,13 @@ def random_schema_family(
     across the family so the union of their specialization relations is
     acyclic: the generated family is always *compatible* (benchmarks
     that want incompatibility construct it deliberately).
+
+    *prefix* names the pool; two families with different prefixes share
+    no class names at all, which is how the service benchmarks build
+    workloads with many independent components.
     """
     rng = random.Random(seed)
-    pool = _class_pool(pool_size, "C")
+    pool = _class_pool(pool_size, prefix)
     ranks = {cls: rng.randrange(4) for cls in pool}
     family: List[Schema] = []
     labels = _label_pool(n_labels)

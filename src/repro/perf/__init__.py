@@ -27,6 +27,17 @@ This ``__init__`` imports only the core-free primitives; the builder
 (which imports ``repro.core.schema``) loads lazily via PEP 562 so that
 the core modules themselves can import ``repro.perf.interning`` and
 ``repro.perf.memo`` without a cycle.
+
+>>> from repro.core import ordering  # registers its memo caches
+>>> from repro.perf import ClosureBuilder, clear_caches, engine_stats
+>>> sorted(engine_stats())
+['intern', 'memo']
+>>> clear_caches()  # cold-start; never changes any result
+>>> engine_stats()["memo"]["ordering.is_sub"]["size"]
+0
+>>> builder = ClosureBuilder().add_spec_edge("Puppy", "Dog")
+>>> builder.is_spec("Puppy", "Dog")
+True
 """
 
 from __future__ import annotations

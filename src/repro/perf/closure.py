@@ -143,6 +143,33 @@ class ClosureBuilder:
         self._raw_arrows |= schema.arrows
         return self
 
+    @property
+    def classes(self) -> FrozenSet[ClassName]:
+        """Every class registered so far (a snapshot, not a live view)."""
+        return frozenset(self._classes)
+
+    def clone(self) -> "ClosureBuilder":
+        """An independent copy sharing no mutable state with the original.
+
+        The copy costs one pass over the accumulated index and is the
+        substrate of transactional callers (``repro.service``): apply a
+        whole batch to a clone, then either swap it in or throw it away
+        — the original is never half-updated.
+
+        >>> from repro.perf.closure import ClosureBuilder
+        >>> original = ClosureBuilder().add_spec_edge("Puppy", "Dog")
+        >>> twin = original.clone()
+        >>> _ = twin.add_spec_edge("Dog", "Animal")
+        >>> original.is_spec("Dog", "Animal"), twin.is_spec("Dog", "Animal")
+        (False, True)
+        """
+        twin = ClosureBuilder()
+        twin._classes = set(self._classes)
+        twin._raw_arrows = set(self._raw_arrows)
+        twin._succ = {cls: set(sups) for cls, sups in self._succ.items()}
+        twin._pred = {cls: set(subs) for cls, subs in self._pred.items()}
+        return twin
+
     def is_spec(self, sub: ClassName, sup: ClassName) -> bool:
         """Does ``sub ==> sup`` hold in the accumulated closure?"""
         sub, sup = name(sub), name(sup)

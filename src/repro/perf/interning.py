@@ -19,6 +19,15 @@ only weakens the pointer-equality fast path: structural ``__eq__`` and
 eviction can never change a result.  That is the cache-invalidation
 story in one line — interned values are immutable, so there is nothing
 to invalidate, only memory to bound.  See ``docs/PERFORMANCE.md``.
+
+>>> table = InternTable("doc.example", maxsize=64, register=False)
+>>> canonical = table.put(("a", 1), ["payload"])
+>>> table.get(("a", 1)) is canonical  # callers get() before they put()
+True
+>>> table.get(("b", 2)) is None       # miss: construct, then put
+True
+>>> table.stats()["hits"], table.stats()["misses"]
+(1, 1)
 """
 
 from __future__ import annotations

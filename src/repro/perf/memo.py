@@ -13,6 +13,15 @@ bound.
 
 Like :mod:`repro.perf.interning`, this module must not import
 ``repro.core`` (the core imports *it*).
+
+>>> cache = MemoCache("doc.example", maxsize=32, register=False)
+>>> cache.get("key") is MemoCache.MISS  # a sentinel, so None is cacheable
+True
+>>> cache.put("key", None)
+>>> cache.get("key") is None
+True
+>>> cache.stats()["hits"], cache.stats()["misses"]
+(1, 1)
 """
 
 from __future__ import annotations

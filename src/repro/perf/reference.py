@@ -15,6 +15,13 @@ per-arrow ``below × above`` W1/W2 closure, a separate compatibility
 pass that closes the union specialization a second time, and per-arrow
 participation lookups in the lower merge.  Do not "optimize" them —
 their slowness is their purpose.
+
+>>> from repro.core.ordering import join_all
+>>> from repro.core.schema import Schema
+>>> pair = [Schema.build(arrows=[("A", "f", "B")]),
+...         Schema.build(spec=[("B", "C")])]
+>>> reference_join_all(pair) == join_all(pair)
+True
 """
 
 from __future__ import annotations

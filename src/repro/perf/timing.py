@@ -1,0 +1,54 @@
+"""The one wall-clock timing helper behind every benchmark path.
+
+``benchmarks/_timing.py`` (pytest conftest + runner) and
+:mod:`repro.service.bench` all measure through :func:`time_call`, so a
+change to timing semantics (warmup handling, per-run setup, what
+"best" means) lands everywhere at once and trajectory files stay
+byte-compatible across entry points.
+
+>>> timing = time_call(lambda: sum(range(100)), repeat=2, warmup=0)
+>>> sorted(timing)
+['best_s', 'mean_s', 'repeat', 'runs']
+>>> timing["repeat"], len(timing["runs"])
+(2, 2)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["time_call"]
+
+
+def time_call(
+    fn: Callable[[], Any],
+    repeat: int = 5,
+    warmup: int = 1,
+    setup: Optional[Callable[[], Any]] = None,
+) -> Dict[str, Any]:
+    """Best-of-*repeat* wall-clock timing of ``fn()``.
+
+    *setup* (when given) runs before every timed call, outside the
+    clock — used e.g. to clear the engine caches so a benchmark measures
+    the cold path on purpose.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    for _ in range(warmup):
+        if setup is not None:
+            setup()
+        fn()
+    runs: List[float] = []
+    for _ in range(repeat):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - start)
+    return {
+        "best_s": min(runs),
+        "mean_s": sum(runs) / len(runs),
+        "repeat": repeat,
+        "runs": runs,
+    }

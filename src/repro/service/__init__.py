@@ -1,0 +1,58 @@
+"""repro.service — the long-lived merge service.
+
+The core algebra answers "what is the merge of these schemas?" once;
+a system serving merged views to many users has to answer it millions
+of times while schemas keep arriving.  This layer keeps the expensive
+part — closure over all registered schemas — *incrementally maintained
+across requests* instead of recomputed per call:
+
+* **registry** (:class:`MergeService.register`) — batches of schemas
+  fold into per-component :class:`repro.perf.ClosureBuilder`\\ s and
+  commit atomically, rolling back without a trace when a batch member
+  is incompatible;
+* **component sharding** (:mod:`repro.service.shards`) — a union-find
+  over class-name overlap splits the registry into components that
+  merge independently, so an incoming schema only touches (and only
+  invalidates) its own component;
+* **snapshot caches** (:mod:`repro.service.snapshots`) —
+  ``merged_view`` and ``query`` answers are stamped with a monotone
+  generation counter and revalidated per shard, including partial-hit
+  reuse when only *other* shards changed.
+
+``schema-merge serve`` and ``schema-merge bench`` expose the service on
+the command line; :mod:`repro.service.bench` is the shared measurement
+driver; ``docs/SERVICE.md`` documents the architecture.
+
+>>> from repro.core.schema import Schema
+>>> from repro.service import MergeService
+>>> service = MergeService()
+>>> service.register([
+...     Schema.build(arrows=[("Dog", "owner", "Person")],
+...                  spec=[("Puppy", "Dog")]),
+...     Schema.build(arrows=[("Case", "judge", "Court")]),
+... ])
+{'accepted': 2, 'components': 2, 'generation': 1}
+>>> service.merged_view("Puppy").has_arrow("Puppy", "owner", "Person")
+True
+>>> service.query("Person")["arrows_in"]
+(('Dog', 'owner'), ('Puppy', 'owner'))
+>>> service.service_stats()["components"]
+2
+"""
+
+from __future__ import annotations
+
+from repro.service.bench import replay, run_bench
+from repro.service.service import MergeService
+from repro.service.shards import Shard, UnionFind, plan_groups
+from repro.service.snapshots import SnapshotCache
+
+__all__ = [
+    "MergeService",
+    "SnapshotCache",
+    "Shard",
+    "UnionFind",
+    "plan_groups",
+    "replay",
+    "run_bench",
+]

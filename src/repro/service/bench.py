@@ -1,0 +1,128 @@
+"""Service benchmark driver — replay request streams, measure, verify.
+
+Shared by ``schema-merge bench``, ``benchmarks/bench_service.py`` and
+``benchmarks/runner.py`` so every entry point measures the same thing:
+
+* **cold baseline** — ``join_all`` over the initial schemas with the
+  engine caches cleared first (what every request would cost without
+  the service);
+* **warm views** — repeated ``merged_view()`` after warm-up (the
+  steady-state request cost; the acceptance bar is ≥ 10x the baseline);
+* **replay** — the full mixed view/query/register stream, for
+  end-to-end request throughput;
+* **invalidation** — register one schema overlapping exactly one
+  component and count component-cache misses on a full re-scan: the
+  delta must be exactly 1 (only the touched component recomputes).
+
+Timings go through :func:`repro.perf.timing.time_call` — the same
+kernel behind ``benchmarks/_timing.py`` — so runner records fold in
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.ordering import join_all
+from repro.core.schema import Schema
+from repro.generators.workloads import get_request_stream
+from repro.perf import clear_caches
+from repro.perf.timing import time_call
+from repro.service.service import MergeService
+
+__all__ = ["replay", "run_bench"]
+
+
+def replay(service: MergeService, requests) -> Dict[str, int]:
+    """Run a request stream against *service*; returns per-kind counts."""
+    counts = {"view": 0, "query": 0, "register": 0}
+    for kind, payload in requests:
+        if kind == "view":
+            service.merged_view(payload)
+        elif kind == "query":
+            service.query(payload)
+        elif kind == "register":
+            service.register([payload])
+        else:  # pragma: no cover - malformed streams are a caller bug
+            raise ValueError(f"unknown request kind {kind!r}")
+        counts[kind] += 1
+    return counts
+
+
+def _invalidation_probe(service: MergeService) -> Schema:
+    """A fresh schema overlapping exactly one existing component."""
+    components = service.components()
+    sid = min(components)
+    anchor = next(iter(service.component_schemas(sid)[0].sorted_classes()))
+    return Schema.build(
+        arrows=[(str(anchor), "bench_probe", f"BenchProbe{sid}")]
+    )
+
+
+def run_bench(
+    workload: str = "service-mixed-200", repeat: int = 3
+) -> Dict[str, Any]:
+    """Measure a request-stream workload end to end.
+
+    Returns a JSON-able dict: ``timings`` (cold join_all, warm
+    merged_view, stream replay), ``summary`` (speedup, acceptance
+    verdicts), ``invalidation`` (the only-one-component check) and the
+    final ``service_stats()``.
+    """
+    stream = get_request_stream(workload)
+    initial, requests = stream.make()
+
+    cold = time_call(
+        lambda: join_all(initial), repeat=repeat, setup=clear_caches
+    )
+
+    service = MergeService(initial)
+    component_ids = sorted(service.components())
+    # Warm every per-component view plus the global one.
+    for sid in component_ids:
+        service.merged_view(sid)
+    service.merged_view()
+    warm = time_call(lambda: service.merged_view(), repeat=repeat, warmup=0)
+
+    replay_service = MergeService(initial)
+    stream_timing = time_call(
+        lambda: replay(replay_service, requests), repeat=1, warmup=0
+    )
+
+    # Invalidation: a registration must recompute only its component.
+    before = service.service_stats()["component_cache"]["misses"]
+    service.register([_invalidation_probe(service)])
+    for sid in sorted(service.components()):
+        service.merged_view(sid)
+    after = service.service_stats()["component_cache"]["misses"]
+    invalidation = {
+        "components": len(component_ids),
+        "component_cache_misses_delta": after - before,
+        "only_touched_component": (after - before) == 1,
+    }
+
+    speedup = (
+        cold["best_s"] / warm["best_s"] if warm["best_s"] > 0 else float("inf")
+    )
+    stats = replay_service.service_stats()
+    return {
+        "workload": workload,
+        "initial_schemas": len(initial),
+        "requests": len(requests),
+        "timings": {
+            "join_all_cold": cold,
+            "merged_view_warm": warm,
+            "stream_replay": stream_timing,
+        },
+        "summary": {
+            "view_speedup_vs_cold_join_all": speedup,
+            "requests_per_second": (
+                len(requests) / stream_timing["best_s"]
+                if stream_timing["best_s"] > 0
+                else float("inf")
+            ),
+            "invalidation_ok": invalidation["only_touched_component"],
+        },
+        "invalidation": invalidation,
+        "service_stats": stats,
+    }

@@ -1,0 +1,334 @@
+"""The long-lived merge service: registry, shards, snapshot caches.
+
+:class:`MergeService` turns the one-shot ``join_all`` pipeline into a
+registry-and-query engine.  Schemas are registered in batches; each
+batch folds into the per-component :class:`~repro.service.shards.Shard`
+builders (creating and merging shards as name overlap dictates) and
+either commits atomically or rolls back without a trace.  Queries are
+answered from generation-stamped snapshot caches
+(:mod:`repro.service.snapshots`), so a read-mostly workload costs a
+dictionary lookup per request, and a write invalidates only the
+component it touches.
+
+All public methods are thread-safe (one reentrant lock; registration
+and cache maintenance happen inside it).
+
+>>> from repro.core.schema import Schema
+>>> service = MergeService()
+>>> service.register([
+...     Schema.build(arrows=[("Dog", "owner", "Person")]),
+...     Schema.build(arrows=[("Case", "judge", "Court")]),
+... ])
+{'accepted': 2, 'components': 2, 'generation': 1}
+>>> service.merged_view("Dog").has_arrow("Dog", "owner", "Person")
+True
+>>> service.register([Schema.build(arrows=[("Person", "argues", "Case")])])
+{'accepted': 1, 'components': 1, 'generation': 2}
+>>> service.query("Dog")["component"] == service.query("Court")["component"]
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.names import ClassName, name
+from repro.core.schema import Schema
+from repro.perf.closure import ClosureBuilder
+from repro.service.shards import Shard, plan_groups
+from repro.service.snapshots import SnapshotCache
+
+__all__ = ["MergeService"]
+
+_MISS = SnapshotCache.MISS
+
+ComponentRef = Union[int, ClassName, str]
+
+
+class MergeService:
+    """A thread-safe registry of schemas serving merged views and queries.
+
+    *component_cache_size* bounds the per-shard merged-schema cache,
+    *snapshot_cache_size* the request-level answer cache; both are pure
+    memory ceilings — eviction costs a recomputation, never correctness.
+    """
+
+    def __init__(
+        self,
+        schemas: Iterable[Schema] = (),
+        *,
+        component_cache_size: int = 4096,
+        snapshot_cache_size: int = 256,
+    ):
+        self._lock = threading.RLock()
+        self._shards: Dict[int, Shard] = {}
+        self._class_to_sid: Dict[ClassName, int] = {}
+        self._next_sid = 0
+        self._generation = 0
+        self._registered = 0
+        self._requests = 0
+        self._component_cache = SnapshotCache(
+            "service.components", maxsize=component_cache_size
+        )
+        self._snapshot_cache = SnapshotCache(
+            "service.snapshots", maxsize=snapshot_cache_size
+        )
+        initial = list(schemas)
+        if initial:
+            self.register(initial)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, schemas: Iterable[Schema]) -> Dict[str, int]:
+        """Fold a batch of schemas into the registry — atomically.
+
+        The whole batch is applied to *clones* of the touched shards'
+        builders first; only if every schema folds in cleanly is the new
+        layout swapped in (one generation bump for the batch).  On
+        :class:`~repro.exceptions.IncompatibleSchemasError` nothing is
+        committed: shard layout, generation and every cached answer are
+        exactly as before the call.
+
+        Returns ``{"accepted", "components", "generation"}``.
+        """
+        incoming = list(schemas)
+        # Empty schemas assert nothing and belong to no component.
+        batch = [g for g in incoming if not g.is_empty()]
+        with self._lock:
+            if not batch:
+                return {
+                    "accepted": len(incoming),
+                    "components": len(self._shards),
+                    "generation": self._generation,
+                }
+            plans = plan_groups(batch, self._class_to_sid)
+            staged: List[Tuple[int, ClosureBuilder, List[Schema], List[int]]] = []
+            next_sid = self._next_sid
+            for existing_sids, batch_indices in plans:
+                absorbed = sorted(existing_sids)
+                if absorbed:
+                    # Grow the largest member in place (on a clone) and
+                    # fold the others' schemas into it.
+                    primary = max(
+                        absorbed, key=lambda sid: len(self._shards[sid].schemas)
+                    )
+                    builder = self._shards[primary].builder.clone()
+                    members = list(self._shards[primary].schemas)
+                    for sid in absorbed:
+                        if sid == primary:
+                            continue
+                        for schema in self._shards[sid].schemas:
+                            builder.add_schema(schema)
+                            members.append(schema)
+                    sid_for_group = min(absorbed)
+                else:
+                    builder = ClosureBuilder()
+                    members = []
+                    sid_for_group = next_sid
+                    next_sid += 1
+                for index in batch_indices:
+                    builder.add_schema(batch[index])
+                    members.append(batch[index])
+                staged.append((sid_for_group, builder, members, absorbed))
+            # Every fold succeeded: commit.
+            self._generation += 1
+            generation = self._generation
+            self._next_sid = next_sid
+            for sid, builder, members, absorbed in staged:
+                for old_sid in absorbed:
+                    del self._shards[old_sid]
+                self._shards[sid] = Shard(sid, builder, members, generation)
+                for cls in builder.classes:
+                    self._class_to_sid[cls] = sid
+            self._registered += len(batch)
+            return {
+                "accepted": len(incoming),
+                "components": len(self._shards),
+                "generation": generation,
+            }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _resolve_sid(self, component: ComponentRef) -> int:
+        if isinstance(component, int):
+            if component not in self._shards:
+                raise KeyError(f"unknown component id {component!r}")
+            return component
+        cls = name(component)
+        try:
+            return self._class_to_sid[cls]
+        except KeyError:
+            raise KeyError(f"no registered schema mentions class {cls}") from None
+
+    def _component_schema(self, sid: int) -> Schema:
+        """The merged view of one shard, through the component cache."""
+        shard = self._shards[sid]
+        cached = self._component_cache.lookup(sid, shard.generation)
+        if cached is not _MISS:
+            return cached
+        merged = shard.builder.build()
+        return self._component_cache.store(sid, merged, shard.generation)
+
+    def _global_view(self) -> Schema:
+        """The merged view of everything — disjoint union over shards."""
+        cached = self._snapshot_cache.lookup(("view", None), self._generation)
+        if cached is not _MISS:
+            return cached
+        if not self._shards:
+            merged = Schema.empty()
+        else:
+            parts = [self._component_schema(sid) for sid in self._shards]
+            classes = frozenset().union(*(p.classes for p in parts))
+            arrows = frozenset().union(*(p.arrows for p in parts))
+            spec = frozenset().union(*(p.spec for p in parts))
+            # Shards are class-disjoint, so the union of their closed
+            # components is itself closed — no re-closure needed.
+            merged = Schema._from_closed(classes, arrows, spec)
+        return self._snapshot_cache.store(
+            ("view", None), merged, self._generation
+        )
+
+    def merged_view(self, component: Optional[ComponentRef] = None) -> Schema:
+        """The merged schema of one component, or of the whole registry.
+
+        *component* may be a class name (the component containing it), a
+        shard id from :meth:`components`, or ``None`` for the disjoint
+        union of every component's merge — which equals the cold-path
+        ``join_all`` over all registered schemas.
+        """
+        with self._lock:
+            self._requests += 1
+            if component is None:
+                return self._global_view()
+            return self._component_schema(self._resolve_sid(component))
+
+    def query(self, cls: ClassName | str) -> Dict[str, Any]:
+        """Everything the merged view asserts about one class name.
+
+        The answer is cached per name and stamped with the shard it was
+        derived from; registrations in *other* components re-validate it
+        as a partial hit instead of recomputing.
+        """
+        with self._lock:
+            self._requests += 1
+            key_name = name(cls)
+            key = ("query", key_name)
+
+            def still_valid(stamp: Any) -> bool:
+                if stamp is None:
+                    return False
+                sid, shard_generation = stamp
+                shard = self._shards.get(sid)
+                return (
+                    shard is not None
+                    and self._class_to_sid.get(key_name) == sid
+                    and shard.generation == shard_generation
+                )
+
+            cached = self._snapshot_cache.lookup(
+                key, self._generation, still_valid
+            )
+            if cached is not _MISS:
+                return dict(cached)
+            sid = self._resolve_sid(key_name)
+            shard = self._shards[sid]
+            merged = self._component_schema(sid)
+            answer: Dict[str, Any] = {
+                "class": str(key_name),
+                "component": sid,
+                "component_schemas": len(shard.schemas),
+                "generalizations": tuple(
+                    sorted(
+                        str(c)
+                        for c in merged.generalizations_of(key_name)
+                        if c != key_name
+                    )
+                ),
+                "specializations": tuple(
+                    sorted(
+                        str(c)
+                        for c in merged.specializations_of(key_name)
+                        if c != key_name
+                    )
+                ),
+                "arrows_out": tuple(
+                    sorted(
+                        (label, str(target))
+                        for _s, label, target in merged.arrows_from(key_name)
+                    )
+                ),
+                "arrows_in": tuple(
+                    sorted(
+                        (str(source), label)
+                        for source, label, _t in merged.arrows_into(key_name)
+                    )
+                ),
+            }
+            self._snapshot_cache.store(
+                key, answer, self._generation, stamp=(sid, shard.generation)
+            )
+            return dict(answer)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def component_of(self, cls: ClassName | str) -> Optional[int]:
+        """The shard id owning *cls*, or ``None`` if the name is unknown."""
+        with self._lock:
+            return self._class_to_sid.get(name(cls))
+
+    def components(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard summary: class count, member schemas, last mutation."""
+        with self._lock:
+            return {
+                sid: {
+                    "classes": len(shard.builder.classes),
+                    "schemas": len(shard.schemas),
+                    "generation": shard.generation,
+                }
+                for sid, shard in sorted(self._shards.items())
+            }
+
+    def component_schemas(self, component: ComponentRef) -> Tuple[Schema, ...]:
+        """The registered schemas that make up one component."""
+        with self._lock:
+            return tuple(self._shards[self._resolve_sid(component)].schemas)
+
+    def service_stats(self) -> Dict[str, Any]:
+        """Operational counters: components, generation, cache hit rates.
+
+        Fields: ``components``, ``registered_schemas``, ``generation``
+        (bumped once per committed register batch), ``requests_served``
+        (``merged_view`` + ``query`` calls, cached or not), and the
+        ``component_cache`` / ``snapshot_cache`` counter blocks
+        (``size``/``maxsize``/``hits``/``misses``/``partial_hits``).
+        """
+        with self._lock:
+            return {
+                "components": len(self._shards),
+                "registered_schemas": self._registered,
+                "generation": self._generation,
+                "requests_served": self._requests,
+                "component_cache": self._component_cache.stats(),
+                "snapshot_cache": self._snapshot_cache.stats(),
+            }
+
+    def clear_caches(self) -> None:
+        """Drop every cached answer (recomputed on demand; never unsafe)."""
+        with self._lock:
+            self._component_cache.clear()
+            self._snapshot_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        with self._lock:
+            return (
+                f"MergeService(schemas={self._registered}, "
+                f"components={len(self._shards)}, "
+                f"generation={self._generation})"
+            )

@@ -1,0 +1,142 @@
+"""Component sharding: which schemas can possibly interact under merge.
+
+Two weak schemas influence each other's join only through shared class
+names — every specialization edge and arrow mentions only the schema's
+own classes, so the least upper bound of a family factors into
+independent joins of its *name-overlap components*.  The service
+exploits exactly that: each component is a shard with its own
+:class:`repro.perf.closure.ClosureBuilder`, a registration touches only
+the shards its class names reach, and closure work never crosses a
+component boundary.
+
+:func:`plan_groups` is the pure planning half: given the current
+class → shard assignment and a batch of new schemas, it unions shards
+and batch members into groups without mutating anything, so the caller
+can apply (or abandon) the whole batch atomically.
+
+>>> from repro.core.schema import Schema
+>>> pets = Schema.build(arrows=[("Dog", "owner", "Person")])
+>>> court = Schema.build(arrows=[("Case", "judge", "Court")])
+>>> plan_groups([pets, court], {})
+[(set(), [0]), (set(), [1])]
+>>> bridge = Schema.build(arrows=[("Person", "argues", "Case")])
+>>> existing = {c: 0 for c in pets.classes} | {c: 1 for c in court.classes}
+>>> plan_groups([bridge], existing)
+[({0, 1}, [0])]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+from repro.core.names import ClassName
+from repro.core.schema import Schema
+from repro.perf.closure import ClosureBuilder
+
+__all__ = ["Shard", "UnionFind", "plan_groups"]
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable nodes (path-halving find)."""
+
+    __slots__ = ("_parent",)
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+
+    def find(self, node: Hashable) -> Hashable:
+        parent = self._parent
+        if node not in parent:
+            parent[node] = node
+            return node
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(self, left: Hashable, right: Hashable) -> Hashable:
+        """Merge the two sets; returns the surviving root."""
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left != root_right:
+            self._parent[root_right] = root_left
+        return root_left
+
+    def groups(self) -> Dict[Hashable, List[Hashable]]:
+        """Every node, grouped by root (roots included in their group)."""
+        out: Dict[Hashable, List[Hashable]] = {}
+        for node in self._parent:
+            out.setdefault(self.find(node), []).append(node)
+        return out
+
+
+class Shard:
+    """One name-overlap component: its builder, members and mutation stamp.
+
+    *generation* is the service generation of the last mutation; the
+    snapshot caches compare against it to decide whether an answer
+    derived from this shard is still current.
+    """
+
+    __slots__ = ("sid", "builder", "schemas", "generation")
+
+    def __init__(
+        self,
+        sid: int,
+        builder: ClosureBuilder,
+        schemas: List[Schema],
+        generation: int,
+    ):
+        self.sid = sid
+        self.builder = builder
+        self.schemas = schemas
+        self.generation = generation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"Shard(sid={self.sid}, schemas={len(self.schemas)}, "
+            f"generation={self.generation})"
+        )
+
+
+def plan_groups(
+    batch: Sequence[Schema],
+    class_to_sid: Dict[ClassName, int],
+) -> List[Tuple[Set[int], List[int]]]:
+    """Plan how a batch folds into the existing shard layout (pure).
+
+    Returns one ``(existing_sids, batch_indices)`` tuple per group that
+    contains at least one batch schema, in first-touch order: the shards
+    the group absorbs (possibly none) and the batch members that land in
+    it.  Batch schemas sharing a class — directly or through a chain of
+    existing shards — end up in the same group.  Shards untouched by the
+    batch are not reported.
+    """
+    uf = UnionFind()
+    first_claim: Dict[ClassName, Tuple[str, int]] = {}
+    for index, schema in enumerate(batch):
+        node = ("new", index)
+        uf.find(node)
+        for cls in schema.classes:
+            sid = class_to_sid.get(cls)
+            if sid is not None:
+                uf.union(node, ("shard", sid))
+            else:
+                claimant = first_claim.setdefault(cls, node)
+                if claimant != node:
+                    uf.union(node, claimant)
+    plans: List[Tuple[Set[int], List[int]]] = []
+    by_root: Dict[Hashable, Tuple[Set[int], List[int]]] = {}
+    for index in range(len(batch)):
+        root = uf.find(("new", index))
+        plan = by_root.get(root)
+        if plan is None:
+            plan = by_root[root] = (set(), [])
+            plans.append(plan)
+        plan[1].append(index)
+    for kind, value in uf._parent:
+        if kind == "shard":
+            root = uf.find((kind, value))
+            plan = by_root.get(root)
+            if plan is not None:
+                plan[0].add(value)
+    return plans

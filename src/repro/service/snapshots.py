@@ -1,0 +1,132 @@
+"""Generation-stamped snapshot caches for the merge service.
+
+The engine-level caches (:mod:`repro.perf.memo`) never invalidate —
+their keys are immutable values.  A *service* cache is different: the
+answer to ``merged_view("Dog")`` depends on which schemas have been
+registered so far, so every entry is stamped with the generation it was
+computed at and checked against the current generation on lookup.
+
+Three outcomes per lookup:
+
+* **hit** — the entry's generation equals the current one: nothing has
+  been registered since, the answer is trivially current;
+* **partial hit** — the generation moved on, but the caller's
+  ``still_valid(stamp)`` predicate proves the entry's inputs did not
+  (only *other* shards changed).  The entry is re-stamped to the
+  current generation and reused — this is what makes a mostly-read
+  service cheap even under a trickle of writes to unrelated components;
+* **miss** — no entry, or the entry's inputs really changed.
+
+>>> cache = SnapshotCache("example", maxsize=8)
+>>> cache.lookup("answer", generation=1) is SnapshotCache.MISS
+True
+>>> cache.store("answer", 42, generation=1, stamp=("shard", 1))
+42
+>>> cache.lookup("answer", generation=1)
+42
+>>> cache.lookup("answer", generation=2, still_valid=lambda s: True)
+42
+>>> cache.stats()["partial_hits"]
+1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional
+
+__all__ = ["SnapshotCache"]
+
+
+class _Miss:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "<SnapshotCache.MISS>"
+
+
+class SnapshotCache:
+    """A bounded LRU of generation-stamped answers.
+
+    Entries are ``(value, generation, stamp)``; *stamp* is an opaque
+    caller-supplied fingerprint of the entry's inputs (e.g. the shard id
+    and shard generation an answer was derived from), consulted by the
+    partial-hit predicate.  ``lookup`` returns :data:`SnapshotCache.MISS`
+    on a miss so ``None``/``False`` values are cacheable.
+    """
+
+    MISS = _Miss()
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "partial_hits", "_table")
+
+    def __init__(self, name: str, maxsize: int = 256):
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.partial_hits = 0
+        self._table: Dict[Hashable, Any] = {}
+
+    def lookup(
+        self,
+        key: Hashable,
+        generation: int,
+        still_valid: Optional[Callable[[Any], bool]] = None,
+    ) -> Any:
+        """The cached answer for *key* at *generation*, or ``MISS``.
+
+        *still_valid* receives the entry's stamp when the generation has
+        moved on; returning ``True`` means the entry's inputs are
+        untouched, so the answer is reused (and re-stamped) as a partial
+        hit.  Stale entries are dropped on sight.
+        """
+        table = self._table
+        entry = table.pop(key, None)
+        if entry is None:
+            self.misses += 1
+            return SnapshotCache.MISS
+        value, stamped_generation, stamp = entry
+        if stamped_generation == generation:
+            self.hits += 1
+            table[key] = entry
+            return value
+        if still_valid is not None and still_valid(stamp):
+            self.partial_hits += 1
+            table[key] = (value, generation, stamp)
+            return value
+        self.misses += 1
+        return SnapshotCache.MISS
+
+    def store(
+        self,
+        key: Hashable,
+        value: Any,
+        generation: int,
+        stamp: Any = None,
+    ) -> Any:
+        """Record *value* for *key* at *generation* (evicting LRU-first)."""
+        table = self._table
+        while len(table) >= self.maxsize:
+            try:
+                table.pop(next(iter(table)), None)
+            except (StopIteration, RuntimeError):
+                # Concurrent clear/resize mid-scan; eviction is
+                # best-effort, correctness never depends on it.
+                break
+        table[key] = (value, generation, stamp)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are telemetry)."""
+        self._table.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._table),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "partial_hits": self.partial_hits,
+        }

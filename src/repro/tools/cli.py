@@ -18,6 +18,8 @@ workflow over JSON schema files and deterministic text/DOT rendering:
     schema-merge fuse --source g1.json:i1.json \
                       --source g2.json:i2.json \
                       --value-class SSN            # §5 entity resolution
+    schema-merge serve g1.json g2.json             # long-lived service REPL
+    schema-merge bench --workload service-tiny     # service benchmark
 
 Exit codes: 0 success, 1 merge failure (incompatible/inconsistent), 2
 bad input.  All subcommands read/write the JSON dialect of
@@ -108,6 +110,13 @@ def _write_or_print(text: str, output: Optional[str]) -> None:
         Path(output).write_text(text + "\n")
     else:
         print(text)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -236,6 +245,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuse_cmd.add_argument(
         "-o", "--output", help="write the fused instance JSON here"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "long-lived merge service: register schemas, then answer "
+            "view/query commands from stdin until quit/EOF"
+        ),
+    )
+    serve.add_argument(
+        "schemas", nargs="*", help="JSON schema files to pre-register"
+    )
+    serve.add_argument(
+        "--workload",
+        metavar="STREAM",
+        help=(
+            "pre-register the initial schemas of a named request stream "
+            "(see repro.generators.workloads.REQUEST_STREAMS)"
+        ),
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="measure the merge service against a named request stream",
+    )
+    bench.add_argument(
+        "--workload",
+        default="service-sharded-200",
+        metavar="STREAM",
+        help="request stream to replay (default: the acceptance workload)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=3,
+        help="timing repetitions (default 3)",
+    )
+    bench.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        help="write the full benchmark record here as JSON",
     )
 
     return parser
@@ -415,6 +466,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "bench":
+        return _bench(args)
+
     if args.command == "dot":
         from repro.models.oo import OODiagram, to_schema as oo_to_schema
 
@@ -435,6 +492,148 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise SchemaError(f"unknown command {args.command!r}")
+
+
+_SERVE_HELP = """\
+commands:
+  register FILE [FILE...]   fold schema files into the registry (atomic batch)
+  view [CLASS|#SID]         merged view of one component (or of everything)
+  query CLASS               what the merged view asserts about CLASS
+  components                per-component summary
+  stats                     service_stats() as JSON
+  help                      this text
+  quit                      exit (EOF works too)"""
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """The ``serve`` REPL: a MergeService driven by stdin commands."""
+    import json as _json
+
+    from repro.service import MergeService
+
+    service = MergeService()
+    initial = [_load_schema(path) for path in args.schemas]
+    if args.workload:
+        from repro.generators.workloads import get_request_stream
+
+        try:
+            stream = get_request_stream(args.workload)
+        except KeyError as exc:
+            raise SchemaError(str(exc)) from None
+        initial += stream.make()[0]
+    if initial:
+        outcome = service.register(initial)
+        print(
+            f"registered {outcome['accepted']} schemas in "
+            f"{outcome['components']} components"
+        )
+    prompt = "serve> " if sys.stdin.isatty() else ""
+    while True:
+        try:
+            line = input(prompt)
+        except EOFError:
+            return 0
+        words = line.split()
+        if not words:
+            continue
+        command, rest = words[0].lower(), words[1:]
+        try:
+            if command in ("quit", "exit"):
+                return 0
+            elif command == "help":
+                print(_SERVE_HELP)
+            elif command == "register":
+                if not rest:
+                    print("register takes at least one schema file")
+                    continue
+                outcome = service.register(
+                    [_load_schema(path) for path in rest]
+                )
+                print(
+                    f"generation {outcome['generation']}: "
+                    f"{outcome['components']} components"
+                )
+            elif command == "view":
+                target = rest[0] if rest else None
+                if target is not None and target.startswith("#"):
+                    target = int(target[1:])
+                merged = service.merged_view(target)
+                title = (
+                    "merged view (all components)"
+                    if target is None
+                    else f"merged view of {rest[0]}"
+                )
+                print(render_schema(merged, title))
+            elif command == "query":
+                if len(rest) != 1:
+                    print("query takes exactly one class name")
+                    continue
+                print(_json.dumps(service.query(rest[0]), indent=2))
+            elif command == "components":
+                for sid, info in service.components().items():
+                    print(
+                        f"  #{sid}: {info['schemas']} schemas, "
+                        f"{info['classes']} classes, "
+                        f"generation {info['generation']}"
+                    )
+            elif command == "stats":
+                print(_json.dumps(service.service_stats(), indent=2))
+            else:
+                print(f"unknown command {command!r} (try: help)")
+        except (SchemaError, KeyError, ValueError, OSError) as exc:
+            # The service survives bad requests; report and keep serving.
+            message = (
+                exc.args[0]
+                if isinstance(exc, KeyError) and exc.args
+                else exc
+            )
+            print(f"error: {message}")
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand: run and summarize one request stream."""
+    import json as _json
+
+    from repro.service import run_bench
+
+    try:
+        result = run_bench(args.workload, repeat=args.repeat)
+    except KeyError as exc:
+        raise SchemaError(str(exc)) from None
+    summary = result["summary"]
+    timings = result["timings"]
+    print(f"workload: {result['workload']}")
+    print(
+        f"  initial schemas: {result['initial_schemas']}, "
+        f"requests: {result['requests']}, "
+        f"components: {result['invalidation']['components']}"
+    )
+    print(
+        f"  cold join_all:      {timings['join_all_cold']['best_s'] * 1e3:9.2f} ms"
+    )
+    print(
+        f"  warm merged_view:   {timings['merged_view_warm']['best_s'] * 1e6:9.2f} us"
+    )
+    print(
+        f"  view speedup:       {summary['view_speedup_vs_cold_join_all']:9.1f}x"
+    )
+    print(
+        f"  stream throughput:  {summary['requests_per_second']:9.0f} req/s"
+    )
+    print(
+        "  invalidation:       "
+        + (
+            "only the touched component recomputed"
+            if summary["invalidation_ok"]
+            else "FAILED — untouched components recomputed"
+        )
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            _json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_out}")
+    return 0 if summary["invalidation_ok"] else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

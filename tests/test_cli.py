@@ -352,3 +352,118 @@ class TestShowInstance:
         assert main(["show", str(path)]) == 0
         out = capsys.readouterr().out
         assert "objects (1):" in out
+
+
+class TestServe:
+    @pytest.fixture
+    def service_files(self, tmp_path):
+        pets = Schema.build(
+            arrows=[("Dog", "owner", "Person")], spec=[("Puppy", "Dog")]
+        )
+        court = Schema.build(arrows=[("Case", "judge", "Court")])
+        pets_path = tmp_path / "pets.json"
+        court_path = tmp_path / "court.json"
+        pets_path.write_text(json_io.dumps(pets))
+        court_path.write_text(json_io.dumps(court))
+        return pets_path, court_path
+
+    def run_session(self, monkeypatch, argv, script):
+        import io
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(script))
+        return main(argv)
+
+    def test_session_views_queries_and_quits(
+        self, service_files, monkeypatch, capsys
+    ):
+        pets_path, court_path = service_files
+        script = "components\nview Dog\nquery Person\nstats\nquit\n"
+        assert (
+            self.run_session(
+                monkeypatch,
+                ["serve", str(pets_path), str(court_path)],
+                script,
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "registered 2 schemas in 2 components" in out
+        assert "Puppy --owner--> Person" in out
+        assert '"arrows_in"' in out
+        assert '"requests_served": 2' in out
+
+    def test_session_registers_mid_flight(
+        self, service_files, monkeypatch, capsys, tmp_path
+    ):
+        pets_path, court_path = service_files
+        bridge = Schema.build(arrows=[("Person", "argues", "Case")])
+        bridge_path = tmp_path / "bridge.json"
+        bridge_path.write_text(json_io.dumps(bridge))
+        script = f"register {bridge_path}\ncomponents\nquit\n"
+        assert (
+            self.run_session(
+                monkeypatch,
+                ["serve", str(pets_path), str(court_path)],
+                script,
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "generation 2: 1 components" in out
+
+    def test_session_survives_bad_requests(
+        self, service_files, monkeypatch, capsys
+    ):
+        pets_path, _ = service_files
+        script = "query Unicorn\nbogus\nview Dog\n"  # EOF ends the session
+        assert (
+            self.run_session(monkeypatch, ["serve", str(pets_path)], script)
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "error: no registered schema mentions class Unicorn" in out
+        assert "unknown command 'bogus'" in out
+        assert "Dog --owner--> Person" in out
+
+    def test_workload_preload(self, monkeypatch, capsys):
+        script = "stats\nquit\n"
+        assert (
+            self.run_session(
+                monkeypatch,
+                ["serve", "--workload", "service-tiny"],
+                script,
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "registered 12 schemas" in out
+
+
+class TestBench:
+    def test_bench_writes_summary_and_json(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--workload",
+                    "service-tiny",
+                    "--repeat",
+                    "1",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "workload: service-tiny" in out
+        assert "view speedup:" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["invalidation_ok"] is True
+        assert payload["service_stats"]["requests_served"] > 0
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["bench", "--workload", "nope"]) == 1
+        assert "unknown request stream" in capsys.readouterr().err
