@@ -18,7 +18,10 @@ Current suites:
   replaying named request streams (:mod:`repro.generators.workloads`).
   Acceptance: warm ``merged_view`` ≥ ``--min-view-speedup`` (10x) over
   cold ``join_all`` on the 200-schema sharded workload, and a
-  registration must invalidate only its own component.
+  registration must invalidate only its own component.  Replays run
+  with telemetry on, so records carry p50/p95/p99 request latencies and
+  cache hit rates, and the acceptance workload's spans + metrics land
+  in ``TELEMETRY_service.jsonl`` (uploaded by the CI smoke job).
 
 Usage::
 
@@ -65,7 +68,11 @@ ACCEPTANCE_SIZE = 200
 
 # Suites whose bench_*.py files time through the conftest ``perf_record``
 # fixture (--bench-json) rather than pytest-benchmark.
-_CONFTEST_TIMER_SUITES = {"bench_merge_engine", "bench_service"}
+_CONFTEST_TIMER_SUITES = {
+    "bench_merge_engine",
+    "bench_obs_overhead",
+    "bench_service",
+}
 
 SuiteResult = Tuple[List[Dict[str, Any]], Dict[str, Any]]
 
@@ -343,15 +350,25 @@ def service_suite(args: argparse.Namespace) -> SuiteResult:
     )
     repeat = 2 if args.smoke else 3
 
+    telemetry_path = os.path.join(_ROOT, "TELEMETRY_service.jsonl")
+    try:
+        os.unlink(telemetry_path)
+    except OSError:
+        pass
+
     records: List[Dict[str, Any]] = []
     results: Dict[str, Any] = {}
     print("merge service:")
     for workload in workloads:
-        result = run_bench(workload, repeat=repeat)
+        is_acceptance = workload == acceptance_workload
+        result = run_bench(
+            workload,
+            repeat=repeat,
+            telemetry_jsonl=telemetry_path if is_acceptance else None,
+        )
         results[workload] = result
         summary = result["summary"]
         timings = result["timings"]
-        is_acceptance = workload == acceptance_workload
         print(
             f"  {workload}: warm view "
             f"{summary['view_speedup_vs_cold_join_all']:.0f}x vs cold "
@@ -386,6 +403,8 @@ def service_suite(args: argparse.Namespace) -> SuiteResult:
                 timings["stream_replay"],
                 requests=result["requests"],
                 requests_per_second=summary["requests_per_second"],
+                latency=result["latency"],
+                cache_hit_rates=result["cache_hit_rates"],
             )
         )
 
@@ -395,6 +414,9 @@ def service_suite(args: argparse.Namespace) -> SuiteResult:
         "acceptance_workload": acceptance_workload,
         "view_speedup": accepted["view_speedup_vs_cold_join_all"],
         "invalidation_ok": accepted["invalidation_ok"],
+        "latency": results[acceptance_workload]["latency"],
+        "cache_hit_rates": results[acceptance_workload]["cache_hit_rates"],
+        "telemetry_jsonl": os.path.basename(telemetry_path),
         "min_view_speedup_required": (
             None if args.smoke else args.min_view_speedup
         ),

@@ -32,11 +32,18 @@ sys.path.insert(0, str(ROOT / "src"))
 
 DOCTEST_MODULES = [
     "repro.core.schema",
+    "repro.obs",
+    "repro.obs.exporters",
+    "repro.obs.instrument",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
     "repro.perf",
     "repro.perf.interning",
     "repro.perf.memo",
     "repro.perf.closure",
     "repro.perf.reference",
+    "repro.perf.timing",
+    "repro.sentinels",
     "repro.service",
     "repro.service.service",
     "repro.service.shards",

@@ -58,6 +58,8 @@ from repro.core.ordering import compatible, is_sub, join, join_all, meet
 from repro.core.participation import Participation
 from repro.core.proper import canonical_arrows, canonical_class, is_proper
 from repro.core.schema import Schema
+from repro import obs
+from repro.obs import span
 from repro.tools.session import IntegrationSession
 from repro.exceptions import (
     IncompatibleSchemasError,
@@ -116,7 +118,9 @@ __all__ = [
     "merge_report",
     "minimal_satisfactory_assignment",
     "name",
+    "obs",
     "properize",
+    "span",
     "strip_implicits",
     "upper_merge",
     "validate_merge_concept",

@@ -1,0 +1,176 @@
+"""Exporters: JSONL event/span logs and Prometheus-style text dumps.
+
+Two machine formats over the same instruments:
+
+* :class:`JsonlExporter` — one JSON object per line, written to a file
+  (with optional size-based rotation) or handed to a callback sink.
+  Three record types: ``span`` (attach ``export_span`` as a tracer
+  sink), ``event`` (ad-hoc structured log lines) and ``metrics`` (a
+  full registry snapshot).  :func:`parse_jsonl` reads any of them back.
+* :func:`prometheus_text` — the text exposition format (``# TYPE``
+  headers, ``{label="..."}`` series, ``_bucket``/``_sum``/``_count``
+  expansions for histograms), for scraping or a human ``repro stats``.
+
+>>> lines = []
+>>> exporter = JsonlExporter(lines.append)
+>>> registry = MetricsRegistry()
+>>> registry.counter("demo.events", kind="doc").inc(3)
+>>> exporter.export_event("doc.start", run=1)
+>>> exporter.export_metrics(registry)
+>>> [record["type"] for record in parse_jsonl(lines)]
+['event', 'metrics']
+>>> parse_jsonl(lines)[1]["instruments"][0]["value"]
+3
+>>> print(prometheus_text(registry))
+# TYPE demo_events counter
+demo_events{kind="doc"} 3
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.metrics import REGISTRY, Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+__all__ = [
+    "JsonlExporter",
+    "parse_jsonl",
+    "prometheus_text",
+]
+
+
+class JsonlExporter:
+    """Write spans, events and metrics snapshots as JSON lines.
+
+    *target* is a path (opened in append mode, created on demand) or a
+    callable receiving each serialized line.  With a path target,
+    *max_bytes* enables single-backup rotation: when the file grows
+    past the bound it is renamed to ``<path>.1`` (replacing any
+    previous backup) and a fresh file is started — a crude but
+    dependency-free cap on disk use for long-lived services.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, Any],
+        max_bytes: Optional[int] = None,
+    ):
+        if callable(target):
+            self._sink = target
+            self._path = None
+            self._handle = None
+        else:
+            self._sink = None
+            self._path = Path(target)
+            self._handle = self._path.open("a", encoding="utf-8")
+        self.max_bytes = max_bytes
+        self.lines_written = 0
+
+    def _emit(self, payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, sort_keys=True, default=str)
+        if self._sink is not None:
+            self._sink(line)
+        else:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if (
+                self.max_bytes is not None
+                and self._handle.tell() > self.max_bytes
+            ):
+                self._rotate()
+        self.lines_written += 1
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        os.replace(self._path, f"{self._path}.1")
+        self._handle = self._path.open("a", encoding="utf-8")
+
+    def export_span(self, finished: Span) -> None:
+        """Serialize one finished span (attach as a tracer sink)."""
+        self._emit({"type": "span", **finished.to_dict()})
+
+    def export_event(self, name: str, **fields: Any) -> None:
+        """One ad-hoc structured event line."""
+        self._emit({"type": "event", "name": name, **fields})
+
+    def export_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        """A full snapshot of *registry* (default: the global one)."""
+        registry = REGISTRY if registry is None else registry
+        self._emit({"type": "metrics", "instruments": registry.snapshot()})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def parse_jsonl(source: Union[str, Path, Iterable[str]]) -> List[Dict[str, Any]]:
+    """Read a JSONL telemetry log back into dicts (path or lines).
+
+    Blank lines are skipped; anything else must be valid JSON — the
+    exporter wrote it, so a parse error means a truncated or foreign
+    file and deserves to surface.
+    """
+    if isinstance(source, (str, Path)):
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = list(source)
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, Any], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if value is math.inf:
+        return "+Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format."""
+    registry = REGISTRY if registry is None else registry
+    out: List[str] = []
+    typed: set = set()
+    for instrument in registry.instruments():
+        name = _prom_name(instrument.name)
+        labels = dict(instrument.labels)
+        # One TYPE header per family: labelled series of the same
+        # instrument (e.g. memo_hits{cache=...}) share it.
+        if name not in typed:
+            typed.add(name)
+            out.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.buckets():
+                series = _prom_labels(labels, f'le="{_prom_value(bound)}"')
+                out.append(f"{name}_bucket{series} {cumulative}")
+            out.append(f"{name}_sum{_prom_labels(labels)} {instrument.sum!r}")
+            out.append(f"{name}_count{_prom_labels(labels)} {instrument.count}")
+        else:
+            out.append(
+                f"{name}{_prom_labels(labels)} {_prom_value(instrument.value)}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,266 @@
+"""Tracing spans: parent-linked timed regions with thread-local nesting.
+
+:func:`span` is the whole API: a context manager that times a named
+region and links it to whatever span is currently open *on the same
+thread*, so one instrumented request produces a tree showing exactly
+where its time went::
+
+    with span("service.register", schemas=3):
+        with span("service.plan"):
+            ...
+        with span("service.rebuild", component=2):
+            ...
+
+Finished spans flow to the process :class:`Tracer`: a bounded ring of
+recent spans (for the CLI / REPL) plus fan-out sinks (the JSONL
+exporter).  When the global switch (:mod:`repro.obs._state`) is off,
+``span()`` returns one shared no-op singleton — **no Span object is
+allocated**, which is the disabled-mode guarantee the regression tests
+pin down.
+
+>>> from repro.obs import _state
+>>> _state.set_enabled(True)
+>>> tracer().clear()
+>>> with span("doc.parent", job="demo"):
+...     with span("doc.child"):
+...         pass
+>>> child, parent = tracer().spans()[-2:]   # children finish first
+>>> (child.name, parent.name, child.parent_id == parent.span_id)
+('doc.child', 'doc.parent', True)
+>>> child.trace_id == parent.trace_id and parent.parent_id is None
+True
+>>> _state.set_enabled(False)
+>>> span("doc.off") is span("doc.also-off")   # one shared no-op handle
+True
+>>> tracer().clear()
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs import _state
+
+__all__ = ["Span", "Tracer", "render_spans", "span", "tracer"]
+
+_IDS = itertools.count(1)
+_STACKS = threading.local()
+
+
+class Span:
+    """One finished (or in-flight) timed region.
+
+    ``start_s``/``end_s`` are ``time.perf_counter`` readings (durations
+    only); ``ts`` is the wall-clock epoch second the span started, for
+    log correlation.  ``parent_id`` is ``None`` on trace roots.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "ts",
+        "start_s",
+        "end_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+    ):
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.ts = time.time()
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        duration = self.duration_s
+        timing = f"{duration * 1e6:.1f}us" if duration is not None else "open"
+        return f"Span({self.name}, {timing})"
+
+
+class _NullSpan:
+    """The shared no-op handle returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Single-use context manager that opens/closes one live span."""
+
+    __slots__ = ("_name", "_attrs", "_span")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        stack = getattr(_STACKS, "spans", None)
+        if stack is None:
+            stack = _STACKS.spans = []
+        if stack:
+            parent = stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = next(_IDS), None
+        self._span = opened = Span(
+            self._name, self._attrs, trace_id, next(_IDS), parent_id
+        )
+        stack.append(opened)
+        return opened
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        closed = self._span
+        closed.end_s = time.perf_counter()
+        if exc is not None:
+            closed.attrs["error"] = repr(exc)
+        stack = _STACKS.spans
+        if stack and stack[-1] is closed:
+            stack.pop()
+        else:  # pragma: no cover - exit order broke; drop defensively
+            try:
+                stack.remove(closed)
+            except ValueError:
+                pass
+        TRACER._finish(closed)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Open a timed, parent-linked span (no-op singleton when disabled).
+
+    Use as a context manager; the entered value is the live
+    :class:`Span` (attach attributes with ``.set``) or the shared
+    null handle when telemetry is off.
+    """
+    if not _state.enabled:
+        return _NULL_SPAN
+    return _SpanHandle(name, attrs)
+
+
+class Tracer:
+    """Collects finished spans: a bounded ring plus fan-out sinks."""
+
+    def __init__(self, capacity: int = 2048):
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=capacity)
+        self._sinks: List[Any] = []
+        self.dropped_sink_errors = 0
+
+    def _finish(self, finished: Span) -> None:
+        with self._lock:
+            self._recent.append(finished)
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(finished)
+            except Exception:  # noqa: BLE001 - a broken sink must not
+                self.dropped_sink_errors += 1  # break the traced code
+
+    def add_sink(self, sink) -> None:
+        """Register a callable receiving every finished :class:`Span`."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def spans(self) -> List[Span]:
+        """The retained recent spans, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+
+
+TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-global :class:`Tracer`."""
+    return TRACER
+
+
+def render_spans(spans: Iterable[Span]) -> str:
+    """Render finished spans as indented per-trace trees.
+
+    Orphans (parents evicted from the ring) are shown as roots; spans
+    are ordered by start time within each level.
+    """
+    pool = list(spans)
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    ids = {entry.span_id for entry in pool}
+    for entry in pool:
+        parent = entry.parent_id if entry.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(entry)
+    lines: List[str] = []
+
+    def walk(parent_id: Optional[int], depth: int) -> None:
+        for entry in sorted(
+            by_parent.get(parent_id, []), key=lambda s: s.start_s
+        ):
+            duration = entry.duration_s
+            timing = (
+                f"{duration * 1e3:.3f} ms" if duration is not None else "open"
+            )
+            attrs = "".join(
+                f" {key}={value!r}" for key, value in sorted(entry.attrs.items())
+            )
+            lines.append(f"{'  ' * depth}{entry.name}  {timing}{attrs}")
+            walk(entry.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)

@@ -19,6 +19,12 @@ The builder is the engine room of ``repro.core.ordering.join_all`` and
 is public API for callers that accumulate schemas over time (sessions,
 streaming merges): add schemas as they arrive, ``build()`` when a
 closed value is needed, keep adding afterwards.
+
+Process-wide work counters (``closure.inserts``,
+``closure.arrows_swept``, ``closure.components_rebuilt``) report into
+:data:`repro.obs.metrics.REGISTRY`; they are plain integer adds per
+*structural* operation (edge insertion, full build), far off the
+per-lookup hot paths.
 """
 
 from __future__ import annotations
@@ -36,8 +42,13 @@ from repro.core.schema import (
     _index_arrows,
 )
 from repro.exceptions import IncompatibleSchemasError
+from repro.obs.metrics import REGISTRY
 
 __all__ = ["ClosureBuilder"]
+
+_INSERTS = REGISTRY.counter("closure.inserts")
+_ARROWS_SWEPT = REGISTRY.counter("closure.arrows_swept")
+_REBUILDS = REGISTRY.counter("closure.components_rebuilt")
 
 
 class ClosureBuilder:
@@ -74,6 +85,7 @@ class ClosureBuilder:
         """closure_insert with the domain error both entry points share."""
         try:
             relations.closure_insert(self._succ, self._pred, sub, sup, undo)
+            _INSERTS.inc()
         except ValueError:
             raise IncompatibleSchemasError(
                 "specialization edges form a cycle: "
@@ -195,6 +207,8 @@ class ClosureBuilder:
         with unseen endpoints appearing as isolated classes).
         """
         raw = self._raw_arrows
+        _REBUILDS.inc()
+        _ARROWS_SWEPT.inc(len(raw))
         classes = frozenset(self._classes)
         spec = self.spec_pairs()
         extra = [_coerce_arrow(edge) for edge in extra_arrows]

@@ -12,7 +12,15 @@ later changes.  The only resource to manage is memory, hence the LRU
 bound.
 
 Like :mod:`repro.perf.interning`, this module must not import
-``repro.core`` (the core imports *it*).
+``repro.core`` (the core imports *it*) — :mod:`repro.sentinels` and
+:mod:`repro.obs` are both core-free, so the shared miss sentinel and
+the telemetry gauges are safe imports.
+
+Registered caches publish ``memo.hits`` / ``memo.misses`` callback
+gauges (labelled ``cache=<name>``) into the global
+:data:`repro.obs.metrics.REGISTRY`: the registry reads the live
+counters at snapshot time, so the ``get``/``put`` hot path pays
+nothing for being observable.
 
 >>> cache = MemoCache("doc.example", maxsize=32, register=False)
 >>> cache.get("key") is MemoCache.MISS  # a sentinel, so None is cacheable
@@ -28,17 +36,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable
 
+from repro.obs.instrument import register_cache_gauges
+from repro.sentinels import Sentinel
+
 __all__ = ["MemoCache", "cache_stats", "clear_memo_caches"]
 
 
 _REGISTRY: Dict[str, "MemoCache"] = {}
-
-
-class _Miss:
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return "<MemoCache.MISS>"
 
 
 class MemoCache:
@@ -48,7 +52,7 @@ class MemoCache:
     that ``None``/``False`` results are cacheable.
     """
 
-    MISS = _Miss()
+    MISS = Sentinel("MemoCache.MISS")
 
     __slots__ = ("name", "maxsize", "hits", "misses", "_table")
 
@@ -60,6 +64,14 @@ class MemoCache:
         self._table: Dict[Hashable, Any] = {}
         if register:
             _REGISTRY[name] = self
+            register_cache_gauges(
+                "memo",
+                name,
+                {
+                    "hits": lambda cache=self: cache.hits,
+                    "misses": lambda cache=self: cache.misses,
+                },
+            )
 
     def get(self, key: Hashable) -> Any:
         table = self._table

@@ -11,6 +11,15 @@ byte-compatible across entry points.
 ['best_s', 'mean_s', 'repeat', 'runs']
 >>> timing["repeat"], len(timing["runs"])
 (2, 2)
+
+An *observe* callback receives each timed duration, which is how the
+benchmarks feed :class:`repro.obs.metrics.Histogram` instruments
+without a second clock:
+
+>>> samples = []
+>>> _ = time_call(lambda: None, repeat=3, warmup=0, observe=samples.append)
+>>> len(samples)
+3
 """
 
 from __future__ import annotations
@@ -26,12 +35,15 @@ def time_call(
     repeat: int = 5,
     warmup: int = 1,
     setup: Optional[Callable[[], Any]] = None,
+    observe: Optional[Callable[[float], Any]] = None,
 ) -> Dict[str, Any]:
     """Best-of-*repeat* wall-clock timing of ``fn()``.
 
     *setup* (when given) runs before every timed call, outside the
     clock — used e.g. to clear the engine caches so a benchmark measures
-    the cold path on purpose.
+    the cold path on purpose.  *observe* (when given) receives every
+    timed duration in seconds, after the clock stops — the hook
+    telemetry histograms attach to.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
@@ -45,7 +57,10 @@ def time_call(
             setup()
         start = time.perf_counter()
         fn()
-        runs.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        runs.append(elapsed)
+        if observe is not None:
+            observe(elapsed)
     return {
         "best_s": min(runs),
         "mean_s": sum(runs) / len(runs),

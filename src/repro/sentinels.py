@@ -1,0 +1,43 @@
+"""Shared sentinel values — one module instead of per-cache copies.
+
+:class:`~repro.perf.memo.MemoCache` and
+:class:`~repro.service.snapshots.SnapshotCache` both need a "no cached
+value" marker that is distinct from every cacheable value (``None`` and
+``False`` are legitimate cache entries).  Each used to carry its own
+private ``_Miss`` class; :class:`Sentinel` is the one shared
+implementation.  Identity is the contract: callers compare with ``is``
+against the specific sentinel instance, never by name or type.
+
+This module imports nothing from the rest of the package, so the
+core-free layers (:mod:`repro.perf.memo`, :mod:`repro.obs`) can use it
+without creating an import cycle.
+
+>>> MISS = Sentinel("Example.MISS")
+>>> MISS
+<Example.MISS>
+>>> MISS is Sentinel("Example.MISS")  # identity, not the name, is the point
+False
+>>> bool(MISS)
+True
+"""
+
+from __future__ import annotations
+
+__all__ = ["Sentinel"]
+
+
+class Sentinel:
+    """A unique marker object with a readable repr.
+
+    Instances carry no state beyond their display name; equality is
+    identity (inherited from ``object``), so two sentinels with the same
+    name are still distinct markers.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return f"<{self._name}>"

@@ -9,10 +9,17 @@ Shared by ``schema-merge bench``, ``benchmarks/bench_service.py`` and
 * **warm views** — repeated ``merged_view()`` after warm-up (the
   steady-state request cost; the acceptance bar is ≥ 10x the baseline);
 * **replay** — the full mixed view/query/register stream, for
-  end-to-end request throughput;
+  end-to-end request throughput.  The replay service runs with
+  telemetry enabled and ``telemetry_sample_every=1`` (streams are only
+  a few hundred requests), so the result carries true per-request
+  latency percentiles and cache hit rates from :mod:`repro.obs`;
 * **invalidation** — register one schema overlapping exactly one
   component and count component-cache misses on a full re-scan: the
   delta must be exactly 1 (only the touched component recomputes).
+
+:func:`telemetry_overhead` is the guard on the other side of the same
+coin: with *default* sampling (1-in-64), the enabled-vs-disabled cost
+of a warm ``merged_view`` burst must stay under the 5% budget.
 
 Timings go through :func:`repro.perf.timing.time_call` — the same
 kernel behind ``benchmarks/_timing.py`` — so runner records fold in
@@ -21,16 +28,19 @@ directly.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.core.ordering import join_all
 from repro.core.schema import Schema
 from repro.generators.workloads import get_request_stream
+from repro.obs import _state as _obs_state
+from repro.obs.exporters import JsonlExporter
+from repro.obs.tracing import tracer
 from repro.perf import clear_caches
 from repro.perf.timing import time_call
 from repro.service.service import MergeService
 
-__all__ = ["replay", "run_bench"]
+__all__ = ["replay", "run_bench", "telemetry_overhead"]
 
 
 def replay(service: MergeService, requests) -> Dict[str, int]:
@@ -59,15 +69,33 @@ def _invalidation_probe(service: MergeService) -> Schema:
     )
 
 
+def _hit_rate(stats: Dict[str, int]) -> Optional[float]:
+    lookups = stats["hits"] + stats["misses"] + stats.get("partial_hits", 0)
+    if not lookups:
+        return None
+    return (stats["hits"] + stats.get("partial_hits", 0)) / lookups
+
+
+def _percentile_block(histogram) -> Dict[str, Any]:
+    return {**histogram.percentiles(), "count": histogram.count}
+
+
 def run_bench(
-    workload: str = "service-mixed-200", repeat: int = 3
+    workload: str = "service-mixed-200",
+    repeat: int = 3,
+    telemetry_jsonl: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Measure a request-stream workload end to end.
 
     Returns a JSON-able dict: ``timings`` (cold join_all, warm
-    merged_view, stream replay), ``summary`` (speedup, acceptance
-    verdicts), ``invalidation`` (the only-one-component check) and the
-    final ``service_stats()``.
+    merged_view, stream replay), ``latency`` (per-request p50/p95/p99
+    from the replay service's histograms), ``cache_hit_rates``,
+    ``summary`` (speedup, acceptance verdicts), ``invalidation`` (the
+    only-one-component check) and the final ``service_stats()``.
+
+    *telemetry_jsonl* (a path) additionally streams every replay span
+    to a JSONL log and appends a final metrics snapshot — the artifact
+    CI uploads from the bench smoke job.
     """
     stream = get_request_stream(workload)
     initial, requests = stream.make()
@@ -84,10 +112,29 @@ def run_bench(
     service.merged_view()
     warm = time_call(lambda: service.merged_view(), repeat=repeat, warmup=0)
 
-    replay_service = MergeService(initial)
-    stream_timing = time_call(
-        lambda: replay(replay_service, requests), repeat=1, warmup=0
+    # The replay service samples every request (streams are short) so
+    # its histograms are full latency distributions, not estimates.
+    replay_service = MergeService(initial, telemetry_sample_every=1)
+    was_enabled = _obs_state.enabled
+    exporter = (
+        JsonlExporter(telemetry_jsonl) if telemetry_jsonl is not None else None
     )
+    _obs_state.set_enabled(True)
+    if exporter is not None:
+        tracer().add_sink(exporter.export_span)
+    try:
+        stream_timing = time_call(
+            lambda: replay(replay_service, requests), repeat=1, warmup=0
+        )
+    finally:
+        if exporter is not None:
+            tracer().remove_sink(exporter.export_span)
+            exporter.export_event(
+                "bench.replay", workload=workload, requests=len(requests)
+            )
+            exporter.export_metrics()
+            exporter.close()
+        _obs_state.set_enabled(was_enabled)
 
     # Invalidation: a registration must recompute only its component.
     before = service.service_stats()["component_cache"]["misses"]
@@ -105,6 +152,17 @@ def run_bench(
         cold["best_s"] / warm["best_s"] if warm["best_s"] > 0 else float("inf")
     )
     stats = replay_service.service_stats()
+    tel = replay_service.telemetry
+    latency = {
+        "merged_view": _percentile_block(tel.view_duration),
+        "query": _percentile_block(tel.query_duration),
+        "register": _percentile_block(tel.register_duration),
+    }
+    cache_hit_rates = {
+        "component_cache": _hit_rate(stats["component_cache"]),
+        "snapshot_cache": _hit_rate(stats["snapshot_cache"]),
+        "merged_view": _hit_rate(stats["telemetry"]["merged_view"]),
+    }
     return {
         "workload": workload,
         "initial_schemas": len(initial),
@@ -114,6 +172,8 @@ def run_bench(
             "merged_view_warm": warm,
             "stream_replay": stream_timing,
         },
+        "latency": latency,
+        "cache_hit_rates": cache_hit_rates,
         "summary": {
             "view_speedup_vs_cold_join_all": speedup,
             "requests_per_second": (
@@ -125,4 +185,54 @@ def run_bench(
         },
         "invalidation": invalidation,
         "service_stats": stats,
+    }
+
+
+def telemetry_overhead(
+    workload: str = "service-sharded-small",
+    loops: int = 20000,
+    repeat: int = 5,
+) -> Dict[str, Any]:
+    """Enabled-vs-disabled cost of a warm ``merged_view`` burst.
+
+    Uses the *default* 1-in-64 sampling — the production configuration
+    the <5% overhead budget is promised for.  Returns both timings, the
+    overhead fraction and the verdict; the tracer ring is cleared of
+    the sampled spans afterwards.
+    """
+    stream = get_request_stream(workload)
+    initial, _requests = stream.make()
+    service = MergeService(initial)
+    service.merged_view()
+
+    view = service.merged_view
+
+    def burst() -> None:
+        for _ in range(loops):
+            view()
+
+    was_enabled = _obs_state.enabled
+    try:
+        _obs_state.set_enabled(False)
+        disabled = time_call(burst, repeat=repeat, warmup=1)
+        _obs_state.set_enabled(True)
+        enabled = time_call(burst, repeat=repeat, warmup=1)
+    finally:
+        _obs_state.set_enabled(was_enabled)
+        tracer().clear()
+
+    overhead = (
+        enabled["best_s"] / disabled["best_s"] - 1.0
+        if disabled["best_s"] > 0
+        else 0.0
+    )
+    return {
+        "workload": workload,
+        "loops": loops,
+        "repeat": repeat,
+        "disabled": disabled,
+        "enabled": enabled,
+        "overhead_fraction": overhead,
+        "budget_fraction": 0.05,
+        "within_budget": overhead < 0.05,
     }

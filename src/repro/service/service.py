@@ -13,6 +13,21 @@ component it touches.
 All public methods are thread-safe (one reentrant lock; registration
 and cache maintenance happen inside it).
 
+**Telemetry.** Every instance reports into the global
+:data:`repro.obs.metrics.REGISTRY` (last-wins, so the registry always
+describes the newest service): ``service.register.{calls,schemas,
+rollbacks,duration}``, ``service.merged_view.{hits,partial_hits,misses,
+duration}``, ``service.query.duration``, plus ``service.components`` /
+``service.generation`` / ``service.requests`` callback gauges.
+Counters are always live; spans and duration histograms engage only
+after :func:`repro.obs.enable`, and the read paths *sample* their
+timing 1-in-``telemetry_sample_every`` requests.  The sample test is a
+phase compare — ``(requests & mask) == phase`` where the phase is
+unreachable while telemetry is off — so the disabled hot path executes
+the very same instructions and the enabled-mode overhead on a warm
+``merged_view`` is just the occasional sampled clock pair (measured
+well under the 5% budget by ``benchmarks/bench_obs_overhead.py``).
+
 >>> from repro.core.schema import Schema
 >>> service = MergeService()
 >>> service.register([
@@ -26,15 +41,24 @@ True
 {'accepted': 1, 'components': 1, 'generation': 2}
 >>> service.query("Dog")["component"] == service.query("Court")["component"]
 True
+>>> stats = service.service_stats()
+>>> stats["registered_schemas"], stats["requests_served"]
+(3, 3)
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.names import ClassName, name
 from repro.core.schema import Schema
+from repro.exceptions import IncompatibleSchemasError
+from repro.obs import _state as _obs_state
+from repro.obs.metrics import Counter, Gauge, Histogram, REGISTRY
+from repro.obs.tracing import span
 from repro.perf.closure import ClosureBuilder
 from repro.service.shards import Shard, plan_groups
 from repro.service.snapshots import SnapshotCache
@@ -46,12 +70,106 @@ _MISS = SnapshotCache.MISS
 ComponentRef = Union[int, ClassName, str]
 
 
+class _ServiceTelemetry:
+    """One service's instrument bundle, registered last-wins.
+
+    Counters and histograms are owned per instance (a fresh service
+    starts its telemetry from zero and replaces its predecessor in the
+    global registry); the gauges read the live service through a weak
+    reference so telemetry never keeps a dead service alive.
+    """
+
+    __slots__ = (
+        "calls",
+        "schemas",
+        "rollbacks",
+        "register_duration",
+        "view_hits",
+        "view_partial",
+        "view_misses",
+        "view_duration",
+        "query_duration",
+        "gauges",
+    )
+
+    def __init__(self, service: "MergeService"):
+        self.calls = REGISTRY.register(Counter("service.register.calls"))
+        self.schemas = REGISTRY.register(Counter("service.register.schemas"))
+        self.rollbacks = REGISTRY.register(
+            Counter("service.register.rollbacks")
+        )
+        self.register_duration = REGISTRY.register(
+            Histogram("service.register.duration")
+        )
+        self.view_hits = REGISTRY.register(
+            Counter("service.merged_view.hits")
+        )
+        self.view_partial = REGISTRY.register(
+            Counter("service.merged_view.partial_hits")
+        )
+        self.view_misses = REGISTRY.register(
+            Counter("service.merged_view.misses")
+        )
+        self.view_duration = REGISTRY.register(
+            Histogram("service.merged_view.duration")
+        )
+        self.query_duration = REGISTRY.register(
+            Histogram("service.query.duration")
+        )
+        ref = weakref.ref(service)
+
+        def _reader(attr):
+            def read():
+                svc = ref()
+                return getattr(svc, attr) if svc is not None else 0
+
+            return read
+
+        def _components():
+            svc = ref()
+            return len(svc._shards) if svc is not None else 0
+
+        self.gauges = [
+            REGISTRY.register(Gauge("service.components", fn=_components)),
+            REGISTRY.register(
+                Gauge("service.generation", fn=_reader("_generation"))
+            ),
+            REGISTRY.register(
+                Gauge("service.requests", fn=_reader("_requests"))
+            ),
+        ]
+
+    def view_counts(self) -> Dict[str, int]:
+        return {
+            "hits": self.view_hits.value,
+            "partial_hits": self.view_partial.value,
+            "misses": self.view_misses.value,
+        }
+
+
+#: Live services, so flipping the global telemetry switch re-phases
+#: every instance's read-path sampling in one pass.
+_SERVICES: "weakref.WeakSet[MergeService]" = weakref.WeakSet()
+
+
+def _sync_sampling(enabled: bool) -> None:
+    for service in list(_SERVICES):
+        service._sample_on = 0 if enabled else service._sample_mask + 1
+
+
+_obs_state.subscribe(_sync_sampling)
+
+
 class MergeService:
     """A thread-safe registry of schemas serving merged views and queries.
 
     *component_cache_size* bounds the per-shard merged-schema cache,
     *snapshot_cache_size* the request-level answer cache; both are pure
     memory ceilings — eviction costs a recomputation, never correctness.
+    *telemetry_sample_every* (a power of two) sets how often the read
+    paths time themselves while telemetry is enabled: the default 64
+    keeps the warm-path overhead negligible; benchmarks pass 1 for full
+    latency distributions.
     """
 
     def __init__(
@@ -60,23 +178,43 @@ class MergeService:
         *,
         component_cache_size: int = 4096,
         snapshot_cache_size: int = 256,
+        telemetry_sample_every: int = 64,
     ):
+        if telemetry_sample_every < 1 or (
+            telemetry_sample_every & (telemetry_sample_every - 1)
+        ):
+            raise ValueError(
+                "telemetry_sample_every must be a power of two, got "
+                f"{telemetry_sample_every!r}"
+            )
         self._lock = threading.RLock()
         self._shards: Dict[int, Shard] = {}
         self._class_to_sid: Dict[ClassName, int] = {}
         self._next_sid = 0
         self._generation = 0
-        self._registered = 0
         self._requests = 0
+        self._sample_mask = telemetry_sample_every - 1
+        # The phase trick: sampling tests `(requests & mask) == _sample_on`.
+        # Enabled sets the phase to 0 (1-in-N requests match); disabled
+        # sets it past the mask so no request ever matches — the compare
+        # itself runs either way, keeping both modes instruction-identical.
+        self._sample_on = 0 if _obs_state.enabled else self._sample_mask + 1
         self._component_cache = SnapshotCache(
             "service.components", maxsize=component_cache_size
         )
         self._snapshot_cache = SnapshotCache(
             "service.snapshots", maxsize=snapshot_cache_size
         )
+        self._telemetry = _ServiceTelemetry(self)
+        _SERVICES.add(self)
         initial = list(schemas)
         if initial:
             self.register(initial)
+
+    @property
+    def telemetry(self) -> _ServiceTelemetry:
+        """This instance's registered instruments (counters read live)."""
+        return self._telemetry
 
     # ------------------------------------------------------------------
     # Registration
@@ -92,63 +230,101 @@ class MergeService:
         committed: shard layout, generation and every cached answer are
         exactly as before the call.
 
+        With telemetry enabled the call produces a span tree —
+        ``service.register`` → ``service.plan`` → one
+        ``service.rebuild`` per touched component → ``service.snapshot``
+        — and its duration lands in ``service.register.duration``.
+
         Returns ``{"accepted", "components", "generation"}``.
         """
         incoming = list(schemas)
         # Empty schemas assert nothing and belong to no component.
         batch = [g for g in incoming if not g.is_empty()]
-        with self._lock:
-            if not batch:
+        tel = self._telemetry
+        with span("service.register", schemas=len(incoming)) as register_span:
+            with self._lock:
+                tel.calls.inc()
+                if not batch:
+                    return {
+                        "accepted": len(incoming),
+                        "components": len(self._shards),
+                        "generation": self._generation,
+                    }
+                timing = _obs_state.enabled
+                start = perf_counter() if timing else 0.0
+                with span("service.plan", batch=len(batch)):
+                    plans = plan_groups(batch, self._class_to_sid)
+                staged: List[
+                    Tuple[int, ClosureBuilder, List[Schema], List[int]]
+                ] = []
+                next_sid = self._next_sid
+                try:
+                    for existing_sids, batch_indices in plans:
+                        absorbed = sorted(existing_sids)
+                        if absorbed:
+                            sid_for_group = min(absorbed)
+                        else:
+                            sid_for_group = next_sid
+                            next_sid += 1
+                        with span(
+                            "service.rebuild",
+                            component=sid_for_group,
+                            schemas=len(batch_indices),
+                        ):
+                            if absorbed:
+                                # Grow the largest member in place (on a
+                                # clone) and fold the others' schemas in.
+                                primary = max(
+                                    absorbed,
+                                    key=lambda sid: len(
+                                        self._shards[sid].schemas
+                                    ),
+                                )
+                                builder = self._shards[primary].builder.clone()
+                                members = list(self._shards[primary].schemas)
+                                for sid in absorbed:
+                                    if sid == primary:
+                                        continue
+                                    for schema in self._shards[sid].schemas:
+                                        builder.add_schema(schema)
+                                        members.append(schema)
+                            else:
+                                builder = ClosureBuilder()
+                                members = []
+                            for index in batch_indices:
+                                builder.add_schema(batch[index])
+                                members.append(batch[index])
+                        staged.append(
+                            (sid_for_group, builder, members, absorbed)
+                        )
+                except IncompatibleSchemasError:
+                    tel.rollbacks.inc()
+                    register_span.set(rolled_back=True)
+                    raise
+                # Every fold succeeded: commit.
+                self._generation += 1
+                generation = self._generation
+                self._next_sid = next_sid
+                with span("service.snapshot", generation=generation):
+                    for sid, builder, members, absorbed in staged:
+                        for old_sid in absorbed:
+                            del self._shards[old_sid]
+                        self._shards[sid] = Shard(
+                            sid, builder, members, generation
+                        )
+                        for cls in builder.classes:
+                            self._class_to_sid[cls] = sid
+                tel.schemas.inc(len(batch))
+                if timing:
+                    tel.register_duration.observe(perf_counter() - start)
+                register_span.set(
+                    components=len(self._shards), generation=generation
+                )
                 return {
                     "accepted": len(incoming),
                     "components": len(self._shards),
-                    "generation": self._generation,
+                    "generation": generation,
                 }
-            plans = plan_groups(batch, self._class_to_sid)
-            staged: List[Tuple[int, ClosureBuilder, List[Schema], List[int]]] = []
-            next_sid = self._next_sid
-            for existing_sids, batch_indices in plans:
-                absorbed = sorted(existing_sids)
-                if absorbed:
-                    # Grow the largest member in place (on a clone) and
-                    # fold the others' schemas into it.
-                    primary = max(
-                        absorbed, key=lambda sid: len(self._shards[sid].schemas)
-                    )
-                    builder = self._shards[primary].builder.clone()
-                    members = list(self._shards[primary].schemas)
-                    for sid in absorbed:
-                        if sid == primary:
-                            continue
-                        for schema in self._shards[sid].schemas:
-                            builder.add_schema(schema)
-                            members.append(schema)
-                    sid_for_group = min(absorbed)
-                else:
-                    builder = ClosureBuilder()
-                    members = []
-                    sid_for_group = next_sid
-                    next_sid += 1
-                for index in batch_indices:
-                    builder.add_schema(batch[index])
-                    members.append(batch[index])
-                staged.append((sid_for_group, builder, members, absorbed))
-            # Every fold succeeded: commit.
-            self._generation += 1
-            generation = self._generation
-            self._next_sid = next_sid
-            for sid, builder, members, absorbed in staged:
-                for old_sid in absorbed:
-                    del self._shards[old_sid]
-                self._shards[sid] = Shard(sid, builder, members, generation)
-                for cls in builder.classes:
-                    self._class_to_sid[cls] = sid
-            self._registered += len(batch)
-            return {
-                "accepted": len(incoming),
-                "components": len(self._shards),
-                "generation": generation,
-            }
 
     # ------------------------------------------------------------------
     # Queries
@@ -165,32 +341,55 @@ class MergeService:
         except KeyError:
             raise KeyError(f"no registered schema mentions class {cls}") from None
 
-    def _component_schema(self, sid: int) -> Schema:
-        """The merged view of one shard, through the component cache."""
+    def _component_schema(self, sid: int) -> Tuple[Schema, Counter]:
+        """One shard's merged view, plus the outcome counter it earned.
+
+        The outcome (``service.merged_view.hits`` or ``.misses``) is
+        returned un-incremented: only the public entry point counts, so
+        a global view assembled from many component lookups still
+        registers as a single request.
+        """
         shard = self._shards[sid]
         cached = self._component_cache.lookup(sid, shard.generation)
         if cached is not _MISS:
-            return cached
+            return cached, self._telemetry.view_hits
         merged = shard.builder.build()
-        return self._component_cache.store(sid, merged, shard.generation)
+        return (
+            self._component_cache.store(sid, merged, shard.generation),
+            self._telemetry.view_misses,
+        )
 
-    def _global_view(self) -> Schema:
-        """The merged view of everything — disjoint union over shards."""
+    def _global_view(self) -> Tuple[Schema, Counter]:
+        """The merged view of everything — disjoint union over shards.
+
+        Outcome accounting: a direct snapshot hit is a *hit*; a view
+        reassembled purely from cached component parts is a *partial
+        hit*; rebuilding any part makes the request a *miss*.
+        """
+        tel = self._telemetry
         cached = self._snapshot_cache.lookup(("view", None), self._generation)
         if cached is not _MISS:
-            return cached
+            return cached, tel.view_hits
         if not self._shards:
             merged = Schema.empty()
+            outcome = tel.view_misses
         else:
-            parts = [self._component_schema(sid) for sid in self._shards]
+            outcome = tel.view_partial
+            parts = []
+            for sid in self._shards:
+                part, part_outcome = self._component_schema(sid)
+                if part_outcome is tel.view_misses:
+                    outcome = tel.view_misses
+                parts.append(part)
             classes = frozenset().union(*(p.classes for p in parts))
             arrows = frozenset().union(*(p.arrows for p in parts))
             spec = frozenset().union(*(p.spec for p in parts))
             # Shards are class-disjoint, so the union of their closed
             # components is itself closed — no re-closure needed.
             merged = Schema._from_closed(classes, arrows, spec)
-        return self._snapshot_cache.store(
-            ("view", None), merged, self._generation
+        return (
+            self._snapshot_cache.store(("view", None), merged, self._generation),
+            outcome,
         )
 
     def merged_view(self, component: Optional[ComponentRef] = None) -> Schema:
@@ -202,10 +401,35 @@ class MergeService:
         ``join_all`` over all registered schemas.
         """
         with self._lock:
-            self._requests += 1
+            self._requests = requests = self._requests + 1
+            if (requests & self._sample_mask) == self._sample_on:
+                return self._merged_view_sampled(component)
             if component is None:
-                return self._global_view()
-            return self._component_schema(self._resolve_sid(component))
+                view, outcome = self._global_view()
+            else:
+                view, outcome = self._component_schema(
+                    self._resolve_sid(component)
+                )
+            outcome.inc()
+            return view
+
+    def _merged_view_sampled(self, component: Optional[ComponentRef]) -> Schema:
+        """The sampled slow path: same answer, plus one clock pair.
+
+        Read paths deliberately record durations only — a span per read
+        would cost more than the read itself and blow the 5% budget;
+        the span tree lives on the write path (:meth:`register`).
+        """
+        start = perf_counter()
+        if component is None:
+            view, outcome = self._global_view()
+        else:
+            view, outcome = self._component_schema(
+                self._resolve_sid(component)
+            )
+        self._telemetry.view_duration.observe(perf_counter() - start)
+        outcome.inc()
+        return view
 
     def query(self, cls: ClassName | str) -> Dict[str, Any]:
         """Everything the merged view asserts about one class name.
@@ -215,64 +439,72 @@ class MergeService:
         as a partial hit instead of recomputing.
         """
         with self._lock:
-            self._requests += 1
+            self._requests = requests = self._requests + 1
             key_name = name(cls)
-            key = ("query", key_name)
+            if (requests & self._sample_mask) != self._sample_on:
+                return self._query_locked(key_name)
+            start = perf_counter()
+            answer = self._query_locked(key_name)
+            self._telemetry.query_duration.observe(perf_counter() - start)
+            return answer
 
-            def still_valid(stamp: Any) -> bool:
-                if stamp is None:
-                    return False
-                sid, shard_generation = stamp
-                shard = self._shards.get(sid)
-                return (
-                    shard is not None
-                    and self._class_to_sid.get(key_name) == sid
-                    and shard.generation == shard_generation
+    def _query_locked(self, key_name: ClassName) -> Dict[str, Any]:
+        key = ("query", key_name)
+
+        def still_valid(stamp: Any) -> bool:
+            if stamp is None:
+                return False
+            sid, shard_generation = stamp
+            shard = self._shards.get(sid)
+            return (
+                shard is not None
+                and self._class_to_sid.get(key_name) == sid
+                and shard.generation == shard_generation
+            )
+
+        cached = self._snapshot_cache.lookup(
+            key, self._generation, still_valid
+        )
+        if cached is not _MISS:
+            return dict(cached)
+        sid = self._resolve_sid(key_name)
+        shard = self._shards[sid]
+        merged, _outcome = self._component_schema(sid)
+        answer: Dict[str, Any] = {
+            "class": str(key_name),
+            "component": sid,
+            "component_schemas": len(shard.schemas),
+            "generalizations": tuple(
+                sorted(
+                    str(c)
+                    for c in merged.generalizations_of(key_name)
+                    if c != key_name
                 )
-
-            cached = self._snapshot_cache.lookup(
-                key, self._generation, still_valid
-            )
-            if cached is not _MISS:
-                return dict(cached)
-            sid = self._resolve_sid(key_name)
-            shard = self._shards[sid]
-            merged = self._component_schema(sid)
-            answer: Dict[str, Any] = {
-                "class": str(key_name),
-                "component": sid,
-                "component_schemas": len(shard.schemas),
-                "generalizations": tuple(
-                    sorted(
-                        str(c)
-                        for c in merged.generalizations_of(key_name)
-                        if c != key_name
-                    )
-                ),
-                "specializations": tuple(
-                    sorted(
-                        str(c)
-                        for c in merged.specializations_of(key_name)
-                        if c != key_name
-                    )
-                ),
-                "arrows_out": tuple(
-                    sorted(
-                        (label, str(target))
-                        for _s, label, target in merged.arrows_from(key_name)
-                    )
-                ),
-                "arrows_in": tuple(
-                    sorted(
-                        (str(source), label)
-                        for source, label, _t in merged.arrows_into(key_name)
-                    )
-                ),
-            }
-            self._snapshot_cache.store(
-                key, answer, self._generation, stamp=(sid, shard.generation)
-            )
-            return dict(answer)
+            ),
+            "specializations": tuple(
+                sorted(
+                    str(c)
+                    for c in merged.specializations_of(key_name)
+                    if c != key_name
+                )
+            ),
+            "arrows_out": tuple(
+                sorted(
+                    (label, str(target))
+                    for _s, label, target in merged.arrows_from(key_name)
+                )
+            ),
+            "arrows_in": tuple(
+                sorted(
+                    (str(source), label)
+                    for source, label, _t in merged.arrows_into(key_name)
+                )
+            ),
+        }
+        self._snapshot_cache.store(
+            key, answer, self._generation, stamp=(sid, shard.generation)
+        )
+        return dict(answer)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -303,20 +535,36 @@ class MergeService:
     def service_stats(self) -> Dict[str, Any]:
         """Operational counters: components, generation, cache hit rates.
 
-        Fields: ``components``, ``registered_schemas``, ``generation``
-        (bumped once per committed register batch), ``requests_served``
-        (``merged_view`` + ``query`` calls, cached or not), and the
-        ``component_cache`` / ``snapshot_cache`` counter blocks
-        (``size``/``maxsize``/``hits``/``misses``/``partial_hits``).
+        The historical dict shape, now read from the registered
+        instruments (one source of truth with ``repro.obs``): the
+        top-level fields ``components``, ``registered_schemas``,
+        ``generation``, ``requests_served`` and the ``component_cache``
+        / ``snapshot_cache`` counter blocks keep their pre-telemetry
+        keys, and a ``telemetry`` block adds the merged-view outcome
+        counters plus whatever latency distributions sampling has
+        collected.
         """
+        tel = self._telemetry
         with self._lock:
             return {
                 "components": len(self._shards),
-                "registered_schemas": self._registered,
+                "registered_schemas": tel.schemas.value,
                 "generation": self._generation,
                 "requests_served": self._requests,
                 "component_cache": self._component_cache.stats(),
                 "snapshot_cache": self._snapshot_cache.stats(),
+                "telemetry": {
+                    "merged_view": tel.view_counts(),
+                    "register": {
+                        "calls": tel.calls.value,
+                        "rollbacks": tel.rollbacks.value,
+                    },
+                    "latency": {
+                        "merged_view": tel.view_duration.percentiles(),
+                        "query": tel.query_duration.percentiles(),
+                        "register": tel.register_duration.percentiles(),
+                    },
+                },
             }
 
     def clear_caches(self) -> None:
@@ -328,7 +576,7 @@ class MergeService:
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         with self._lock:
             return (
-                f"MergeService(schemas={self._registered}, "
+                f"MergeService(schemas={self._telemetry.schemas.value}, "
                 f"components={len(self._shards)}, "
                 f"generation={self._generation})"
             )

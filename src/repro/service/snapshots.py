@@ -17,6 +17,15 @@ Three outcomes per lookup:
   service cheap even under a trickle of writes to unrelated components;
 * **miss** — no entry, or the entry's inputs really changed.
 
+Every outcome is counted on registered instruments in the global
+:data:`repro.obs.metrics.REGISTRY` — ``snapshot.hits``,
+``snapshot.misses``, ``snapshot.revalidations`` (partial hits) and
+``snapshot.evictions``, all labelled ``cache=<name>`` — and
+:meth:`SnapshotCache.stats` is a thin compatibility view over those
+same instruments.  Registration is last-wins per cache name, so the
+registry always describes the newest cache instance (one merge service
+per process in production).
+
 >>> cache = SnapshotCache("example", maxsize=8)
 >>> cache.lookup("answer", generation=1) is SnapshotCache.MISS
 True
@@ -34,14 +43,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, Optional
 
+from repro.obs.metrics import REGISTRY, Counter
+from repro.sentinels import Sentinel
+
 __all__ = ["SnapshotCache"]
-
-
-class _Miss:
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return "<SnapshotCache.MISS>"
 
 
 class SnapshotCache:
@@ -52,19 +57,45 @@ class SnapshotCache:
     and shard generation an answer was derived from), consulted by the
     partial-hit predicate.  ``lookup`` returns :data:`SnapshotCache.MISS`
     on a miss so ``None``/``False`` values are cacheable.
+
+    Counter updates are plain instrument increments; exact counts under
+    concurrency rely on the owner's lock (the merge service holds one
+    around every cache operation).
     """
 
-    MISS = _Miss()
+    MISS = Sentinel("SnapshotCache.MISS")
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "partial_hits", "_table")
+    __slots__ = ("name", "maxsize", "_hits", "_misses", "_partial", "_evictions", "_table")
 
     def __init__(self, name: str, maxsize: int = 256):
         self.name = name
         self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self.partial_hits = 0
+        self._hits = REGISTRY.register(Counter("snapshot.hits", cache=name))
+        self._misses = REGISTRY.register(Counter("snapshot.misses", cache=name))
+        self._partial = REGISTRY.register(
+            Counter("snapshot.revalidations", cache=name)
+        )
+        self._evictions = REGISTRY.register(
+            Counter("snapshot.evictions", cache=name)
+        )
         self._table: Dict[Hashable, Any] = {}
+
+    # Compatibility views over the registered instruments.
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def partial_hits(self) -> int:
+        return self._partial.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def lookup(
         self,
@@ -82,18 +113,18 @@ class SnapshotCache:
         table = self._table
         entry = table.pop(key, None)
         if entry is None:
-            self.misses += 1
+            self._misses.inc()
             return SnapshotCache.MISS
         value, stamped_generation, stamp = entry
         if stamped_generation == generation:
-            self.hits += 1
+            self._hits.inc()
             table[key] = entry
             return value
         if still_valid is not None and still_valid(stamp):
-            self.partial_hits += 1
+            self._partial.inc()
             table[key] = (value, generation, stamp)
             return value
-        self.misses += 1
+        self._misses.inc()
         return SnapshotCache.MISS
 
     def store(
@@ -108,6 +139,7 @@ class SnapshotCache:
         while len(table) >= self.maxsize:
             try:
                 table.pop(next(iter(table)), None)
+                self._evictions.inc()
             except (StopIteration, RuntimeError):
                 # Concurrent clear/resize mid-scan; eviction is
                 # best-effort, correctness never depends on it.
@@ -123,10 +155,12 @@ class SnapshotCache:
         self._table.clear()
 
     def stats(self) -> Dict[str, int]:
+        """The pre-telemetry dict shape, read from the instruments."""
         return {
             "size": len(self._table),
             "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "partial_hits": self.partial_hits,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "partial_hits": self._partial.value,
+            "evictions": self._evictions.value,
         }

@@ -20,6 +20,8 @@ workflow over JSON schema files and deterministic text/DOT rendering:
                       --value-class SSN            # §5 entity resolution
     schema-merge serve g1.json g2.json             # long-lived service REPL
     schema-merge bench --workload service-tiny     # service benchmark
+    schema-merge stats --workload service-tiny     # telemetry counters
+    schema-merge trace --workload service-tiny     # span tree of a replay
 
 Exit codes: 0 success, 1 merge failure (incompatible/inconsistent), 2
 bad input.  All subcommands read/write the JSON dialect of
@@ -265,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(see repro.generators.workloads.REQUEST_STREAMS)"
         ),
     )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable spans and latency sampling (see :stats / :trace)",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -287,6 +294,55 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_out",
         metavar="PATH",
         help="write the full benchmark record here as JSON",
+    )
+    bench.add_argument(
+        "--telemetry-jsonl",
+        metavar="PATH",
+        help="stream replay spans + a metrics snapshot to this JSONL file",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help=(
+            "replay a workload (or register schema files) with telemetry "
+            "on and dump the metrics registry"
+        ),
+    )
+    stats.add_argument(
+        "schemas", nargs="*", help="JSON schema files to register"
+    )
+    stats.add_argument(
+        "--workload",
+        metavar="STREAM",
+        help="register and replay a named request stream first",
+    )
+    stats.add_argument(
+        "--format",
+        dest="fmt",
+        choices=["prom", "json"],
+        default="prom",
+        help="Prometheus text (default) or a JSON snapshot",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help=(
+            "run registrations with telemetry on and print the resulting "
+            "span tree"
+        ),
+    )
+    trace.add_argument(
+        "schemas", nargs="*", help="JSON schema files to register"
+    )
+    trace.add_argument(
+        "--workload",
+        metavar="STREAM",
+        help="register and replay a named request stream instead",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also write every span (and a metrics snapshot) here as JSONL",
     )
 
     return parser
@@ -472,6 +528,12 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "bench":
         return _bench(args)
 
+    if args.command == "stats":
+        return _stats(args)
+
+    if args.command == "trace":
+        return _trace(args)
+
     if args.command == "dot":
         from repro.models.oo import OODiagram, to_schema as oo_to_schema
 
@@ -501,6 +563,8 @@ commands:
   query CLASS               what the merged view asserts about CLASS
   components                per-component summary
   stats                     service_stats() as JSON
+  :stats                    the metrics registry, Prometheus text format
+  :trace                    recent spans as a tree (needs --telemetry)
   help                      this text
   quit                      exit (EOF works too)"""
 
@@ -509,8 +573,11 @@ def _serve(args: argparse.Namespace) -> int:
     """The ``serve`` REPL: a MergeService driven by stdin commands."""
     import json as _json
 
+    from repro import obs
     from repro.service import MergeService
 
+    if args.telemetry:
+        obs.enable()
     service = MergeService()
     initial = [_load_schema(path) for path in args.schemas]
     if args.workload:
@@ -578,6 +645,16 @@ def _serve(args: argparse.Namespace) -> int:
                     )
             elif command == "stats":
                 print(_json.dumps(service.service_stats(), indent=2))
+            elif command == ":stats":
+                print(obs.prometheus_text())
+            elif command == ":trace":
+                spans = obs.tracer().spans()
+                if spans:
+                    print(obs.render_spans(spans))
+                elif not obs.is_enabled():
+                    print("telemetry is off (restart with --telemetry)")
+                else:
+                    print("no spans recorded yet")
             else:
                 print(f"unknown command {command!r} (try: help)")
         except (SchemaError, KeyError, ValueError, OSError) as exc:
@@ -597,7 +674,11 @@ def _bench(args: argparse.Namespace) -> int:
     from repro.service import run_bench
 
     try:
-        result = run_bench(args.workload, repeat=args.repeat)
+        result = run_bench(
+            args.workload,
+            repeat=args.repeat,
+            telemetry_jsonl=args.telemetry_jsonl,
+        )
     except KeyError as exc:
         raise SchemaError(str(exc)) from None
     summary = result["summary"]
@@ -628,12 +709,113 @@ def _bench(args: argparse.Namespace) -> int:
             else "FAILED — untouched components recomputed"
         )
     )
+    for op in ("merged_view", "query", "register"):
+        block = result["latency"][op]
+        if not block["count"]:
+            continue
+        print(
+            f"  {op + ' latency:':<20}"
+            f"p50 {block['p50'] * 1e6:8.1f} us   "
+            f"p95 {block['p95'] * 1e6:8.1f} us   "
+            f"p99 {block['p99'] * 1e6:8.1f} us"
+        )
+    if args.telemetry_jsonl:
+        print(f"wrote {args.telemetry_jsonl}")
     if args.json_out:
         Path(args.json_out).write_text(
             _json.dumps(result, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {args.json_out}")
     return 0 if summary["invalidation_ok"] else 1
+
+
+def _telemetry_session(args: argparse.Namespace):
+    """Register the inputs (and replay any workload) with telemetry on.
+
+    Shared by ``stats`` and ``trace``: a fresh fully-sampled service,
+    every request timed, every registration traced.  The caller is
+    responsible for restoring the previous telemetry state.
+    """
+    from repro.service import MergeService
+    from repro.service.bench import replay
+
+    initial = [_load_schema(path) for path in args.schemas]
+    requests = []
+    if args.workload:
+        from repro.generators.workloads import get_request_stream
+
+        try:
+            stream = get_request_stream(args.workload)
+        except KeyError as exc:
+            raise SchemaError(str(exc)) from None
+        workload_initial, requests = stream.make()
+        initial = workload_initial + initial
+    if not initial:
+        raise SchemaError(
+            "nothing to measure: give schema files and/or --workload STREAM"
+        )
+    service = MergeService(telemetry_sample_every=1)
+    service.register(initial)
+    if requests:
+        replay(service, requests)
+    return service, len(requests)
+
+
+def _stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: replay, then dump the metrics registry."""
+    import json as _json
+
+    from repro import obs
+
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    try:
+        # Bound to a local so the service's weakref-backed gauges stay
+        # readable while the registry is dumped.
+        service, _requests = _telemetry_session(args)
+        if args.fmt == "json":
+            print(
+                _json.dumps(obs.registry().snapshot(), indent=2, sort_keys=True)
+            )
+        else:
+            print(obs.prometheus_text())
+        del service
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: replay, then print the span tree."""
+    from repro import obs
+
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    tracer = obs.tracer()
+    tracer.clear()
+    exporter = (
+        obs.JsonlExporter(args.jsonl) if args.jsonl is not None else None
+    )
+    if exporter is not None:
+        tracer.add_sink(exporter.export_span)
+    try:
+        _telemetry_session(args)
+        spans = tracer.spans()
+        if spans:
+            print(obs.render_spans(spans))
+        else:
+            print("no spans recorded")
+        if exporter is not None:
+            exporter.export_metrics()
+            print(f"wrote {args.jsonl}")
+    finally:
+        if exporter is not None:
+            tracer.remove_sink(exporter.export_span)
+            exporter.close()
+        if not was_enabled:
+            obs.disable()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
