@@ -19,7 +19,8 @@ from repro.core.ordering import join_all
 from repro.core.schema import Schema
 from repro.generators.workloads import get_request_stream
 from repro.perf import clear_caches
-from repro.service import MergeService, replay
+from repro.service import MergeService
+from repro.service.bench import replay
 
 WORKLOAD = "service-sharded-small"
 

@@ -22,6 +22,11 @@ Current suites:
   with telemetry on, so records carry p50/p95/p99 request latencies and
   cache hit rates, and the acceptance workload's spans + metrics land
   in ``TELEMETRY_service.jsonl`` (uploaded by the CI smoke job).
+* ``http`` — the asyncio front end (``benchmarks/bench_http.py``): a
+  real ``serve --http`` subprocess under 1/4/16 concurrent writer
+  connections.  Acceptance (full mode, multi-core hosts): 16-writer
+  disjoint throughput ≥ 2x single-writer, and warm reads stay
+  non-blocking while a large register is in flight.
 
 Usage::
 
@@ -308,9 +313,11 @@ def merge_engine_suite(args: argparse.Namespace) -> SuiteResult:
     records += run_lower(repeat, count=10 if args.smoke else 30)
     if not args.smoke and not args.skip_pytest_suite:
         print("pytest suites:")
-        # bench_service belongs to the service suite's artifact; timing
-        # its heavy workloads here too would double-measure them.
-        records += run_pytest_suites(skip=["bench_service"])
+        # bench_service belongs to the service suite's artifact (timing
+        # its heavy workloads here too would double-measure them), and
+        # bench_http owns its own server subprocesses — it is driven by
+        # the http suite, not collectable as pytest tests.
+        records += run_pytest_suites(skip=["bench_service", "bench_http"])
 
     acceptance = [
         r
@@ -444,6 +451,85 @@ def service_suite(args: argparse.Namespace) -> SuiteResult:
         "service_stats": results[acceptance_workload]["service_stats"],
     }
     return records, meta
+
+
+@suite("http", "BENCH_http.json")
+def http_suite(args: argparse.Namespace) -> SuiteResult:
+    """The asyncio HTTP front end under 1/4/16 concurrent writers.
+
+    Acceptance: 16-writer disjoint-component throughput ≥ 2x the
+    single-writer figure (gated in full mode on multi-core hosts —
+    a single core CPU-saturates the round trip, so the ratio there
+    measures the GIL, not the locking), and warm reads stay
+    non-blocking (median read latency well under an in-flight
+    register's duration; see bench_http for why the median is the
+    lock-freedom statistic) — the wire-level witnesses of the
+    per-shard locking design.
+    """
+    from bench_http import run_http_bench
+
+    print("http front end:")
+    result = run_http_bench(smoke=args.smoke)
+    records: List[Dict[str, Any]] = []
+    for name, level in result["levels"].items():
+        latency = level["latency_s"]
+        print(
+            f"  {name:>2} writer(s): {level['rps']:8.0f} req/s   "
+            f"p50 {latency['p50'] * 1e3:6.2f} ms   "
+            f"p95 {latency['p95'] * 1e3:6.2f} ms"
+        )
+        records.append(
+            record(
+                f"register/{name}_writers",
+                "http",
+                {
+                    "best_s": level["wall_s"],
+                    "mean_s": level["wall_s"],
+                    "repeat": 1,
+                    "runs": [level["wall_s"]],
+                },
+                requests=level["requests"],
+                requests_per_second=level["rps"],
+                latency=latency,
+            )
+        )
+    ruw = result["read_latency_under_write"]
+    print(
+        f"  reads during a {ruw['write_duration_s'] * 1e3:.0f} ms write: "
+        f"p50 {ruw['latency_during_write_s']['p50'] * 1e3:.2f} ms   "
+        f"p95 {ruw['latency_during_write_s']['p95'] * 1e3:.2f} ms "
+        f"({'non-blocking' if ruw['reads_nonblocking_ok'] else 'BLOCKED'})"
+    )
+    summary = result["summary"]
+    scaling_note = (
+        f"{summary['scaling_16_vs_1']:.2f}x"
+        if summary["rps_1_writer"]
+        else "n/a"
+    )
+    if summary["scaling_gate_active"]:
+        print(f"  scaling 16v1: {scaling_note}")
+    else:
+        print(
+            f"  scaling 16v1: {scaling_note} "
+            f"(gate inactive: {summary['scaling_not_gated_reason']})"
+        )
+    if not summary["acceptance_pass"]:
+        failed = []
+        if summary["scaling_gate_active"] and not summary["scaling_ok"]:
+            failed.append(
+                f"scaling {scaling_note} "
+                f"(need ≥ {summary['scaling_required']}x)"
+            )
+        if not summary["reads_nonblocking_ok"]:
+            failed.append("reads blocked behind an in-flight register")
+        if not failed:
+            failed.append("writer levels reported failures or hung clients")
+        print(f"FAIL: http acceptance: {'; '.join(failed)}", file=sys.stderr)
+    return records, {
+        "summary": summary,
+        "read_latency_under_write": ruw,
+        "levels": result["levels"],
+    }
 
 
 def main(argv: List[str] = None) -> int:

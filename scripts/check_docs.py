@@ -45,6 +45,8 @@ DOCTEST_MODULES = [
     "repro.perf.timing",
     "repro.sentinels",
     "repro.service",
+    "repro.service.api_types",
+    "repro.service.http",
     "repro.service.service",
     "repro.service.shards",
     "repro.service.snapshots",

@@ -60,14 +60,24 @@ from repro.core.proper import canonical_arrows, canonical_class, is_proper
 from repro.core.schema import Schema
 from repro import obs
 from repro.obs import span
+from repro.service import (
+    MergeService,
+    QueryResult,
+    RegisterReceipt,
+    serve_http,
+)
 from repro.tools.session import IntegrationSession
 from repro.exceptions import (
+    IncompatibleSchemaError,
     IncompatibleSchemasError,
     InconsistentSchemasError,
     KeyConstraintError,
     NotProperError,
     SchemaError,
     SchemaValidationError,
+    ServiceError,
+    ServiceShutdownError,
+    UnknownClassError,
 )
 
 __version__ = "1.1.0"
@@ -83,6 +93,7 @@ __all__ = [
     "ConsistencyRelation",
     "GenName",
     "ImplicitName",
+    "IncompatibleSchemaError",
     "IncompatibleSchemasError",
     "InconsistentSchemasError",
     "IntegrationSession",
@@ -90,11 +101,17 @@ __all__ = [
     "KeyFamily",
     "KeyedSchema",
     "MergeReport",
+    "MergeService",
     "NotProperError",
     "Participation",
+    "QueryResult",
+    "RegisterReceipt",
     "Schema",
     "SchemaError",
     "SchemaValidationError",
+    "ServiceError",
+    "ServiceShutdownError",
+    "UnknownClassError",
     "annotated_join",
     "annotated_leq",
     "annotated_meet",
@@ -120,6 +137,7 @@ __all__ = [
     "name",
     "obs",
     "properize",
+    "serve_http",
     "span",
     "strip_implicits",
     "upper_merge",

@@ -102,3 +102,54 @@ class RenderError(SchemaError):
 
 class SerializationError(SchemaError):
     """A document cannot be decoded into a library artifact."""
+
+
+class ServiceError(SchemaError):
+    """Base class for errors raised by the long-lived merge service.
+
+    The service layer (:mod:`repro.service`) consolidates its failure
+    modes here so callers — and the HTTP front end, which maps each
+    subclass to a status code — never have to catch bare
+    ``KeyError``/``ValueError``.
+    """
+
+
+class UnknownClassError(ServiceError, KeyError):
+    """A lookup named a class (or component id) the registry never saw.
+
+    Subclasses :class:`KeyError` so pre-taxonomy callers that caught
+    ``KeyError`` keep working; new code should catch this type.  The
+    HTTP front end maps it to ``404 Not Found``.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; read as a SchemaError.
+        return self.args[0] if self.args else ""
+
+
+class UnknownWorkloadError(ServiceError, KeyError):
+    """A benchmark workload / request stream name is not registered."""
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class ServiceShutdownError(ServiceError):
+    """The service was closed; no further requests are accepted.
+
+    The HTTP front end maps it to ``503 Service Unavailable``.
+    """
+
+
+class InvalidRequestError(ServiceError, ValueError):
+    """A malformed service request (bad parameter, unknown request kind).
+
+    Subclasses :class:`ValueError` for pre-taxonomy callers; the HTTP
+    front end maps it to ``400 Bad Request``.
+    """
+
+
+#: The service-facing singular alias: a *single* schema failing to fold
+#: into the registry raises the same condition the pairwise algebra
+#: reports for a whole family.
+IncompatibleSchemaError = IncompatibleSchemasError

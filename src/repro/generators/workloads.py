@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.schema import Schema
+from repro.exceptions import UnknownWorkloadError
 from repro.generators.pathological import (
     diamond_chain_schemas,
     nfa_blowup_pair,
@@ -35,6 +36,9 @@ __all__ = [
     "RequestStream",
     "REQUEST_STREAMS",
     "get_request_stream",
+    "ConcurrentStream",
+    "CONCURRENT_STREAMS",
+    "get_concurrent_stream",
 ]
 
 
@@ -114,7 +118,9 @@ def get_workload(name: str) -> Workload:
         return WORKLOADS[name]
     except KeyError:
         known = ", ".join(sorted(WORKLOADS))
-        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
 
 
 # A service request: ("view", class-name-or-None), ("query", class-name)
@@ -331,6 +337,92 @@ def get_request_stream(name: str) -> RequestStream:
         return REQUEST_STREAMS[name]
     except KeyError:
         known = ", ".join(sorted(REQUEST_STREAMS))
-        raise KeyError(
+        raise UnknownWorkloadError(
             f"unknown request stream {name!r}; known: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ConcurrentStream:
+    """A named, reproducible *concurrent* service workload.
+
+    ``make()`` returns ``(initial_schemas, lanes)``: one seed schema per
+    writer lane (so every lane's component exists up front and readers
+    have classes to query), and one request list per concurrent writer.
+    Lanes draw from disjoint prefixed class pools, so ``n_writers``
+    writers touch ``n_writers`` distinct components — the workload the
+    per-shard locking design is supposed to run in parallel, and the one
+    ``benchmarks/bench_http.py`` drives at 1/4/16 writers.
+    """
+
+    name: str
+    description: str
+    n_writers: int
+    make: Callable[[], Tuple[List[Schema], List[List[Request]]]]
+
+
+def _concurrent_lanes(
+    n_writers: int,
+    per_writer: int,
+    pool: int,
+    classes: int,
+    labels: int,
+    arrow_d: float,
+    spec_d: float,
+    seed: int,
+) -> Callable[[], Tuple[List[Schema], List[List[Request]]]]:
+    def make() -> Tuple[List[Schema], List[List[Request]]]:
+        initial: List[Schema] = []
+        lanes: List[List[Request]] = []
+        for writer in range(n_writers):
+            family = random_schema_family(
+                n_schemas=per_writer + 1,
+                pool_size=pool,
+                n_classes=classes,
+                n_labels=labels,
+                arrow_density=arrow_d,
+                spec_density=spec_d,
+                seed=seed + 7919 * writer,
+                prefix=f"W{writer:02d}_",
+            )
+            initial.append(family[0])
+            lanes.append([("register", schema) for schema in family[1:]])
+        return initial, lanes
+
+    return make
+
+
+def _concurrent(n_writers: int, per_writer: int = 8) -> ConcurrentStream:
+    return ConcurrentStream(
+        f"concurrent-disjoint-{n_writers}",
+        f"{n_writers} writer lanes x {per_writer} registrations, each "
+        "lane on its own disjoint class pool (one component per lane)",
+        n_writers,
+        _concurrent_lanes(
+            n_writers=n_writers,
+            per_writer=per_writer,
+            pool=20,
+            classes=10,
+            labels=5,
+            arrow_d=0.2,
+            spec_d=0.1,
+            seed=29,
+        ),
+    )
+
+
+CONCURRENT_STREAMS: Dict[str, ConcurrentStream] = {
+    stream.name: stream
+    for stream in [_concurrent(1), _concurrent(4), _concurrent(16)]
+}
+
+
+def get_concurrent_stream(name: str) -> ConcurrentStream:
+    """Look up a concurrent stream by name, with a helpful error."""
+    try:
+        return CONCURRENT_STREAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(CONCURRENT_STREAMS))
+        raise UnknownWorkloadError(
+            f"unknown concurrent stream {name!r}; known: {known}"
         ) from None

@@ -13,15 +13,26 @@ across requests* instead of recomputed per call:
 * **component sharding** (:mod:`repro.service.shards`) — a union-find
   over class-name overlap splits the registry into components that
   merge independently, so an incoming schema only touches (and only
-  invalidates) its own component;
+  invalidates) its own component — and, since the shards lock
+  independently too, writers on disjoint components run concurrently
+  while readers never lock at all (see :mod:`repro.service.service`);
 * **snapshot caches** (:mod:`repro.service.snapshots`) —
   ``merged_view`` and ``query`` answers are stamped with a monotone
   generation counter and revalidated per shard, including partial-hit
-  reuse when only *other* shards changed.
+  reuse when only *other* shards changed;
+* **typed results** (:mod:`repro.service.api_types`) — ``register``
+  returns a :class:`RegisterReceipt`, ``query`` a :class:`QueryResult`;
+  both are frozen, thread-safe to share, and still read like the old
+  dicts through a one-release deprecation shim;
+* **HTTP front end** (:mod:`repro.service.http`) — an asyncio server
+  exposing the registry as ``POST /v1/schemas`` / ``GET /v1/query/...``
+  with a versioned JSON wire format.
 
-``schema-merge serve`` and ``schema-merge bench`` expose the service on
-the command line; :mod:`repro.service.bench` is the shared measurement
-driver; ``docs/SERVICE.md`` documents the architecture.
+``schema-merge serve [--http PORT]`` and ``schema-merge bench`` expose
+the service on the command line; ``docs/SERVICE.md`` documents the
+architecture.  (:mod:`repro.service.bench` is the internal measurement
+driver — import it by module path; it is not part of the public
+surface.)
 
 >>> from repro.core.schema import Schema
 >>> from repro.service import MergeService
@@ -31,10 +42,10 @@ driver; ``docs/SERVICE.md`` documents the architecture.
 ...                  spec=[("Puppy", "Dog")]),
 ...     Schema.build(arrows=[("Case", "judge", "Court")]),
 ... ])
-{'accepted': 2, 'components': 2, 'generation': 1}
+RegisterReceipt(accepted=2, components=2, generation=1)
 >>> service.merged_view("Puppy").has_arrow("Puppy", "owner", "Person")
 True
->>> service.query("Person")["arrows_in"]
+>>> service.query("Person").arrows_in
 (('Dog', 'owner'), ('Puppy', 'owner'))
 >>> service.service_stats()["components"]
 2
@@ -42,17 +53,21 @@ True
 
 from __future__ import annotations
 
-from repro.service.bench import replay, run_bench
+from repro.service.api_types import API_FORMAT, QueryResult, RegisterReceipt
+from repro.service.http import HttpFrontend, serve_http
 from repro.service.service import MergeService
 from repro.service.shards import Shard, UnionFind, plan_groups
 from repro.service.snapshots import SnapshotCache
 
 __all__ = [
+    "API_FORMAT",
+    "HttpFrontend",
     "MergeService",
-    "SnapshotCache",
+    "QueryResult",
+    "RegisterReceipt",
     "Shard",
+    "SnapshotCache",
     "UnionFind",
     "plan_groups",
-    "replay",
-    "run_bench",
+    "serve_http",
 ]

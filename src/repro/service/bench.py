@@ -32,6 +32,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.ordering import join_all
 from repro.core.schema import Schema
+from repro.exceptions import InvalidRequestError
 from repro.generators.workloads import get_request_stream
 from repro.obs import _state as _obs_state
 from repro.obs.exporters import JsonlExporter
@@ -54,7 +55,7 @@ def replay(service: MergeService, requests) -> Dict[str, int]:
         elif kind == "register":
             service.register([payload])
         else:  # pragma: no cover - malformed streams are a caller bug
-            raise ValueError(f"unknown request kind {kind!r}")
+            raise InvalidRequestError(f"unknown request kind {kind!r}")
         counts[kind] += 1
     return counts
 

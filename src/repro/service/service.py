@@ -10,8 +10,33 @@ answered from generation-stamped snapshot caches
 dictionary lookup per request, and a write invalidates only the
 component it touches.
 
-All public methods are thread-safe (one reentrant lock; registration
-and cache maintenance happen inside it).
+**Concurrency model (per-shard locking).**  The paper's merge is
+component-local — a registration touches exactly the shards its class
+names reach — so the service locks at that grain instead of
+serializing everything:
+
+* one short-lived **topology lock** guards the mutable registry maps
+  (``class → shard``, ``sid → shard``, the in-flight reservations) and
+  is only ever held for planning, validation and the commit swap —
+  never during closure work;
+* one **shard lock per component** serializes writers on the same
+  component; a writer acquires the locks of exactly the shards its
+  batch touches, *in ascending shard-id order* (bridging batches take
+  several; the global order makes deadlock impossible), then rebuilds
+  on clones outside the topology lock;
+* **reads take no lock at all.**  Committed :class:`Shard` objects are
+  immutable (a mutation publishes a *new* shard object), commits
+  publish in a stale-reads-only order (new shards first, class map
+  second, dead shards dropped third, generation bumped last), and the
+  caches stamp conservatively — so a racing reader sees either the old
+  consistent state or the new one, never a torn one, and a warm
+  ``merged_view`` never waits behind an in-flight ``register``.
+
+Writers that race on the same *new* class names are serialized through
+**reservations**: the first validated writer claims the names (mapping
+them to its target shard id under the topology lock), so contenders
+plan onto the same shard id, block on its lock, and re-validate once
+the claimant commits or rolls back.
 
 **Telemetry.** Every instance reports into the global
 :data:`repro.obs.metrics.REGISTRY` (last-wins, so the registry always
@@ -34,12 +59,12 @@ well under the 5% budget by ``benchmarks/bench_obs_overhead.py``).
 ...     Schema.build(arrows=[("Dog", "owner", "Person")]),
 ...     Schema.build(arrows=[("Case", "judge", "Court")]),
 ... ])
-{'accepted': 2, 'components': 2, 'generation': 1}
+RegisterReceipt(accepted=2, components=2, generation=1)
 >>> service.merged_view("Dog").has_arrow("Dog", "owner", "Person")
 True
 >>> service.register([Schema.build(arrows=[("Person", "argues", "Case")])])
-{'accepted': 1, 'components': 1, 'generation': 2}
->>> service.query("Dog")["component"] == service.query("Court")["component"]
+RegisterReceipt(accepted=1, components=1, generation=2)
+>>> service.query("Dog").component == service.query("Court").component
 True
 >>> stats = service.service_stats()
 >>> stats["registered_schemas"], stats["requests_served"]
@@ -48,6 +73,7 @@ True
 
 from __future__ import annotations
 
+import itertools
 import threading
 import weakref
 from time import perf_counter
@@ -55,11 +81,17 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.names import ClassName, name
 from repro.core.schema import Schema
-from repro.exceptions import IncompatibleSchemasError
+from repro.exceptions import (
+    IncompatibleSchemasError,
+    InvalidRequestError,
+    ServiceShutdownError,
+    UnknownClassError,
+)
 from repro.obs import _state as _obs_state
 from repro.obs.metrics import Counter, Gauge, Histogram, REGISTRY
 from repro.obs.tracing import span
 from repro.perf.closure import ClosureBuilder
+from repro.service.api_types import QueryResult, RegisterReceipt
 from repro.service.shards import Shard, plan_groups
 from repro.service.snapshots import SnapshotCache
 
@@ -83,6 +115,7 @@ class _ServiceTelemetry:
         "calls",
         "schemas",
         "rollbacks",
+        "retries",
         "register_duration",
         "view_hits",
         "view_partial",
@@ -97,6 +130,9 @@ class _ServiceTelemetry:
         self.schemas = REGISTRY.register(Counter("service.register.schemas"))
         self.rollbacks = REGISTRY.register(
             Counter("service.register.rollbacks")
+        )
+        self.retries = REGISTRY.register(
+            Counter("service.register.plan_retries")
         )
         self.register_duration = REGISTRY.register(
             Histogram("service.register.duration")
@@ -160,16 +196,38 @@ def _sync_sampling(enabled: bool) -> None:
 _obs_state.subscribe(_sync_sampling)
 
 
+class _GroupPlan:
+    """One validated group of a write plan: where a batch slice lands.
+
+    *absorbed* holds the committed shards the group merges (possibly
+    none — then *sid* is freshly allocated), *reserved* the previously
+    unassigned class names this writer claimed for *sid*.  The shard
+    references are captured under the topology lock while the writer
+    holds every involved shard lock, so they cannot change before the
+    commit.
+    """
+
+    __slots__ = ("sid", "absorbed", "batch_indices", "reserved", "is_new")
+
+    def __init__(self, sid, absorbed, batch_indices, reserved, is_new):
+        self.sid: int = sid
+        self.absorbed: List[Shard] = absorbed
+        self.batch_indices: List[int] = batch_indices
+        self.reserved: List[ClassName] = reserved
+        self.is_new: bool = is_new
+
+
 class MergeService:
     """A thread-safe registry of schemas serving merged views and queries.
 
-    *component_cache_size* bounds the per-shard merged-schema cache,
-    *snapshot_cache_size* the request-level answer cache; both are pure
-    memory ceilings — eviction costs a recomputation, never correctness.
-    *telemetry_sample_every* (a power of two) sets how often the read
-    paths time themselves while telemetry is enabled: the default 64
-    keeps the warm-path overhead negligible; benchmarks pass 1 for full
-    latency distributions.
+    Writes lock per component (see the module docstring), reads are
+    lock-free against published immutable shards.  *component_cache_size*
+    bounds the per-shard merged-schema cache, *snapshot_cache_size* the
+    request-level answer cache; both are pure memory ceilings — eviction
+    costs a recomputation, never correctness.  *telemetry_sample_every*
+    (a power of two) sets how often the read paths time themselves while
+    telemetry is enabled: the default 64 keeps the warm-path overhead
+    negligible; benchmarks pass 1 for full latency distributions.
     """
 
     def __init__(
@@ -183,16 +241,23 @@ class MergeService:
         if telemetry_sample_every < 1 or (
             telemetry_sample_every & (telemetry_sample_every - 1)
         ):
-            raise ValueError(
+            raise InvalidRequestError(
                 "telemetry_sample_every must be a power of two, got "
                 f"{telemetry_sample_every!r}"
             )
-        self._lock = threading.RLock()
+        #: Guards the registry maps below; held only for plan/validate/
+        #: commit — never while closure work runs.
+        self._topology = threading.Lock()
         self._shards: Dict[int, Shard] = {}
+        self._shard_locks: Dict[int, threading.Lock] = {}
         self._class_to_sid: Dict[ClassName, int] = {}
+        #: In-flight writers' claims on not-yet-committed class names.
+        self._reserved: Dict[ClassName, int] = {}
         self._next_sid = 0
         self._generation = 0
+        self._closed = False
         self._requests = 0
+        self._ticker = itertools.count(1)
         self._sample_mask = telemetry_sample_every - 1
         # The phase trick: sampling tests `(requests & mask) == _sample_on`.
         # Enabled sets the phase to 0 (1-in-N requests match); disabled
@@ -216,16 +281,31 @@ class MergeService:
         """This instance's registered instruments (counters read live)."""
         return self._telemetry
 
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Refuse further requests (idempotent; in-flight calls finish)."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceShutdownError("the merge service has been shut down")
+
     # ------------------------------------------------------------------
-    # Registration
+    # Registration (writers)
     # ------------------------------------------------------------------
 
-    def register(self, schemas: Iterable[Schema]) -> Dict[str, int]:
+    def register(self, schemas: Iterable[Schema]) -> RegisterReceipt:
         """Fold a batch of schemas into the registry — atomically.
 
         The whole batch is applied to *clones* of the touched shards'
-        builders first; only if every schema folds in cleanly is the new
-        layout swapped in (one generation bump for the batch).  On
+        builders first, while holding only those shards' locks — writes
+        to disjoint components proceed in parallel; only if every schema
+        folds in cleanly is the new layout swapped in (one generation
+        bump for the batch).  On
         :class:`~repro.exceptions.IncompatibleSchemasError` nothing is
         committed: shard layout, generation and every cached answer are
         exactly as before the call.
@@ -234,128 +314,294 @@ class MergeService:
         ``service.register`` → ``service.plan`` → one
         ``service.rebuild`` per touched component → ``service.snapshot``
         — and its duration lands in ``service.register.duration``.
-
-        Returns ``{"accepted", "components", "generation"}``.
         """
         incoming = list(schemas)
         # Empty schemas assert nothing and belong to no component.
         batch = [g for g in incoming if not g.is_empty()]
         tel = self._telemetry
         with span("service.register", schemas=len(incoming)) as register_span:
-            with self._lock:
-                tel.calls.inc()
-                if not batch:
-                    return {
-                        "accepted": len(incoming),
-                        "components": len(self._shards),
-                        "generation": self._generation,
-                    }
-                timing = _obs_state.enabled
-                start = perf_counter() if timing else 0.0
-                with span("service.plan", batch=len(batch)):
-                    plans = plan_groups(batch, self._class_to_sid)
-                staged: List[
-                    Tuple[int, ClosureBuilder, List[Schema], List[int]]
-                ] = []
-                next_sid = self._next_sid
+            self._check_open()
+            tel.calls.inc()
+            if not batch:
+                with self._topology:
+                    return RegisterReceipt(
+                        accepted=len(incoming),
+                        components=len(self._shards),
+                        generation=self._generation,
+                    )
+            timing = _obs_state.enabled
+            start = perf_counter() if timing else 0.0
+            with span("service.plan", batch=len(batch)):
+                groups, held = self._plan_and_lock(batch)
+            try:
                 try:
-                    for existing_sids, batch_indices in plans:
-                        absorbed = sorted(existing_sids)
-                        if absorbed:
-                            sid_for_group = min(absorbed)
-                        else:
-                            sid_for_group = next_sid
-                            next_sid += 1
-                        with span(
-                            "service.rebuild",
-                            component=sid_for_group,
-                            schemas=len(batch_indices),
-                        ):
-                            if absorbed:
-                                # Grow the largest member in place (on a
-                                # clone) and fold the others' schemas in.
-                                primary = max(
-                                    absorbed,
-                                    key=lambda sid: len(
-                                        self._shards[sid].schemas
-                                    ),
-                                )
-                                builder = self._shards[primary].builder.clone()
-                                members = list(self._shards[primary].schemas)
-                                for sid in absorbed:
-                                    if sid == primary:
-                                        continue
-                                    for schema in self._shards[sid].schemas:
-                                        builder.add_schema(schema)
-                                        members.append(schema)
-                            else:
-                                builder = ClosureBuilder()
-                                members = []
-                            for index in batch_indices:
-                                builder.add_schema(batch[index])
-                                members.append(batch[index])
-                        staged.append(
-                            (sid_for_group, builder, members, absorbed)
-                        )
+                    staged = self._rebuild(groups, batch)
                 except IncompatibleSchemasError:
                     tel.rollbacks.inc()
                     register_span.set(rolled_back=True)
+                    with self._topology:
+                        self._abandon(groups)
                     raise
-                # Every fold succeeded: commit.
-                self._generation += 1
-                generation = self._generation
-                self._next_sid = next_sid
-                with span("service.snapshot", generation=generation):
-                    for sid, builder, members, absorbed in staged:
-                        for old_sid in absorbed:
-                            del self._shards[old_sid]
-                        self._shards[sid] = Shard(
-                            sid, builder, members, generation
+                with span("service.snapshot"):
+                    with self._topology:
+                        generation, components = self._commit(
+                            staged, len(batch)
                         )
-                        for cls in builder.classes:
-                            self._class_to_sid[cls] = sid
-                tel.schemas.inc(len(batch))
-                if timing:
-                    tel.register_duration.observe(perf_counter() - start)
-                register_span.set(
-                    components=len(self._shards), generation=generation
+            finally:
+                for lock in reversed(held):
+                    lock.release()
+            if timing:
+                tel.register_duration.observe(perf_counter() - start)
+            register_span.set(components=components, generation=generation)
+            return RegisterReceipt(
+                accepted=len(incoming),
+                components=components,
+                generation=generation,
+            )
+
+    def _plan_and_lock(
+        self, batch: List[Schema]
+    ) -> Tuple[List[_GroupPlan], List[threading.Lock]]:
+        """Plan the batch and acquire exactly the locks it needs.
+
+        The optimistic loop: plan under the topology lock, *release it*,
+        acquire the planned shard locks in ascending sid order (blocking
+        on contended components without stalling disjoint writers), then
+        re-validate the plan under the topology lock.  A plan can go
+        stale while we waited — a contended shard was absorbed into
+        another, a rolled-back reservation vanished — in which case
+        everything is released and the loop replans.  Each pass either
+        returns or observed another writer's commit/rollback, so the
+        loop terminates.
+
+        On success the involved shards are frozen (we hold their locks),
+        every previously-unassigned batch class is reserved to its
+        target sid, and fresh components' sids + locks exist and are
+        held.  Returns the group plans and every held lock (sorted by
+        sid — release order is the reverse).
+        """
+        while True:
+            with self._topology:
+                plans = plan_groups(batch, self._class_to_sid, self._reserved)
+                needed = sorted(
+                    {sid for existing, _ in plans for sid in existing}
                 )
-                return {
-                    "accepted": len(incoming),
-                    "components": len(self._shards),
-                    "generation": generation,
-                }
+                lock_for = {sid: self._shard_locks.get(sid) for sid in needed}
+            if any(lock is None for lock in lock_for.values()):
+                # A planned shard vanished before we even started
+                # acquiring (absorbed elsewhere, or a rolled-back
+                # reservation); replan from the current layout.
+                self._telemetry.retries.inc()
+                continue
+            held: List[threading.Lock] = []
+            for sid in needed:
+                lock_for[sid].acquire()
+                held.append(lock_for[sid])
+            with self._topology:
+                current = plan_groups(
+                    batch, self._class_to_sid, self._reserved
+                )
+                current_needed = sorted(
+                    {sid for existing, _ in current for sid in existing}
+                )
+                valid = current_needed == needed and all(
+                    self._shard_locks.get(sid) is lock_for[sid]
+                    for sid in needed
+                )
+                if valid:
+                    return self._reserve(current, batch, held), held
+            for lock in reversed(held):
+                lock.release()
+            self._telemetry.retries.inc()
+
+    def _reserve(
+        self,
+        plans: List[Tuple[Any, List[int]]],
+        batch: List[Schema],
+        held: List[threading.Lock],
+    ) -> List[_GroupPlan]:
+        """Claim sids and class names for a validated plan.
+
+        Topology lock held by the caller.  Fresh groups get a new sid
+        whose lock is created *pre-acquired* (appended to *held*; no
+        other writer can know the sid before we publish the reservation,
+        so acquiring it cannot block and the ascending-sid lock order is
+        preserved — fresh sids sort after every existing one).  Every
+        batch class with no committed assignment is reserved to its
+        group's target sid so contending writers plan onto our lock.
+        """
+        groups: List[_GroupPlan] = []
+        for existing_sids, batch_indices in plans:
+            absorbed_sids = sorted(existing_sids)
+            if absorbed_sids:
+                sid = min(absorbed_sids)
+                absorbed = [self._shards[old] for old in absorbed_sids]
+                is_new = False
+            else:
+                sid = self._next_sid
+                self._next_sid += 1
+                absorbed = []
+                is_new = True
+                lock = threading.Lock()
+                lock.acquire()
+                self._shard_locks[sid] = lock
+                held.append(lock)
+            reserved = []
+            for index in batch_indices:
+                for cls in batch[index].classes:
+                    if (
+                        cls not in self._class_to_sid
+                        and cls not in self._reserved
+                    ):
+                        self._reserved[cls] = sid
+                        reserved.append(cls)
+            groups.append(
+                _GroupPlan(sid, absorbed, batch_indices, reserved, is_new)
+            )
+        return groups
+
+    def _rebuild(
+        self, groups: List[_GroupPlan], batch: List[Schema]
+    ) -> List[Tuple[_GroupPlan, ClosureBuilder, List[Schema]]]:
+        """The expensive half: fold each group on clones, no global lock.
+
+        Only the involved shard locks are held, so disjoint writers run
+        their closure work concurrently.  Raises
+        :class:`IncompatibleSchemasError` with nothing published.
+        """
+        staged = []
+        for plan in groups:
+            with span(
+                "service.rebuild",
+                component=plan.sid,
+                schemas=len(plan.batch_indices),
+            ):
+                if plan.absorbed:
+                    # Grow the largest member in place (on a clone) and
+                    # fold the others' schemas in.
+                    primary = max(
+                        plan.absorbed, key=lambda shard: len(shard.schemas)
+                    )
+                    builder = primary.builder.clone()
+                    members = list(primary.schemas)
+                    for shard in plan.absorbed:
+                        if shard is primary:
+                            continue
+                        for schema in shard.schemas:
+                            builder.add_schema(schema)
+                            members.append(schema)
+                else:
+                    builder = ClosureBuilder()
+                    members = []
+                for index in plan.batch_indices:
+                    builder.add_schema(batch[index])
+                    members.append(batch[index])
+            staged.append((plan, builder, members))
+        return staged
+
+    def _commit(
+        self,
+        staged: List[Tuple[_GroupPlan, ClosureBuilder, List[Schema]]],
+        batch_size: int,
+    ) -> Tuple[int, int]:
+        """Swap the rebuilt shards in.  Topology lock held by the caller.
+
+        Publication order matters for the lock-free readers: (1) the new
+        shard objects, (2) the class map, (3) dropping absorbed shards,
+        (4) the generation bump.  At every intermediate point a reader
+        resolves to *some* committed shard whose content is current or a
+        subset of current, and data can only ever be *fresher* than the
+        generation it is stamped with — so a race costs at worst a cache
+        miss, never a stale answer served as current.
+        """
+        generation = self._generation + 1
+        for plan, builder, members in staged:
+            self._shards[plan.sid] = Shard(
+                plan.sid, builder, members, generation
+            )
+        for plan, builder, _members in staged:
+            for cls in builder.classes:
+                self._class_to_sid[cls] = plan.sid
+            for cls in plan.reserved:
+                self._reserved.pop(cls, None)
+        for plan, _builder, _members in staged:
+            for shard in plan.absorbed:
+                if shard.sid != plan.sid:
+                    self._shards.pop(shard.sid, None)
+                    self._shard_locks.pop(shard.sid, None)
+        self._generation = generation
+        self._telemetry.schemas.inc(batch_size)
+        return generation, len(self._shards)
+
+    def _abandon(self, groups: List[_GroupPlan]) -> None:
+        """Undo a failed write's claims.  Topology lock held by caller.
+
+        Reservations disappear and fresh sids' locks are deregistered
+        (we still hold the lock objects; waiters wake, fail the
+        identity re-validation, and replan).  Committed shards were
+        never touched — their builders were only cloned.
+        """
+        for plan in groups:
+            for cls in plan.reserved:
+                self._reserved.pop(cls, None)
+            if plan.is_new:
+                self._shard_locks.pop(plan.sid, None)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (lock-free readers)
     # ------------------------------------------------------------------
 
-    def _resolve_sid(self, component: ComponentRef) -> int:
+    def _resolve(self, component: ComponentRef) -> Shard:
+        """The live shard for a component ref, tolerating commit races.
+
+        Shard ids are resolved in one step.  Class names need two reads
+        (``class → sid``, ``sid → shard``) that can straddle a commit;
+        the class map is always updated *before* absorbed shards are
+        dropped, so a short retry converges on the post-commit shard.
+        """
         if isinstance(component, int):
-            if component not in self._shards:
-                raise KeyError(f"unknown component id {component!r}")
-            return component
+            shard = self._shards.get(component)
+            if shard is None:
+                raise UnknownClassError(
+                    f"unknown component id {component!r}"
+                )
+            return shard
         cls = name(component)
-        try:
-            return self._class_to_sid[cls]
-        except KeyError:
-            raise KeyError(f"no registered schema mentions class {cls}") from None
+        for _attempt in range(64):
+            sid = self._class_to_sid.get(cls)
+            if sid is None:
+                raise UnknownClassError(
+                    f"no registered schema mentions class {cls}"
+                )
+            shard = self._shards.get(sid)
+            if shard is not None:
+                return shard
+        # Pathological contention: settle it with one consistent read.
+        with self._topology:
+            sid = self._class_to_sid.get(cls)
+            if sid is None or sid not in self._shards:
+                raise UnknownClassError(
+                    f"no registered schema mentions class {cls}"
+                )
+            return self._shards[sid]
 
-    def _component_schema(self, sid: int) -> Tuple[Schema, Counter]:
+    def _component_schema(self, shard: Shard) -> Tuple[Schema, Counter]:
         """One shard's merged view, plus the outcome counter it earned.
 
         The outcome (``service.merged_view.hits`` or ``.misses``) is
         returned un-incremented: only the public entry point counts, so
         a global view assembled from many component lookups still
-        registers as a single request.
+        registers as a single request.  Safe without locks: committed
+        shards are immutable and ``ClosureBuilder.build`` mutates
+        nothing, so the worst concurrent case is two readers building
+        the same component once each.
         """
-        shard = self._shards[sid]
-        cached = self._component_cache.lookup(sid, shard.generation)
+        cached = self._component_cache.lookup(shard.sid, shard.generation)
         if cached is not _MISS:
             return cached, self._telemetry.view_hits
         merged = shard.builder.build()
         return (
-            self._component_cache.store(sid, merged, shard.generation),
+            self._component_cache.store(shard.sid, merged, shard.generation),
             self._telemetry.view_misses,
         )
 
@@ -365,19 +611,28 @@ class MergeService:
         Outcome accounting: a direct snapshot hit is a *hit*; a view
         reassembled purely from cached component parts is a *partial
         hit*; rebuilding any part makes the request a *miss*.
+
+        The generation is read *before* the shard table is copied, so a
+        concurrent commit can only make the assembled view fresher than
+        its stamp (a later lookup re-misses; never serves stale).  A
+        mid-commit copy can briefly hold both a merged shard and one it
+        absorbed — the absorbed content is a subset of the merge (the
+        join is an upper bound), so the union is unchanged.
         """
         tel = self._telemetry
-        cached = self._snapshot_cache.lookup(("view", None), self._generation)
+        generation = self._generation
+        cached = self._snapshot_cache.lookup(("view", None), generation)
         if cached is not _MISS:
             return cached, tel.view_hits
-        if not self._shards:
+        shards = self._shards.copy()
+        if not shards:
             merged = Schema.empty()
             outcome = tel.view_misses
         else:
             outcome = tel.view_partial
             parts = []
-            for sid in self._shards:
-                part, part_outcome = self._component_schema(sid)
+            for shard in shards.values():
+                part, part_outcome = self._component_schema(shard)
                 if part_outcome is tel.view_misses:
                     outcome = tel.view_misses
                 parts.append(part)
@@ -388,7 +643,7 @@ class MergeService:
             # components is itself closed — no re-closure needed.
             merged = Schema._from_closed(classes, arrows, spec)
         return (
-            self._snapshot_cache.store(("view", None), merged, self._generation),
+            self._snapshot_cache.store(("view", None), merged, generation),
             outcome,
         )
 
@@ -398,20 +653,19 @@ class MergeService:
         *component* may be a class name (the component containing it), a
         shard id from :meth:`components`, or ``None`` for the disjoint
         union of every component's merge — which equals the cold-path
-        ``join_all`` over all registered schemas.
+        ``join_all`` over all registered schemas.  Never blocks behind a
+        writer: answers come from the latest published snapshot.
         """
-        with self._lock:
-            self._requests = requests = self._requests + 1
-            if (requests & self._sample_mask) == self._sample_on:
-                return self._merged_view_sampled(component)
-            if component is None:
-                view, outcome = self._global_view()
-            else:
-                view, outcome = self._component_schema(
-                    self._resolve_sid(component)
-                )
-            outcome.inc()
-            return view
+        self._check_open()
+        self._requests = requests = next(self._ticker)
+        if (requests & self._sample_mask) == self._sample_on:
+            return self._merged_view_sampled(component)
+        if component is None:
+            view, outcome = self._global_view()
+        else:
+            view, outcome = self._component_schema(self._resolve(component))
+        outcome.inc()
+        return view
 
     def _merged_view_sampled(self, component: Optional[ComponentRef]) -> Schema:
         """The sampled slow path: same answer, plus one clock pair.
@@ -424,32 +678,32 @@ class MergeService:
         if component is None:
             view, outcome = self._global_view()
         else:
-            view, outcome = self._component_schema(
-                self._resolve_sid(component)
-            )
+            view, outcome = self._component_schema(self._resolve(component))
         self._telemetry.view_duration.observe(perf_counter() - start)
         outcome.inc()
         return view
 
-    def query(self, cls: ClassName | str) -> Dict[str, Any]:
+    def query(self, cls: ClassName | str) -> QueryResult:
         """Everything the merged view asserts about one class name.
 
-        The answer is cached per name and stamped with the shard it was
-        derived from; registrations in *other* components re-validate it
-        as a partial hit instead of recomputing.
+        The :class:`~repro.service.api_types.QueryResult` is cached per
+        name and stamped with the shard it was derived from;
+        registrations in *other* components re-validate it as a partial
+        hit instead of recomputing.  Lock-free, like :meth:`merged_view`.
         """
-        with self._lock:
-            self._requests = requests = self._requests + 1
-            key_name = name(cls)
-            if (requests & self._sample_mask) != self._sample_on:
-                return self._query_locked(key_name)
-            start = perf_counter()
-            answer = self._query_locked(key_name)
-            self._telemetry.query_duration.observe(perf_counter() - start)
-            return answer
+        self._check_open()
+        self._requests = requests = next(self._ticker)
+        key_name = name(cls)
+        if (requests & self._sample_mask) != self._sample_on:
+            return self._query(key_name)
+        start = perf_counter()
+        answer = self._query(key_name)
+        self._telemetry.query_duration.observe(perf_counter() - start)
+        return answer
 
-    def _query_locked(self, key_name: ClassName) -> Dict[str, Any]:
+    def _query(self, key_name: ClassName) -> QueryResult:
         key = ("query", key_name)
+        generation = self._generation
 
         def still_valid(stamp: Any) -> bool:
             if stamp is None:
@@ -462,49 +716,18 @@ class MergeService:
                 and shard.generation == shard_generation
             )
 
-        cached = self._snapshot_cache.lookup(
-            key, self._generation, still_valid
-        )
+        cached = self._snapshot_cache.lookup(key, generation, still_valid)
         if cached is not _MISS:
-            return dict(cached)
-        sid = self._resolve_sid(key_name)
-        shard = self._shards[sid]
-        merged, _outcome = self._component_schema(sid)
-        answer: Dict[str, Any] = {
-            "class": str(key_name),
-            "component": sid,
-            "component_schemas": len(shard.schemas),
-            "generalizations": tuple(
-                sorted(
-                    str(c)
-                    for c in merged.generalizations_of(key_name)
-                    if c != key_name
-                )
-            ),
-            "specializations": tuple(
-                sorted(
-                    str(c)
-                    for c in merged.specializations_of(key_name)
-                    if c != key_name
-                )
-            ),
-            "arrows_out": tuple(
-                sorted(
-                    (label, str(target))
-                    for _s, label, target in merged.arrows_from(key_name)
-                )
-            ),
-            "arrows_in": tuple(
-                sorted(
-                    (str(source), label)
-                    for source, label, _t in merged.arrows_into(key_name)
-                )
-            ),
-        }
-        self._snapshot_cache.store(
-            key, answer, self._generation, stamp=(sid, shard.generation)
+            return cached
+        shard = self._resolve(key_name)
+        merged, _outcome = self._component_schema(shard)
+        answer = QueryResult.from_component(
+            merged, key_name, shard.sid, len(shard.schemas)
         )
-        return dict(answer)
+        self._snapshot_cache.store(
+            key, answer, generation, stamp=(shard.sid, shard.generation)
+        )
+        return answer
 
     # ------------------------------------------------------------------
     # Introspection
@@ -512,25 +735,24 @@ class MergeService:
 
     def component_of(self, cls: ClassName | str) -> Optional[int]:
         """The shard id owning *cls*, or ``None`` if the name is unknown."""
-        with self._lock:
-            return self._class_to_sid.get(name(cls))
+        return self._class_to_sid.get(name(cls))
 
     def components(self) -> Dict[int, Dict[str, int]]:
         """Per-shard summary: class count, member schemas, last mutation."""
-        with self._lock:
-            return {
-                sid: {
-                    "classes": len(shard.builder.classes),
-                    "schemas": len(shard.schemas),
-                    "generation": shard.generation,
-                }
-                for sid, shard in sorted(self._shards.items())
+        return {
+            shard.sid: {
+                "classes": len(shard.builder.classes),
+                "schemas": len(shard.schemas),
+                "generation": shard.generation,
             }
+            for shard in sorted(
+                self._shards.copy().values(), key=lambda s: s.sid
+            )
+        }
 
     def component_schemas(self, component: ComponentRef) -> Tuple[Schema, ...]:
         """The registered schemas that make up one component."""
-        with self._lock:
-            return tuple(self._shards[self._resolve_sid(component)].schemas)
+        return tuple(self._resolve(component).schemas)
 
     def service_stats(self) -> Dict[str, Any]:
         """Operational counters: components, generation, cache hit rates.
@@ -545,38 +767,36 @@ class MergeService:
         collected.
         """
         tel = self._telemetry
-        with self._lock:
-            return {
-                "components": len(self._shards),
-                "registered_schemas": tel.schemas.value,
-                "generation": self._generation,
-                "requests_served": self._requests,
-                "component_cache": self._component_cache.stats(),
-                "snapshot_cache": self._snapshot_cache.stats(),
-                "telemetry": {
-                    "merged_view": tel.view_counts(),
-                    "register": {
-                        "calls": tel.calls.value,
-                        "rollbacks": tel.rollbacks.value,
-                    },
-                    "latency": {
-                        "merged_view": tel.view_duration.percentiles(),
-                        "query": tel.query_duration.percentiles(),
-                        "register": tel.register_duration.percentiles(),
-                    },
+        return {
+            "components": len(self._shards),
+            "registered_schemas": tel.schemas.value,
+            "generation": self._generation,
+            "requests_served": self._requests,
+            "component_cache": self._component_cache.stats(),
+            "snapshot_cache": self._snapshot_cache.stats(),
+            "telemetry": {
+                "merged_view": tel.view_counts(),
+                "register": {
+                    "calls": tel.calls.value,
+                    "rollbacks": tel.rollbacks.value,
+                    "plan_retries": tel.retries.value,
                 },
-            }
+                "latency": {
+                    "merged_view": tel.view_duration.percentiles(),
+                    "query": tel.query_duration.percentiles(),
+                    "register": tel.register_duration.percentiles(),
+                },
+            },
+        }
 
     def clear_caches(self) -> None:
         """Drop every cached answer (recomputed on demand; never unsafe)."""
-        with self._lock:
-            self._component_cache.clear()
-            self._snapshot_cache.clear()
+        self._component_cache.clear()
+        self._snapshot_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        with self._lock:
-            return (
-                f"MergeService(schemas={self._telemetry.schemas.value}, "
-                f"components={len(self._shards)}, "
-                f"generation={self._generation})"
-            )
+        return (
+            f"MergeService(schemas={self._telemetry.schemas.value}, "
+            f"components={len(self._shards)}, "
+            f"generation={self._generation})"
+        )

@@ -27,7 +27,7 @@ can apply (or abandon) the whole batch atomically.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.names import ClassName
 from repro.core.schema import Schema
@@ -101,6 +101,7 @@ class Shard:
 def plan_groups(
     batch: Sequence[Schema],
     class_to_sid: Dict[ClassName, int],
+    reserved: Optional[Dict[ClassName, int]] = None,
 ) -> List[Tuple[Set[int], List[int]]]:
     """Plan how a batch folds into the existing shard layout (pure).
 
@@ -110,6 +111,12 @@ def plan_groups(
     it.  Batch schemas sharing a class — directly or through a chain of
     existing shards — end up in the same group.  Shards untouched by the
     batch are not reported.
+
+    *reserved* is a second ``class → sid`` mapping consulted when
+    *class_to_sid* has no entry: the per-shard-locking service records
+    in-flight writers' claims on still-uncommitted class names there, so
+    a concurrent plan routes contending batches onto the claimant's
+    shard id (and therefore onto its lock) instead of racing it.
     """
     uf = UnionFind()
     first_claim: Dict[ClassName, Tuple[str, int]] = {}
@@ -118,6 +125,8 @@ def plan_groups(
         uf.find(node)
         for cls in schema.classes:
             sid = class_to_sid.get(cls)
+            if sid is None and reserved is not None:
+                sid = reserved.get(cls)
             if sid is not None:
                 uf.union(node, ("shard", sid))
             else:

@@ -58,9 +58,11 @@ class SnapshotCache:
     partial-hit predicate.  ``lookup`` returns :data:`SnapshotCache.MISS`
     on a miss so ``None``/``False`` values are cacheable.
 
-    Counter updates are plain instrument increments; exact counts under
-    concurrency rely on the owner's lock (the merge service holds one
-    around every cache operation).
+    Counter updates are plain instrument increments.  The cache itself
+    is GIL-tolerant: the merge service consults it from lock-free read
+    paths, so concurrent ``store``/``lookup``/eviction races are
+    handled defensively (see ``_evict``) and cost at worst a recompute,
+    never a wrong answer.
     """
 
     MISS = Sentinel("SnapshotCache.MISS")

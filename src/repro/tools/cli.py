@@ -272,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable spans and latency sampling (see :stats / :trace)",
     )
+    serve.add_argument(
+        "--http",
+        type=_positive_int,
+        metavar="PORT",
+        help=(
+            "serve the registry over HTTP on PORT instead of the stdin "
+            "REPL (POST /v1/schemas, GET /v1/query/CLASS, ...)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --http (default 127.0.0.1)",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -583,17 +597,26 @@ def _serve(args: argparse.Namespace) -> int:
     if args.workload:
         from repro.generators.workloads import get_request_stream
 
-        try:
-            stream = get_request_stream(args.workload)
-        except KeyError as exc:
-            raise SchemaError(str(exc)) from None
-        initial += stream.make()[0]
+        initial += get_request_stream(args.workload).make()[0]
     if initial:
-        outcome = service.register(initial)
+        receipt = service.register(initial)
         print(
-            f"registered {outcome['accepted']} schemas in "
-            f"{outcome['components']} components"
+            f"registered {receipt.accepted} schemas in "
+            f"{receipt.components} components"
         )
+    if args.http:
+        from repro.service.http import serve_http
+
+        serve_http(
+            service,
+            host=args.host,
+            port=args.http,
+            announce=lambda host, port: print(
+                f"serving HTTP on {host}:{port} (Ctrl-C to stop)",
+                flush=True,
+            ),
+        )
+        return 0
     prompt = "serve> " if sys.stdin.isatty() else ""
     while True:
         try:
@@ -613,12 +636,12 @@ def _serve(args: argparse.Namespace) -> int:
                 if not rest:
                     print("register takes at least one schema file")
                     continue
-                outcome = service.register(
+                receipt = service.register(
                     [_load_schema(path) for path in rest]
                 )
                 print(
-                    f"generation {outcome['generation']}: "
-                    f"{outcome['components']} components"
+                    f"generation {receipt.generation}: "
+                    f"{receipt.components} components"
                 )
             elif command == "view":
                 target = rest[0] if rest else None
@@ -635,7 +658,9 @@ def _serve(args: argparse.Namespace) -> int:
                 if len(rest) != 1:
                     print("query takes exactly one class name")
                     continue
-                print(_json.dumps(service.query(rest[0]), indent=2))
+                print(
+                    _json.dumps(service.query(rest[0]).to_dict(), indent=2)
+                )
             elif command == "components":
                 for sid, info in service.components().items():
                     print(
@@ -671,16 +696,13 @@ def _bench(args: argparse.Namespace) -> int:
     """The ``bench`` subcommand: run and summarize one request stream."""
     import json as _json
 
-    from repro.service import run_bench
+    from repro.service.bench import run_bench
 
-    try:
-        result = run_bench(
-            args.workload,
-            repeat=args.repeat,
-            telemetry_jsonl=args.telemetry_jsonl,
-        )
-    except KeyError as exc:
-        raise SchemaError(str(exc)) from None
+    result = run_bench(
+        args.workload,
+        repeat=args.repeat,
+        telemetry_jsonl=args.telemetry_jsonl,
+    )
     summary = result["summary"]
     timings = result["timings"]
     print(f"workload: {result['workload']}")
@@ -744,11 +766,7 @@ def _telemetry_session(args: argparse.Namespace):
     if args.workload:
         from repro.generators.workloads import get_request_stream
 
-        try:
-            stream = get_request_stream(args.workload)
-        except KeyError as exc:
-            raise SchemaError(str(exc)) from None
-        workload_initial, requests = stream.make()
+        workload_initial, requests = get_request_stream(args.workload).make()
         initial = workload_initial + initial
     if not initial:
         raise SchemaError(

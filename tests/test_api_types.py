@@ -1,0 +1,116 @@
+"""Tests for repro.service.api_types — typed results and the compat shim.
+
+The API redesign's contract: ``register`` and ``query`` return frozen
+dataclasses that (a) are immutable and hashable, (b) compare equal to
+the dict shape they replaced without warning, and (c) still *subscript*
+like those dicts for exactly one release, loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.service import MergeService, QueryResult, RegisterReceipt
+
+
+@pytest.fixture
+def receipt() -> RegisterReceipt:
+    return RegisterReceipt(accepted=2, components=2, generation=1)
+
+
+@pytest.fixture
+def result() -> QueryResult:
+    service = MergeService(
+        [
+            Schema.build(
+                arrows=[("Dog", "owner", "Person")], spec=[("Puppy", "Dog")]
+            )
+        ]
+    )
+    return service.query("Dog")
+
+
+class TestRegisterReceipt:
+    def test_service_returns_the_typed_receipt(self):
+        service = MergeService()
+        outcome = service.register([Schema.build(classes=["A"])])
+        assert isinstance(outcome, RegisterReceipt)
+        assert (outcome.accepted, outcome.components, outcome.generation) == (
+            1,
+            1,
+            1,
+        )
+
+    def test_frozen(self, receipt):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            receipt.generation = 9
+
+    def test_to_dict_round_trips_through_json(self, receipt):
+        doc = json.loads(json.dumps(receipt.to_dict()))
+        assert doc == {"accepted": 2, "components": 2, "generation": 1}
+
+    def test_equality_with_mapping_is_silent(self, receipt):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert receipt == {
+                "accepted": 2,
+                "components": 2,
+                "generation": 1,
+            }
+            assert receipt != {"accepted": 0, "components": 2, "generation": 1}
+
+    def test_equality_with_same_type(self, receipt):
+        twin = RegisterReceipt(accepted=2, components=2, generation=1)
+        other = RegisterReceipt(accepted=2, components=2, generation=9)
+        assert receipt == twin
+        assert receipt != other
+        assert hash(receipt) == hash(twin)
+
+    def test_subscription_works_but_warns(self, receipt):
+        with pytest.deprecated_call():
+            assert receipt["generation"] == 1
+
+    def test_iteration_warns(self, receipt):
+        with pytest.deprecated_call():
+            assert sorted(receipt) == ["accepted", "components", "generation"]
+
+    def test_contains_is_silent(self, receipt):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert "generation" in receipt
+            assert "nope" not in receipt
+
+
+class TestQueryResult:
+    def test_fields_are_sorted_tuples(self, result):
+        assert result.class_name == "Dog"
+        assert result.arrows_out == (("owner", "Person"),)
+        assert result.specializations == ("Puppy",)
+        assert result.generalizations == ()
+
+    def test_to_dict_keeps_the_legacy_class_key(self, result):
+        doc = result.to_dict()
+        assert doc["class"] == "Dog"
+        assert doc["component"] == result.component
+        assert doc["arrows_out"] == (("owner", "Person"),)
+
+    def test_equality_with_legacy_dict_shape(self, result):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result == result.to_dict()
+
+    def test_subscription_warns_once_per_access(self, result):
+        with pytest.deprecated_call():
+            assert result["class"] == "Dog"
+
+    def test_hashable_and_cache_safe(self, result):
+        assert {result: "cached"}[result] == "cached"
+
+    def test_frozen(self, result):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.component = 99

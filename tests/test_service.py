@@ -20,11 +20,12 @@ from repro.generators.random_schemas import random_schema_family
 from repro.generators.workloads import get_request_stream
 from repro.service import (
     MergeService,
+    RegisterReceipt,
     SnapshotCache,
     UnionFind,
     plan_groups,
-    replay,
 )
+from repro.service.bench import replay
 
 
 def pets_schema() -> Schema:
@@ -45,7 +46,9 @@ class TestRegistry:
     def test_disjoint_schemas_land_in_separate_components(self):
         service = MergeService()
         outcome = service.register([pets_schema(), court_schema()])
-        assert outcome == {"accepted": 2, "components": 2, "generation": 1}
+        assert outcome == RegisterReceipt(
+            accepted=2, components=2, generation=1
+        )
         assert service.component_of("Dog") != service.component_of("Case")
 
     def test_overlapping_schemas_share_a_component(self):
@@ -68,16 +71,16 @@ class TestRegistry:
     def test_generation_bumps_once_per_batch(self):
         service = MergeService()
         outcome = service.register([pets_schema(), court_schema()])
-        assert outcome["generation"] == 1
+        assert outcome.generation == 1
         outcome = service.register([bridge_schema()])
-        assert outcome["generation"] == 2
+        assert outcome.generation == 2
 
     def test_empty_schemas_are_accepted_but_change_nothing(self):
         service = MergeService([pets_schema()])
         before = service.service_stats()["generation"]
         outcome = service.register([Schema.empty()])
-        assert outcome["accepted"] == 1
-        assert outcome["generation"] == before
+        assert outcome.accepted == 1
+        assert outcome.generation == before
         assert service.service_stats()["components"] == 1
 
     def test_unknown_lookups_raise_key_error(self):
@@ -233,7 +236,7 @@ class TestInvalidation:
             [Schema.build(arrows=[(anchor, "probe", "ProbeTarget")])]
         )
         second = service.query(anchor)
-        assert ("probe", "ProbeTarget") in second["arrows_out"]
+        assert ("probe", "ProbeTarget") in second.arrows_out
         assert second != first
 
     def test_global_view_tracks_registrations(self, sharded_service):
@@ -267,7 +270,7 @@ class TestConcurrency:
         def read(index: int):
             assert service.merged_view() == expected
             answer = service.query(classes[index % len(classes)])
-            assert answer["component"] in service.components()
+            assert answer.component in service.components()
             return True
 
         with ThreadPoolExecutor(max_workers=8) as pool:
@@ -295,7 +298,8 @@ class TestConcurrency:
 
         def read(index: int):
             service.merged_view(anchors[index % len(anchors)])
-            return "arrows_out" in service.query(anchors[index % len(anchors)])
+            answer = service.query(anchors[index % len(anchors)])
+            return answer.class_name == anchors[index % len(anchors)]
 
         with ThreadPoolExecutor(max_workers=8) as pool:
             writes = [pool.submit(write, i) for i in range(16)]

@@ -1,0 +1,295 @@
+"""Concurrency tests for the per-shard-locking merge service.
+
+The three claims the locking redesign makes, each exercised directly:
+
+* writers on **disjoint components** are independent — N threads
+  hammering N separate pods lose nothing and corrupt nothing;
+* **bridging** registrations (which must take several shard locks)
+  are deadlock-free under contention, because every writer acquires
+  in ascending shard-id order;
+* **readers never block** — a warm ``merged_view`` completes while a
+  writer holds the very shard lock the view reads through.
+
+The heavier storm variants carry ``@pytest.mark.slow`` so the CI
+matrix (``-m "not slow"``) runs the fast versions on every push.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.ordering import join_all
+from repro.core.schema import Schema
+from repro.exceptions import (
+    IncompatibleSchemasError,
+    ServiceShutdownError,
+    UnknownClassError,
+)
+from repro.generators.workloads import get_concurrent_stream
+from repro.service import MergeService
+
+#: Generous watchdog: a deadlock hangs forever, a healthy run takes
+#: well under a second.
+JOIN_TIMEOUT = 30.0
+
+
+def run_writers(service, lanes, barrier_timeout=JOIN_TIMEOUT):
+    """Run one thread per lane; returns per-lane exception lists."""
+    barrier = threading.Barrier(len(lanes))
+    errors = [[] for _ in lanes]
+
+    def writer(index, lane):
+        barrier.wait(timeout=barrier_timeout)
+        for kind, schema in lane:
+            assert kind == "register"
+            try:
+                service.register([schema])
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors[index].append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(i, lane), daemon=True)
+        for i, lane in enumerate(lanes)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    assert not any(thread.is_alive() for thread in threads), (
+        "writer threads did not finish — deadlock?"
+    )
+    return errors
+
+
+class TestDisjointWriters:
+    def test_no_lost_registrations_across_16_disjoint_writers(self):
+        initial, lanes = get_concurrent_stream("concurrent-disjoint-16").make()
+        service = MergeService(initial)
+        assert len(service.components()) == len(lanes)
+
+        errors = run_writers(service, lanes)
+        assert not any(errors), errors
+
+        total = len(initial) + sum(len(lane) for lane in lanes)
+        stats = service.service_stats()
+        assert stats["registered_schemas"] == total
+        # One generation bump per register call, none coalesced or lost.
+        assert stats["generation"] == 1 + sum(len(lane) for lane in lanes)
+        # Disjoint pods never merge: still one component per lane, and
+        # each equals the cold-path join of exactly its own schemas.
+        assert len(service.components()) == len(lanes)
+        for sid in service.components():
+            members = list(service.component_schemas(sid))
+            assert service.merged_view(sid) == join_all(members)
+
+    def test_writers_racing_on_the_same_fresh_class_serialize(self):
+        # Every schema mentions a brand-new shared class, so the
+        # reservation path must funnel all writers into one component.
+        service = MergeService()
+        schemas = [
+            Schema.build(arrows=[("Hub", f"spoke{i}", f"Rim{i}")])
+            for i in range(12)
+        ]
+
+        def write(schema):
+            service.register([schema])
+            return True
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            assert all(pool.map(write, schemas))
+
+        assert len(service.components()) == 1
+        assert service.service_stats()["registered_schemas"] == 12
+        merged = service.merged_view("Hub")
+        for i in range(12):
+            assert merged.has_arrow("Hub", f"spoke{i}", f"Rim{i}")
+
+
+class TestBridgingUnderContention:
+    def _pod(self, pod: int) -> Schema:
+        return Schema.build(
+            arrows=[(f"Pod{pod}_A", "link", f"Pod{pod}_B")]
+        )
+
+    def _bridge(self, left: int, right: int, tag: int) -> Schema:
+        return Schema.build(
+            arrows=[(f"Pod{left}_A", f"bridge{tag}", f"Pod{right}_A")]
+        )
+
+    def test_two_components_merge_exactly_once_under_contention(self):
+        service = MergeService([self._pod(0), self._pod(1)])
+        assert len(service.components()) == 2
+        # Eight threads all try to bridge the same two components at
+        # once; every one must succeed (ordered acquisition, replanning
+        # after the first merge) and the result is a single component.
+        lanes = [
+            [("register", self._bridge(0, 1, tag))] for tag in range(8)
+        ]
+        errors = run_writers(service, lanes)
+        assert not any(errors), errors
+        assert len(service.components()) == 1
+        assert service.component_of("Pod0_A") == service.component_of(
+            "Pod1_B"
+        )
+        merged = service.merged_view("Pod0_A")
+        for tag in range(8):
+            assert merged.has_arrow("Pod0_A", f"bridge{tag}", "Pod1_A")
+
+    def test_bridge_chain_storm(self):
+        # 8 pods; concurrent writers bridge neighbours in both orders
+        # (0-1, 1-2, ... and 6-7, 5-6, ...) while pod-local writers keep
+        # the shard locks warm.  Lock ordering by ascending sid makes
+        # the opposite acquisition orders safe.
+        pods = 8
+        service = MergeService([self._pod(p) for p in range(pods)])
+        forward = [
+            ("register", self._bridge(p, p + 1, 100 + p))
+            for p in range(pods - 1)
+        ]
+        backward = [
+            ("register", self._bridge(p, p + 1, 200 + p))
+            for p in reversed(range(pods - 1))
+        ]
+        local = [
+            ("register", Schema.build(
+                arrows=[(f"Pod{p}_B", "extra", f"Pod{p}_C")]
+            ))
+            for p in range(pods)
+        ]
+        errors = run_writers(service, [forward, backward, local])
+        assert not any(errors), errors
+        assert len(service.components()) == 1
+        members = list(
+            service.component_schemas(service.component_of("Pod0_A"))
+        )
+        assert service.merged_view("Pod0_A") == join_all(members)
+
+    @pytest.mark.slow
+    def test_bridge_storm_many_rounds(self):
+        for round_seed in range(5):
+            service = MergeService([self._pod(p) for p in range(6)])
+            lanes = [
+                [
+                    ("register", self._bridge(p, (p + 1) % 6, round_seed))
+                ]
+                for p in range(5)
+            ]
+            errors = run_writers(service, lanes)
+            assert not any(errors), errors
+            assert len(service.components()) == 1
+
+
+class TestReadersNeverBlock:
+    def test_warm_view_completes_while_shard_lock_is_held(self):
+        initial, _lanes = get_concurrent_stream("concurrent-disjoint-4").make()
+        service = MergeService(initial)
+        sid = sorted(service.components())[0]
+        service.merged_view(sid)  # warm the component cache
+        anchor = str(service.component_schemas(sid)[0].sorted_classes()[0])
+
+        # Simulate an in-flight writer: hold the component's own lock.
+        lock = service._shard_locks[sid]
+        assert lock.acquire(timeout=5)
+        try:
+            done = threading.Event()
+            answers = {}
+
+            def read():
+                answers["view"] = service.merged_view(sid)
+                answers["query"] = service.query(anchor)
+                answers["global"] = service.merged_view()
+                done.set()
+
+            thread = threading.Thread(target=read, daemon=True)
+            start = time.perf_counter()
+            thread.start()
+            assert done.wait(timeout=5), (
+                "reads blocked behind a held shard lock"
+            )
+            elapsed = time.perf_counter() - start
+        finally:
+            lock.release()
+        assert answers["view"].has_arrow is not None
+        assert answers["query"].component == sid
+        # Not a performance bar — just "nowhere near the lock timeout".
+        assert elapsed < 2.0
+
+    def test_writer_on_other_component_proceeds_while_lock_held(self):
+        initial, _lanes = get_concurrent_stream("concurrent-disjoint-4").make()
+        service = MergeService(initial)
+        sids = sorted(service.components())
+        lock = service._shard_locks[sids[0]]
+        other_anchor = str(
+            service.component_schemas(sids[1])[0].sorted_classes()[0]
+        )
+        assert lock.acquire(timeout=5)
+        try:
+            done = threading.Event()
+
+            def write():
+                service.register(
+                    [
+                        Schema.build(
+                            arrows=[(other_anchor, "probe", "OtherProbe")]
+                        )
+                    ]
+                )
+                done.set()
+
+            thread = threading.Thread(target=write, daemon=True)
+            thread.start()
+            assert done.wait(timeout=5), (
+                "a disjoint-component write blocked behind an unrelated "
+                "shard lock"
+            )
+        finally:
+            lock.release()
+        assert service.merged_view(other_anchor).has_arrow(
+            other_anchor, "probe", "OtherProbe"
+        )
+
+
+class TestFailureModes:
+    def test_rollback_under_contention_leaves_no_reservations(self):
+        service = MergeService([Schema.build(spec=[("X", "Y")])])
+        good_lane = [
+            ("register", Schema.build(classes=[f"Fresh{i}"]))
+            for i in range(6)
+        ]
+        bad_lane = [
+            ("register", Schema.build(spec=[("Y", "X")])) for _ in range(6)
+        ]
+        errors = run_writers(service, [good_lane, bad_lane])
+        assert not errors[0], errors[0]
+        assert len(errors[1]) == 6
+        assert all(
+            isinstance(exc, IncompatibleSchemasError) for exc in errors[1]
+        )
+        # Failed writes left no claims behind; the registry still works.
+        assert service._reserved == {}
+        service.register([Schema.build(classes=["AfterTheStorm"])])
+        assert service.component_of("AfterTheStorm") is not None
+
+    def test_closed_service_refuses_requests(self):
+        service = MergeService([Schema.build(classes=["A"])])
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceShutdownError):
+            service.register([Schema.build(classes=["B"])])
+        with pytest.raises(ServiceShutdownError):
+            service.merged_view()
+        with pytest.raises(ServiceShutdownError):
+            service.query("A")
+        service.close()  # idempotent
+
+    def test_unknown_class_is_service_error_and_key_error(self):
+        service = MergeService([Schema.build(classes=["A"])])
+        with pytest.raises(UnknownClassError) as excinfo:
+            service.query("Unicorn")
+        assert isinstance(excinfo.value, KeyError)
+        assert "Unicorn" in str(excinfo.value)
+        assert "'" not in str(excinfo.value)  # no KeyError repr-quoting

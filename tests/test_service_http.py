@@ -1,0 +1,228 @@
+"""Tests for the asyncio HTTP front end (repro.service.http).
+
+A real server on a real socket (port 0, loopback), driven with
+``http.client`` — the same wire a curl user sees.  Covers the four
+routes, the taxonomy → status-code mapping, keep-alive, and the
+wire-format round trip through ``io/json_io.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.exceptions import (
+    IncompatibleSchemasError,
+    InvalidRequestError,
+    ServiceShutdownError,
+    UnknownClassError,
+)
+from repro.io.json_io import schema_from_dict, schema_to_dict
+from repro.service import API_FORMAT, HttpFrontend, MergeService
+from repro.service.http import status_for
+
+
+def schema_doc(schema: Schema) -> dict:
+    return schema_to_dict(schema)
+
+
+def post(conn, path, payload):
+    conn.request(
+        "POST",
+        path,
+        json.dumps(payload),
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def get(conn, path):
+    conn.request("GET", path)
+    response = conn.getresponse()
+    body = response.read()
+    content_type = response.getheader("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return response.status, json.loads(body)
+    return response.status, body.decode()
+
+
+@pytest.fixture
+def service():
+    return MergeService(
+        [
+            Schema.build(
+                arrows=[("Dog", "owner", "Person")], spec=[("Puppy", "Dog")]
+            ),
+            Schema.build(arrows=[("Case", "judge", "Court")]),
+        ]
+    )
+
+
+@pytest.fixture
+def frontend(service):
+    with HttpFrontend(service, port=0) as server:
+        yield server
+
+
+@pytest.fixture
+def conn(frontend):
+    connection = http.client.HTTPConnection(*frontend.address, timeout=10)
+    yield connection
+    connection.close()
+
+
+class TestRoutes:
+    def test_register_round_trip(self, conn, service):
+        incoming = Schema.build(arrows=[("Person", "argues", "Case")])
+        status, doc = post(
+            conn,
+            "/v1/schemas",
+            {"format": API_FORMAT, "schemas": [schema_doc(incoming)]},
+        )
+        assert status == 200
+        assert doc["format"] == API_FORMAT
+        assert doc["accepted"] == 1
+        assert doc["generation"] == 2
+        # The bridge merged the two seed components.
+        assert doc["components"] == 1
+        assert service.component_of("Dog") == service.component_of("Court")
+
+    def test_component_view_round_trips_through_json_io(self, conn, service):
+        sid = service.component_of("Dog")
+        status, doc = get(conn, f"/v1/components/{sid}/view")
+        assert status == 200
+        assert doc["component"] == sid
+        decoded = schema_from_dict(doc["view"])
+        assert decoded == service.merged_view(sid)
+        assert decoded.has_arrow("Puppy", "owner", "Person")
+
+    def test_query(self, conn):
+        status, doc = get(conn, "/v1/query/Dog")
+        assert status == 200
+        assert doc["format"] == API_FORMAT
+        assert doc["class"] == "Dog"
+        assert ["owner", "Person"] in doc["arrows_out"]
+        assert "Puppy" in doc["specializations"]
+
+    def test_stats_prometheus_text(self, conn):
+        status, text = get(conn, "/v1/stats")
+        assert status == 200
+        assert "service_components" in text or "service" in text
+
+    def test_stats_json(self, conn):
+        status, doc = get(conn, "/v1/stats?format=json")
+        assert status == 200
+        assert doc["stats"]["components"] == 2
+
+    def test_keep_alive_serves_many_requests_per_connection(self, conn):
+        for _ in range(5):
+            status, doc = get(conn, "/v1/query/Dog")
+            assert status == 200
+            assert doc["class"] == "Dog"
+
+
+class TestStatusMapping:
+    def test_unknown_class_is_404(self, conn):
+        status, doc = get(conn, "/v1/query/Unicorn")
+        assert status == 404
+        assert doc["type"] == "UnknownClassError"
+        assert "Unicorn" in doc["error"]
+
+    def test_unknown_component_is_404(self, conn):
+        status, doc = get(conn, "/v1/components/99/view")
+        assert status == 404
+
+    def test_malformed_body_is_400(self, conn):
+        conn.request("POST", "/v1/schemas", "this is not json")
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+        assert response.status == 400
+        assert doc["type"] == "InvalidRequestError"
+
+    def test_wrong_wire_format_is_400(self, conn):
+        status, doc = post(conn, "/v1/schemas", {"format": "nope", "schemas": []})
+        assert status == 400
+
+    def test_bad_schema_document_is_400(self, conn):
+        status, doc = post(
+            conn,
+            "/v1/schemas",
+            {"format": API_FORMAT, "schemas": [{"format": "bogus"}]},
+        )
+        assert status == 400
+        assert doc["type"] == "SerializationError"
+
+    def test_incompatible_batch_is_409_and_rolls_back(self, conn, service):
+        generation = service.service_stats()["generation"]
+        status, doc = post(
+            conn,
+            "/v1/schemas",
+            {
+                "format": API_FORMAT,
+                "schemas": [
+                    schema_doc(Schema.build(spec=[("X", "Y")])),
+                    schema_doc(Schema.build(spec=[("Y", "X")])),
+                ],
+            },
+        )
+        assert status == 409
+        assert doc["type"] == "IncompatibleSchemasError"
+        assert service.service_stats()["generation"] == generation
+        assert service.component_of("X") is None
+
+    def test_unknown_route_is_404(self, conn):
+        status, doc = get(conn, "/v2/anything")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, conn):
+        status, doc = get(conn, "/v1/schemas")
+        assert status == 405
+
+    def test_non_integer_component_id_is_400(self, conn):
+        status, doc = get(conn, "/v1/components/dog/view")
+        assert status == 400
+
+    def test_closed_service_is_503(self, conn, service):
+        service.close()
+        status, doc = get(conn, "/v1/query/Dog")
+        assert status == 503
+        assert doc["type"] == "ServiceShutdownError"
+
+    def test_status_for_covers_the_taxonomy(self):
+        assert status_for(UnknownClassError("x")) == 404
+        assert status_for(InvalidRequestError("x")) == 400
+        assert status_for(IncompatibleSchemasError("x")) == 409
+        assert status_for(ServiceShutdownError("x")) == 503
+        assert status_for(Exception("x")) == 500
+
+
+class TestLifecycle:
+    def test_port_zero_picks_a_free_port(self, frontend):
+        host, port = frontend.address
+        assert host == "127.0.0.1"
+        assert port > 0
+
+    def test_stop_is_idempotent(self, service):
+        server = HttpFrontend(service, port=0).start()
+        server.stop()
+        server.stop()
+
+    def test_address_before_start_raises(self, service):
+        with pytest.raises(RuntimeError):
+            HttpFrontend(service).address
+
+    def test_two_frontends_can_share_a_process(self, service):
+        with HttpFrontend(service, port=0) as first:
+            with HttpFrontend(service, port=0) as second:
+                assert first.address != second.address
+                for server in (first, second):
+                    connection = http.client.HTTPConnection(
+                        *server.address, timeout=10
+                    )
+                    status, doc = get(connection, "/v1/query/Dog")
+                    connection.close()
+                    assert status == 200
