@@ -22,10 +22,10 @@ __all__ = ["enabled", "set_enabled", "subscribe"]
 
 #: The switch itself.  Read directly on hot paths; write via
 #: :func:`set_enabled` only, so subscribers stay in sync.
-enabled = False
+enabled = False  # guarded-by(writes): _lock
 
 _lock = threading.Lock()
-_listeners: List[Callable[[bool], None]] = []
+_listeners: List[Callable[[bool], None]] = []  # guarded-by: _lock
 
 
 def set_enabled(flag: bool) -> None:

@@ -69,7 +69,7 @@ class Counter:
 
     __slots__ = ("name", "labels", "_value")
 
-    def __init__(self, name: str, **labels: Any):
+    def __init__(self, name: str, **labels: Any) -> None:
         self.name = name
         self.labels = _label_items(labels)
         self._value = 0
@@ -105,7 +105,7 @@ class Gauge:
         name: str,
         fn: Optional[Callable[[], Any]] = None,
         **labels: Any,
-    ):
+    ) -> None:
         self.name = name
         self.labels = _label_items(labels)
         self._value: Any = 0
@@ -180,7 +180,7 @@ class Histogram:
         hi: float = 100.0,
         buckets_per_decade: int = 10,
         **labels: Any,
-    ):
+    ) -> None:
         if not (0 < lo < hi):
             raise ValueError(f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
         if buckets_per_decade < 1:
@@ -190,12 +190,12 @@ class Histogram:
         decades = math.log10(hi / lo)
         n_edges = int(math.ceil(decades * buckets_per_decade)) + 1
         ratio = 10.0 ** (1.0 / buckets_per_decade)
-        self._edges = [lo * ratio**i for i in range(n_edges)]
-        self._counts = [0] * (n_edges + 1)  # +1: overflow bucket
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._edges = [lo * ratio**i for i in range(n_edges)]  # frozen-after-init
+        self._counts = [0] * (n_edges + 1)  # guarded-by: _lock (+1: overflow)
+        self.count = 0  # guarded-by: _lock
+        self.sum = 0.0  # guarded-by: _lock
+        self.min = math.inf  # guarded-by: _lock
+        self.max = -math.inf  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -279,7 +279,8 @@ class Histogram:
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return f"Histogram({self.name}, count={self.count})"
+        with self._lock:
+            return f"Histogram({self.name}, count={self.count})"
 
 
 class MetricsRegistry:
@@ -294,9 +295,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: Dict[Tuple[str, LabelItems], Any] = {}
+        self._instruments: Dict[Tuple[str, LabelItems], Any] = {}  # guarded-by: _lock
 
-    def _get_or_create(self, key, factory):
+    def _get_or_create(
+        self, key: Tuple[str, LabelItems], factory: Callable[[], Any]
+    ) -> Any:
         with self._lock:
             instrument = self._instruments.get(key)
             if instrument is None:

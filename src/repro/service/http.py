@@ -57,6 +57,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from repro.exceptions import (
     IncompatibleSchemasError,
     InvalidRequestError,
+    SchemaError,
     SerializationError,
     ServiceShutdownError,
     UnknownClassError,
@@ -69,12 +70,17 @@ from repro.service.service import MergeService
 __all__ = ["HttpFrontend", "serve_http", "status_for"]
 
 #: Exception → HTTP status, checked in order (most specific first).
+#: The terminal ``SchemaError`` entry is the taxonomy-wide fallback:
+#: every library error is a client-input problem (400) unless a more
+#: specific mapping above says otherwise; only *non*-taxonomy
+#: exceptions — genuine bugs — fall through to 500.
 _STATUS_MAP: Tuple[Tuple[type, int], ...] = (
     (UnknownClassError, 404),
     (ServiceShutdownError, 503),
     (IncompatibleSchemasError, 409),
     (InvalidRequestError, 400),
     (SerializationError, 400),
+    (SchemaError, 400),
 )
 
 _REASONS = {
@@ -124,7 +130,7 @@ class HttpFrontend:
         port: int = 0,
         *,
         max_workers: int = 4,
-    ):
+    ) -> None:
         self._service = service
         self._host = host
         self._port = port

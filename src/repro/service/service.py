@@ -77,8 +77,9 @@ import itertools
 import threading
 import weakref
 from time import perf_counter
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.check.witness import LockLike, WitnessedLock, witness_active
 from repro.core.names import ClassName, name
 from repro.core.schema import Schema
 from repro.exceptions import (
@@ -100,6 +101,24 @@ __all__ = ["MergeService"]
 _MISS = SnapshotCache.MISS
 
 ComponentRef = Union[int, ClassName, str]
+
+
+def _new_topology_lock() -> LockLike:
+    """The planner lock — witnessed when the debug witness is enabled.
+
+    :func:`repro.check.witness.enable_witness` must be called *before*
+    the service is constructed; existing locks are never retrofitted.
+    """
+    if witness_active():
+        return WitnessedLock(planner=True)
+    return threading.Lock()
+
+
+def _new_shard_lock(sid: int) -> LockLike:
+    """A shard lock, order-checked by sid when the witness is enabled."""
+    if witness_active():
+        return WitnessedLock(sid=sid)
+    return threading.Lock()
 
 
 class _ServiceTelemetry:
@@ -125,7 +144,7 @@ class _ServiceTelemetry:
         "gauges",
     )
 
-    def __init__(self, service: "MergeService"):
+    def __init__(self, service: "MergeService") -> None:
         self.calls = REGISTRY.register(Counter("service.register.calls"))
         self.schemas = REGISTRY.register(Counter("service.register.schemas"))
         self.rollbacks = REGISTRY.register(
@@ -154,14 +173,14 @@ class _ServiceTelemetry:
         )
         ref = weakref.ref(service)
 
-        def _reader(attr):
-            def read():
+        def _reader(attr: str) -> "Callable[[], int]":
+            def read() -> int:
                 svc = ref()
-                return getattr(svc, attr) if svc is not None else 0
+                return int(getattr(svc, attr)) if svc is not None else 0
 
             return read
 
-        def _components():
+        def _components() -> int:
             svc = ref()
             return len(svc._shards) if svc is not None else 0
 
@@ -209,7 +228,14 @@ class _GroupPlan:
 
     __slots__ = ("sid", "absorbed", "batch_indices", "reserved", "is_new")
 
-    def __init__(self, sid, absorbed, batch_indices, reserved, is_new):
+    def __init__(
+        self,
+        sid: int,
+        absorbed: List[Shard],
+        batch_indices: List[int],
+        reserved: List[ClassName],
+        is_new: bool,
+    ) -> None:
         self.sid: int = sid
         self.absorbed: List[Shard] = absorbed
         self.batch_indices: List[int] = batch_indices
@@ -237,7 +263,7 @@ class MergeService:
         component_cache_size: int = 4096,
         snapshot_cache_size: int = 256,
         telemetry_sample_every: int = 64,
-    ):
+    ) -> None:
         if telemetry_sample_every < 1 or (
             telemetry_sample_every & (telemetry_sample_every - 1)
         ):
@@ -247,18 +273,18 @@ class MergeService:
             )
         #: Guards the registry maps below; held only for plan/validate/
         #: commit — never while closure work runs.
-        self._topology = threading.Lock()
-        self._shards: Dict[int, Shard] = {}
-        self._shard_locks: Dict[int, threading.Lock] = {}
-        self._class_to_sid: Dict[ClassName, int] = {}
+        self._topology = _new_topology_lock()  # lock: planner
+        self._shards: Dict[int, Shard] = {}  # guarded-by(writes): _topology
+        self._shard_locks: Dict[int, LockLike] = {}  # guarded-by: _topology
+        self._class_to_sid: Dict[ClassName, int] = {}  # guarded-by(writes): _topology
         #: In-flight writers' claims on not-yet-committed class names.
-        self._reserved: Dict[ClassName, int] = {}
-        self._next_sid = 0
-        self._generation = 0
-        self._closed = False
+        self._reserved: Dict[ClassName, int] = {}  # guarded-by: _topology
+        self._next_sid = 0  # guarded-by: _topology
+        self._generation = 0  # guarded-by(writes): _topology
+        self._closed = False  # guarded-by(writes): _topology
         self._requests = 0
-        self._ticker = itertools.count(1)
-        self._sample_mask = telemetry_sample_every - 1
+        self._ticker = itertools.count(1)  # frozen-after-init
+        self._sample_mask = telemetry_sample_every - 1  # frozen-after-init
         # The phase trick: sampling tests `(requests & mask) == _sample_on`.
         # Enabled sets the phase to 0 (1-in-N requests match); disabled
         # sets it past the mask so no request ever matches — the compare
@@ -270,7 +296,7 @@ class MergeService:
         self._snapshot_cache = SnapshotCache(
             "service.snapshots", maxsize=snapshot_cache_size
         )
-        self._telemetry = _ServiceTelemetry(self)
+        self._telemetry = _ServiceTelemetry(self)  # frozen-after-init
         _SERVICES.add(self)
         initial = list(schemas)
         if initial:
@@ -288,7 +314,8 @@ class MergeService:
 
     def close(self) -> None:
         """Refuse further requests (idempotent; in-flight calls finish)."""
-        self._closed = True
+        with self._topology:
+            self._closed = True
 
     def _check_open(self) -> None:
         if self._closed:
@@ -361,7 +388,7 @@ class MergeService:
 
     def _plan_and_lock(
         self, batch: List[Schema]
-    ) -> Tuple[List[_GroupPlan], List[threading.Lock]]:
+    ) -> Tuple[List[_GroupPlan], List[LockLike]]:
         """Plan the batch and acquire exactly the locks it needs.
 
         The optimistic loop: plan under the topology lock, *release it*,
@@ -386,14 +413,19 @@ class MergeService:
                 needed = sorted(
                     {sid for existing, _ in plans for sid in existing}
                 )
-                lock_for = {sid: self._shard_locks.get(sid) for sid in needed}
-            if any(lock is None for lock in lock_for.values()):
+                found = [
+                    (sid, self._shard_locks.get(sid)) for sid in needed
+                ]
+            lock_for: Dict[int, LockLike] = {
+                sid: lock for sid, lock in found if lock is not None
+            }
+            if len(lock_for) != len(needed):
                 # A planned shard vanished before we even started
                 # acquiring (absorbed elsewhere, or a rolled-back
                 # reservation); replan from the current layout.
                 self._telemetry.retries.inc()
                 continue
-            held: List[threading.Lock] = []
+            held: List[LockLike] = []
             for sid in needed:
                 lock_for[sid].acquire()
                 held.append(lock_for[sid])
@@ -414,11 +446,11 @@ class MergeService:
                 lock.release()
             self._telemetry.retries.inc()
 
-    def _reserve(
+    def _reserve(  # requires-lock: _topology
         self,
         plans: List[Tuple[Any, List[int]]],
         batch: List[Schema],
-        held: List[threading.Lock],
+        held: List[LockLike],
     ) -> List[_GroupPlan]:
         """Claim sids and class names for a validated plan.
 
@@ -431,7 +463,9 @@ class MergeService:
         group's target sid so contending writers plan onto our lock.
         """
         groups: List[_GroupPlan] = []
-        for existing_sids, batch_indices in plans:
+        # The loop's only acquire targets a fresh, unpublished lock (see
+        # below) — no ordering constraint applies.
+        for existing_sids, batch_indices in plans:  # check: ignore[lock-order]
             absorbed_sids = sorted(existing_sids)
             if absorbed_sids:
                 sid = min(absorbed_sids)
@@ -442,8 +476,15 @@ class MergeService:
                 self._next_sid += 1
                 absorbed = []
                 is_new = True
-                lock = threading.Lock()
-                lock.acquire()
+                lock = _new_shard_lock(sid)
+                # Acquiring under the planner lock is sanctioned here
+                # only because the lock is fresh: no other thread can
+                # know the sid before the reservation is published, so
+                # this acquire can never block.
+                if isinstance(lock, WitnessedLock):
+                    lock.acquire(fresh=True)  # check: ignore[lock-nesting]
+                else:
+                    lock.acquire()  # check: ignore[lock-nesting]
                 self._shard_locks[sid] = lock
                 held.append(lock)
             reserved = []
@@ -499,11 +540,11 @@ class MergeService:
             staged.append((plan, builder, members))
         return staged
 
-    def _commit(
+    def _commit(  # requires-lock: _topology
         self,
         staged: List[Tuple[_GroupPlan, ClosureBuilder, List[Schema]]],
         batch_size: int,
-    ) -> Tuple[int, int]:
+    ) -> Tuple[int, int]:  # publishes: _shards, _class_to_sid, _generation
         """Swap the rebuilt shards in.  Topology lock held by the caller.
 
         Publication order matters for the lock-free readers: (1) the new
@@ -533,7 +574,7 @@ class MergeService:
         self._telemetry.schemas.inc(batch_size)
         return generation, len(self._shards)
 
-    def _abandon(self, groups: List[_GroupPlan]) -> None:
+    def _abandon(self, groups: List[_GroupPlan]) -> None:  # requires-lock: _topology
         """Undo a failed write's claims.  Topology lock held by caller.
 
         Reservations disappear and fresh sids' locks are deregistered

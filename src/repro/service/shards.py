@@ -85,11 +85,11 @@ class Shard:
         builder: ClosureBuilder,
         schemas: List[Schema],
         generation: int,
-    ):
-        self.sid = sid
-        self.builder = builder
-        self.schemas = schemas
-        self.generation = generation
+    ) -> None:
+        self.sid = sid  # frozen-after-init
+        self.builder = builder  # frozen-after-init
+        self.schemas = schemas  # frozen-after-init
+        self.generation = generation  # frozen-after-init
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (

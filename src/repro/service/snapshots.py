@@ -69,9 +69,9 @@ class SnapshotCache:
 
     __slots__ = ("name", "maxsize", "_hits", "_misses", "_partial", "_evictions", "_table")
 
-    def __init__(self, name: str, maxsize: int = 256):
-        self.name = name
-        self.maxsize = maxsize
+    def __init__(self, name: str, maxsize: int = 256) -> None:
+        self.name = name  # frozen-after-init
+        self.maxsize = maxsize  # frozen-after-init
         self._hits = REGISTRY.register(Counter("snapshot.hits", cache=name))
         self._misses = REGISTRY.register(Counter("snapshot.misses", cache=name))
         self._partial = REGISTRY.register(
