@@ -8,6 +8,7 @@ workflow over JSON schema files and deterministic text/DOT rendering:
 
     schema-merge show g1.json                      # render a schema
     schema-merge check g1.json g2.json             # pre-merge conflicts
+    schema-merge check --strict src/repro          # invariant analyzers
     schema-merge merge g1.json g2.json -o out.json # upper merge
     schema-merge merge --isa Puppy:Dog g1.json g2.json
     schema-merge lower g1.json g2.json             # lower merge
@@ -33,7 +34,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.assertions import isa
 from repro.core.diff import diff
@@ -55,7 +56,7 @@ from repro.tools.conflicts import conflict_report
 __all__ = ["main", "build_parser"]
 
 
-def _load_artifact(path: str):
+def _load_artifact(path: str) -> Any:
     """Load a schema file in either dialect (JSON or the text format).
 
     JSON documents are recognised by their leading ``{``; everything
@@ -136,9 +137,28 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("schema", help="JSON schema file")
 
     check = commands.add_parser(
-        "check", help="pre-merge conflict report (homonyms, synonyms, cycles)"
+        "check",
+        help=(
+            "pre-merge conflict report on schema files, or the "
+            "concurrency-invariant analyzers on Python sources"
+        ),
     )
-    check.add_argument("schemas", nargs="+", help="JSON schema files")
+    check.add_argument(
+        "schemas",
+        nargs="+",
+        help=(
+            "JSON schema files (conflict report), or .py files / "
+            "directories (static analysis — see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "force static-analysis mode and fail on warnings as well "
+            "as errors"
+        ),
+    )
 
     merge = commands.add_parser(
         "merge", help="upper merge (least upper bound + implicit classes)"
@@ -416,6 +436,21 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "check":
+        targets = [Path(path) for path in args.schemas]
+        static = args.strict or any(
+            target.is_dir() or target.suffix == ".py" for target in targets
+        )
+        if static:
+            from repro.check import run_checks
+            from repro.check.runner import render_report as render_diagnostics
+
+            diagnostics = run_checks(args.schemas)
+            print(render_diagnostics(diagnostics))
+            if any(d.severity == "error" for d in diagnostics):
+                return 1
+            if args.strict and diagnostics:
+                return 1
+            return 0
         schemas = [_load_schema(path) for path in args.schemas]
         for line in conflict_report(schemas):
             print(line)
@@ -751,7 +786,7 @@ def _bench(args: argparse.Namespace) -> int:
     return 0 if summary["invalidation_ok"] else 1
 
 
-def _telemetry_session(args: argparse.Namespace):
+def _telemetry_session(args: argparse.Namespace) -> Tuple[Any, int]:
     """Register the inputs (and replay any workload) with telemetry on.
 
     Shared by ``stats`` and ``trace``: a fresh fully-sampled service,
