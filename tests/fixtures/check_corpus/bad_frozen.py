@@ -1,0 +1,12 @@
+"""Corpus: a frozen-after-init field mutated after publication."""
+
+
+class Shard:
+    def __init__(self, sid):
+        self.sid = sid  # frozen-after-init
+
+    def renumber(self, sid):
+        self.sid = sid  # BAD[frozen-field]
+
+    def read_is_fine(self):
+        return self.sid

@@ -1,0 +1,27 @@
+"""Corpus: guarded attributes accessed outside their declared lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}  # guarded-by: _lock
+        self._generation = 0  # guarded-by(writes): _lock
+
+    def ok_write(self, key, value):
+        with self._lock:
+            self._table[key] = value
+            self._generation += 1
+
+    def bad_read(self, key):
+        return self._table.get(key)  # BAD[lock-guard]
+
+    def bad_write(self, key, value):
+        self._table[key] = value  # BAD[lock-guard]
+
+    def lock_free_read_is_fine(self):
+        return self._generation
+
+    def bad_generation_write(self):
+        self._generation += 1  # BAD[lock-guard]

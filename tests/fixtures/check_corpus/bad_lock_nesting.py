@@ -1,0 +1,25 @@
+"""Corpus: blocking acquisition while the planner lock is held."""
+
+import threading
+
+
+class Planner:
+    def __init__(self):
+        self._topology = threading.Lock()  # lock: planner
+        self._shard_locks = {}
+
+    def bad_blocking_acquire(self, sid):
+        with self._topology:
+            self._shard_locks[sid].acquire()  # BAD[lock-nesting]
+
+    def bad_reentrant(self):
+        with self._topology:
+            with self._topology:  # BAD[lock-nesting]
+                pass
+
+    def good_shards_then_planner(self, sid):
+        lock = self._shard_locks[sid]
+        lock.acquire()
+        with self._topology:
+            pass
+        lock.release()

@@ -1,0 +1,27 @@
+"""Corpus: locks acquired in arbitrary (unsorted) iteration order."""
+
+
+def lock_all(locks_by_sid):
+    held = []
+    for sid in locks_by_sid:  # BAD[lock-order]
+        lock = locks_by_sid[sid]
+        lock.acquire()
+        held.append(lock)
+    return held
+
+
+def lock_all_sorted(locks_by_sid):
+    held = []
+    for sid in sorted(locks_by_sid):
+        locks_by_sid[sid].acquire()
+        held.append(locks_by_sid[sid])
+    return held
+
+
+def lock_all_presorted(locks_by_sid):
+    ordered = sorted(locks_by_sid)
+    held = []
+    for sid in ordered:
+        locks_by_sid[sid].acquire()
+        held.append(locks_by_sid[sid])
+    return held

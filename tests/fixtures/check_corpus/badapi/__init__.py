@@ -1,0 +1,8 @@
+"""Corpus: a facade out of sync with its submodule's surface."""
+
+from badapi.engine import helper, launch
+
+__all__ = [
+    "launch",
+    "missing",
+]

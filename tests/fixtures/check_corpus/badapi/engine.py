@@ -1,0 +1,11 @@
+"""Corpus: a submodule declaring a narrower public surface."""
+
+__all__ = ["launch"]
+
+
+def launch():
+    return "launched"
+
+
+def helper():
+    return "private"

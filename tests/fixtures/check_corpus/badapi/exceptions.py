@@ -1,0 +1,13 @@
+"""Corpus: an exception class outside the status map."""
+
+
+class AppError(Exception):
+    pass
+
+
+class MappedError(AppError):
+    pass
+
+
+class UnmappedError(Exception):  # BAD[http-status-map]
+    pass

@@ -1,0 +1,7 @@
+"""Corpus: the status map the exception coverage rule checks against."""
+
+from badapi.exceptions import AppError
+
+_STATUS_MAP = (
+    (AppError, 400),
+)

@@ -1,0 +1,15 @@
+"""Corpus: the sanctioned async patterns — await and executor hand-off."""
+
+import asyncio
+
+
+class Frontend:
+    def __init__(self, service):
+        self._service = service
+        self._stop = asyncio.Event()
+
+    async def run(self):
+        await self._stop.wait()
+
+    async def handle(self, loop, batch):
+        return await loop.run_in_executor(None, self._service.register, batch)

@@ -1,0 +1,21 @@
+"""Corpus: the same shape as bad_lock_guard, disciplined — no findings."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._table = {}  # guarded-by: _lock
+        self._generation = 0  # guarded-by(writes): _lock
+
+    def write(self, key, value):
+        with self._lock:
+            self._table[key] = value
+            self._generation += 1
+
+    def read(self, key):  # requires-lock: _lock
+        return self._table.get(key)
+
+    def generation(self):
+        return self._generation
