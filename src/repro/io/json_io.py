@@ -87,7 +87,7 @@ def name_from_json(doc: Union[str, Dict[str, Any]]) -> ClassName:
     raise SerializationError(f"cannot decode class name from {doc!r}")
 
 
-def _sorted_names(classes) -> List:
+def _sorted_names(classes: Any) -> List:
     return [name_to_json(c) for c in sorted(classes, key=sort_key)]
 
 
@@ -212,7 +212,7 @@ def annotated_from_dict(doc: Dict[str, Any]) -> AnnotatedSchema:
     )
 
 
-def _encode_oid(oid) -> Union[str, List]:
+def _encode_oid(oid: Any) -> Union[str, List]:
     """Encode an oid: strings pass through; tuples (the disjointified
     oids produced by federation) become JSON arrays, recursively."""
     if isinstance(oid, str):
@@ -224,7 +224,7 @@ def _encode_oid(oid) -> Union[str, List]:
     )
 
 
-def _decode_oid(doc) -> Union[str, tuple]:
+def _decode_oid(doc: Any) -> Union[str, tuple]:
     if isinstance(doc, str):
         return doc
     if isinstance(doc, list):
@@ -416,7 +416,7 @@ _ENCODERS = [
 ]
 
 
-def dumps(artifact, indent: int = 2) -> str:
+def dumps(artifact: Any, indent: int = 2) -> str:
     """Serialise any supported artifact to a JSON string."""
     for kind, encoder in _ENCODERS:
         if isinstance(artifact, kind):
@@ -426,7 +426,7 @@ def dumps(artifact, indent: int = 2) -> str:
     )
 
 
-def loads(text: str):
+def loads(text: str) -> Any:
     """Deserialise a JSON string produced by :func:`dumps` (any format)."""
     try:
         doc = json.loads(text)

@@ -27,7 +27,7 @@ inverse writers; round trips are property-tested.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.core.keys import KeyFamily, KeyedSchema
 from repro.core.lower import AnnotatedSchema
@@ -192,7 +192,7 @@ def parse(text: str) -> Document:
 
 
 def _format_common(
-    classes, spec_covers, lines: List[str]
+    classes: "Iterable", spec_covers: "Iterable", lines: List[str]
 ) -> None:
     for cls in sorted(classes, key=sort_key):
         lines.append(f"class {_format_name(cls)}")

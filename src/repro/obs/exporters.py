@@ -59,7 +59,7 @@ class JsonlExporter:
         self,
         target: Union[str, Path, Any],
         max_bytes: Optional[int] = None,
-    ):
+    ) -> None:
         if callable(target):
             self._sink = target
             self._path = None

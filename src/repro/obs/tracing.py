@@ -41,7 +41,7 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.obs import _state
 
@@ -77,7 +77,7 @@ class Span:
         trace_id: int,
         span_id: int,
         parent_id: Optional[int],
-    ):
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self.trace_id = trace_id
@@ -138,7 +138,7 @@ class _SpanHandle:
 
     __slots__ = ("_name", "_attrs", "_span")
 
-    def __init__(self, name: str, attrs: Dict[str, Any]):
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
         self._name = name
         self._attrs = attrs
         self._span: Optional[Span] = None
@@ -158,8 +158,14 @@ class _SpanHandle:
         stack.append(opened)
         return opened
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[Any],
+    ) -> bool:
         closed = self._span
+        assert closed is not None  # __exit__ only runs after __enter__
         closed.end_s = time.perf_counter()
         if exc is not None:
             closed.attrs["error"] = repr(exc)
@@ -175,7 +181,7 @@ class _SpanHandle:
         return False
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> "_NullSpan | _SpanHandle":
     """Open a timed, parent-linked span (no-op singleton when disabled).
 
     Use as a context manager; the entered value is the live
@@ -190,10 +196,10 @@ def span(name: str, **attrs: Any):
 class Tracer:
     """Collects finished spans: a bounded ring plus fan-out sinks."""
 
-    def __init__(self, capacity: int = 2048):
+    def __init__(self, capacity: int = 2048) -> None:
         self._lock = threading.Lock()
-        self._recent: deque = deque(maxlen=capacity)
-        self._sinks: List[Any] = []
+        self._recent: "deque[Span]" = deque(maxlen=capacity)
+        self._sinks: List[Callable[[Span], Any]] = []
         self.dropped_sink_errors = 0
 
     def _finish(self, finished: Span) -> None:
@@ -206,12 +212,12 @@ class Tracer:
             except Exception:  # noqa: BLE001 - a broken sink must not
                 self.dropped_sink_errors += 1  # break the traced code
 
-    def add_sink(self, sink) -> None:
+    def add_sink(self, sink: Callable[[Span], Any]) -> None:
         """Register a callable receiving every finished :class:`Span`."""
         with self._lock:
             self._sinks.append(sink)
 
-    def remove_sink(self, sink) -> None:
+    def remove_sink(self, sink: Callable[[Span], Any]) -> None:
         with self._lock:
             if sink in self._sinks:
                 self._sinks.remove(sink)
