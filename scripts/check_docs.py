@@ -31,6 +31,10 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 DOCTEST_MODULES = [
+    "repro.check",
+    "repro.check.diagnostics",
+    "repro.check.runner",
+    "repro.check.witness",
     "repro.core.schema",
     "repro.obs",
     "repro.obs.exporters",
