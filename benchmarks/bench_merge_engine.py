@@ -13,20 +13,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.lower import lower_merge
-from repro.core.ordering import is_sub, join_all
+from repro.core.lower import annotated_leq, lower_merge
+from repro.core.ordering import compatible, is_sub, join_all
 from repro.core.schema import Schema
 from repro.generators.random_schemas import (
     random_annotated_schema,
     random_schema_family,
     random_weak_schema,
 )
-from repro.perf import clear_caches
+from repro.perf import clear_caches, engine_stats
 from repro.perf.reference import (
     reference_is_sub,
     reference_join_all,
     reference_lower_merge,
 )
+from repro.perf.setwise import setwise_join_all
 
 SCALE_FAMILY = dict(
     n_schemas=200,
@@ -66,6 +67,32 @@ def test_join_all_scalability(perf_record, scale_family):
     assert speedup >= 2.0, f"engine only {speedup:.1f}x faster than reference"
 
 
+def test_kernel_join_all_vs_setwise(perf_record, scale_family):
+    """The dense bitset kernels against the preserved set-based engine.
+
+    Both sides intern and memoize, so this isolates what the dense-id
+    representation buys; ``runner.py`` gates the strict ≥5x bar on the
+    320-schema case.
+    """
+    dense = perf_record(
+        "kernel_join_all/200",
+        "kernels",
+        lambda: join_all(scale_family),
+        setup=clear_caches,
+        schemas=len(scale_family),
+    )
+    setwise = perf_record(
+        "setwise_join_all/200",
+        "kernels",
+        lambda: setwise_join_all(scale_family),
+        setup=clear_caches,
+        schemas=len(scale_family),
+    )
+    assert join_all(scale_family) == setwise_join_all(scale_family)
+    speedup = setwise["best_s"] / dense["best_s"]
+    assert speedup >= 2.0, f"kernels only {speedup:.1f}x faster than setwise"
+
+
 def test_is_sub_memoized(perf_record, scale_family):
     merged = join_all(scale_family)
     pairs = [(g, merged) for g in scale_family]
@@ -80,6 +107,19 @@ def test_is_sub_memoized(perf_record, scale_family):
     warm = perf_record("is_sub/warm", "memoization", probe)
     cold = perf_record("is_sub/cold", "memoization", probe_reference)
     assert warm["best_s"] <= cold["best_s"] * 1.5
+
+
+def test_compatible_memoized(perf_record, scale_family):
+    merged = join_all(scale_family)
+    pairs = [(g, merged) for g in scale_family]
+
+    def probe():
+        return sum(1 for left, right in pairs if compatible(left, right))
+
+    assert probe() == len(pairs)  # every member joins into the merge
+    perf_record("compatible/warm", "memoization", probe)
+    stats = engine_stats()["memo"]["ordering.compatible"]
+    assert stats["hits"] > 0, "warm compatible probes never hit the memo"
 
 
 def test_with_arrows_incremental(perf_record):
@@ -118,10 +158,19 @@ def test_lower_merge_equals_reference(perf_record):
         )
         for i in range(30)
     ]
-    assert lower_merge(*schemas) == reference_lower_merge(*schemas)
+    merged = lower_merge(*schemas)
+    assert merged == reference_lower_merge(*schemas)
     perf_record("lower_merge/30", "lower", lambda: lower_merge(*schemas))
     perf_record(
         "reference_lower_merge/30",
         "lower",
         lambda: reference_lower_merge(*schemas),
     )
+
+    def probe_leq():
+        return sum(1 for g in schemas if annotated_leq(merged, g))
+
+    probe_leq()  # prime the memo, then time the warm probes
+    perf_record("annotated_leq/warm", "lower", probe_leq, schemas=len(schemas))
+    stats = engine_stats()["memo"]["lower.annotated_leq"]
+    assert stats["hits"] > 0, "warm annotated_leq probes never hit the memo"

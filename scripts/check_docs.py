@@ -41,11 +41,14 @@ DOCTEST_MODULES = [
     "repro.obs.instrument",
     "repro.obs.metrics",
     "repro.obs.tracing",
+    "repro.io.json_io",
     "repro.perf",
     "repro.perf.interning",
     "repro.perf.memo",
     "repro.perf.closure",
+    "repro.perf.namespace",
     "repro.perf.reference",
+    "repro.perf.setwise",
     "repro.perf.timing",
     "repro.sentinels",
     "repro.service",

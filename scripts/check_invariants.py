@@ -33,6 +33,7 @@ MYPY_TARGETS = [
     str(ROOT / "src" / "repro" / "service"),
     str(ROOT / "src" / "repro" / "obs"),
     str(ROOT / "src" / "repro" / "check"),
+    str(ROOT / "src" / "repro" / "perf" / "namespace.py"),
 ]
 
 

@@ -24,15 +24,16 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import relations
 from repro.core.names import ClassName
-from repro.core.schema import Schema
+from repro.core.schema import Schema, _schema_token
 from repro.exceptions import IncompatibleSchemasError
 from repro.perf.closure import ClosureBuilder
 from repro.perf.memo import MemoCache
 
-# Bounded memo caches (see repro.perf).  Schemas are immutable with
-# precomputed hashes and interned, so keys compare by identity in the
-# common case and results can never go stale; the bound is purely a
-# memory ceiling.
+# Bounded memo caches (see repro.perf).  Schemas are immutable and
+# interned, so a per-instance token (see schema._schema_token) is an
+# honest memo key: hashing costs one int hash instead of re-hashing
+# frozenset triples, results can never go stale, and the bound is
+# purely a memory ceiling.
 _IS_SUB_CACHE = MemoCache("ordering.is_sub", maxsize=32768)
 _COMPAT_CACHE = MemoCache("ordering.compatible", maxsize=8192)
 _MISS = MemoCache.MISS
@@ -60,15 +61,20 @@ def is_sub(left: Schema, right: Schema) -> bool:
     """
     if left is right:
         return True
-    key = (left, right)
+    key = (_schema_token(left), _schema_token(right))
     cached = _IS_SUB_CACHE.get(key)
     if cached is not _MISS:
         return cached
-    result = (
-        left.classes <= right.classes
-        and left.arrows <= right.arrows
-        and left.spec <= right.spec
-    )
+    result = left.classes <= right.classes and left.spec <= right.spec
+    if result:
+        # E1 ⊆ E2 checked row-wise on the reach indexes — the grouped
+        # form of the same relation, and free on engine-built schemas
+        # (their flat arrow set materializes lazily; no need to here).
+        right_index = right._reach_index()
+        result = all(
+            targets <= right_index.get(row, frozenset())
+            for row, targets in left._reach_index().items()
+        )
     return _IS_SUB_CACHE.put(key, result)
 
 
@@ -123,7 +129,7 @@ def compatible(*schemas: Schema) -> bool:
     Memoized on the operand tuple; the same families are probed over
     and over by interactive sessions and the analysis layer.
     """
-    key = schemas
+    key = tuple(_schema_token(g) for g in schemas)
     cached = _COMPAT_CACHE.get(key)
     if cached is not _MISS:
         return cached
@@ -173,8 +179,7 @@ def join_all(schemas: Iterable[Schema]) -> Schema:
         return schema_list[0]
     builder = ClosureBuilder()
     try:
-        for g in schema_list:
-            builder.add_schema(g)
+        builder.add_schemas(schema_list)
     except IncompatibleSchemasError:
         # Re-derive the witness from the full union so the error carries
         # the same cycle the pre-engine implementation reported.

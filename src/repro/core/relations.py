@@ -21,6 +21,7 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
+    Iterator,
     List,
     Optional,
     Set,
@@ -40,6 +41,9 @@ __all__ = [
     "transitive_closure",
     "reflexive_transitive_closure",
     "closure_insert",
+    "iter_bits",
+    "closure_insert_bits",
+    "closure_undo_bits",
     "is_reflexive",
     "is_transitive",
     "is_antisymmetric",
@@ -155,6 +159,95 @@ def closure_insert(
             pred[upper].add(lower)
         if undo is not None:
             undo.extend((lower, upper) for upper in gained)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """The set bit positions of *mask*, ascending.
+
+    The dense-id counterpart of iterating a set of classes: a bitset is
+    one Python int, and ``mask & -mask`` isolates the lowest set bit in
+    a single C-level operation.
+
+    >>> list(iter_bits(0b101001))
+    [0, 3, 5]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def closure_insert_bits(
+    succ: List[int],
+    pred: List[int],
+    sub: int,
+    sup: int,
+    undo: Optional[List[Tuple[bool, int, int]]] = None,
+) -> None:
+    """Insert ``(sub, sup)`` into a closed relation held as bitmasks.
+
+    The dense-id counterpart of :func:`closure_insert`: node *i*'s
+    up-set is the int ``succ[i]`` (bit *j* set ⇔ ``i ==> j``) and its
+    down-set is ``pred[i]``, both reflexive (own bit always set).  The
+    delta is the same ``down(sub) × up(sup)`` rectangle, but each inner
+    set union is one ``|`` on a Python int — the whole row is updated
+    word-parallel instead of element-by-element, which is where the
+    bitset engine's constant factor comes from.
+
+    When *undo* is given, every mask actually changed is recorded as
+    ``(is_succ, node, gained_bits)``; :func:`closure_undo_bits` replays
+    the log to restore the prior state exactly (the gained bits were by
+    construction absent before, so ``&= ~gained`` is a perfect inverse).
+
+    Raises :class:`ValueError` if the edge would create a non-trivial
+    cycle (``sup`` already strictly reaches ``sub``), leaving the masks
+    untouched; callers translate this into their domain error.
+    """
+    if (succ[sub] >> sup) & 1:
+        return
+    if (succ[sup] >> sub) & 1:
+        raise ValueError(f"inserting ({sub!r}, {sup!r}) creates a cycle")
+    down = pred[sub]
+    up = succ[sup]
+    mask = down
+    while mask:
+        low = mask & -mask
+        lower = low.bit_length() - 1
+        mask ^= low
+        gained = up & ~succ[lower]
+        if gained:
+            succ[lower] |= gained
+            if undo is not None:
+                undo.append((True, lower, gained))
+    mask = up
+    while mask:
+        low = mask & -mask
+        upper = low.bit_length() - 1
+        mask ^= low
+        gained = down & ~pred[upper]
+        if gained:
+            pred[upper] |= gained
+            if undo is not None:
+                undo.append((False, upper, gained))
+
+
+def closure_undo_bits(
+    succ: List[int],
+    pred: List[int],
+    undo: List[Tuple[bool, int, int]],
+) -> None:
+    """Roll back a sequence of :func:`closure_insert_bits` calls.
+
+    Each record's gained bits were absent before its insert and no two
+    records overlap on the same (side, node) bits, so clearing them in
+    any order restores the exact prior masks — rollback cost is
+    proportional to the work done, not the relation size.
+    """
+    for is_succ, node, gained in reversed(undo):
+        if is_succ:
+            succ[node] &= ~gained
+        else:
+            pred[node] &= ~gained
 
 
 def is_reflexive(relation: AbstractSet[Pair], universe: Iterable[T]) -> bool:

@@ -39,7 +39,9 @@ True
 
 from __future__ import annotations
 
+import itertools
 from typing import (
+    TYPE_CHECKING,
     AbstractSet,
     Dict,
     FrozenSet,
@@ -50,6 +52,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.perf.closure import DenseClosure
 
 from repro.core import relations
 from repro.core.names import (
@@ -86,6 +91,34 @@ SpecLike = Tuple[NameLike, NameLike]
 # constructions of the same value skip validation entirely.
 _ARROW_INTERN = InternTable("schema.arrows", maxsize=1 << 17)
 _SCHEMA_INTERN = InternTable("schema.schemas", maxsize=4096)
+
+# Per-process identity tokens for memo keys (see _schema_token): a small
+# int per Schema *instance*, monotonic in creation order.
+_TOKEN_COUNTER = itertools.count()
+
+
+def _schema_token(schema: "Schema") -> int:
+    """A small per-process int identifying this Schema instance.
+
+    Memo caches (``repro.core.ordering``, ``repro.core.lower``) key on
+    tokens instead of the schemas themselves: hashing a token is one
+    int hash rather than a (possibly large) frozenset-triple hash, and
+    interning makes pointer identity the common case for equal schemas,
+    so the token is an honest proxy.  Distinct-but-equal instances get
+    distinct tokens — that only costs a duplicate cache line, never a
+    wrong answer.
+
+    The fallback path serves instances created through
+    ``object.__new__`` without the slot populated (the
+    :mod:`repro.perf.reference` oracle); tokens are assigned on first
+    use, which is observationally pure on an immutable value.
+    """
+    try:
+        return schema._token
+    except AttributeError:
+        token = next(_TOKEN_COUNTER)
+        object.__setattr__(schema, "_token", token)
+        return token
 
 
 def _coerce_arrow(edge: ArrowLike) -> Arrow:
@@ -196,7 +229,16 @@ class Schema:
     the paper's figure" directly.
     """
 
-    __slots__ = ("_classes", "_arrows", "_spec", "_hash", "_reach_cache")
+    __slots__ = (
+        "_classes",
+        "_arrows",
+        "_spec",
+        "_hash",
+        "_reach_cache",
+        "_dense",
+        "_strict_cache",
+        "_token",
+    )
 
     def __new__(
         cls,
@@ -221,6 +263,8 @@ class Schema:
         object.__setattr__(self, "_spec", spec)
         object.__setattr__(self, "_hash", hash(key))
         object.__setattr__(self, "_reach_cache", None)
+        object.__setattr__(self, "_dense", None)
+        object.__setattr__(self, "_token", next(_TOKEN_COUNTER))
         if cls is Schema:
             _SCHEMA_INTERN.put(key, self)
         return self
@@ -239,11 +283,12 @@ class Schema:
     def _from_closed(
         cls,
         classes: FrozenSet[ClassName],
-        arrows: FrozenSet[Arrow],
-        spec: FrozenSet[SpecEdge],
+        arrows: Optional[FrozenSet[Arrow]],
+        spec: Optional[FrozenSet[SpecEdge]],
         reach_index: Optional[
             Dict[Tuple[ClassName, Label], FrozenSet[ClassName]]
         ] = None,
+        dense: Optional["DenseClosure"] = None,
     ) -> "Schema":
         """Internal: wrap components already known to be valid.
 
@@ -254,8 +299,43 @@ class Schema:
 
         *reach_index*, when supplied, pre-populates the reach cache with
         the index the closure computation produced as a by-product.
+
+        *arrows* may be ``None`` when *reach_index* or *dense* is given:
+        the flat arrow relation is then materialized lazily, on first
+        access to :attr:`arrows` (or to the structural hash).  The dense
+        closure engine goes one step further and passes *dense* (a
+        ``repro.perf.closure.DenseClosure``) with ``spec=None``: the
+        specialization closure and the whole name-level reach index are
+        decoded lazily too, so ``join_all`` hands back a view over
+        id-space bitmasks without walking a single target set — the
+        zero-copy handoff.  Semantics are unchanged: the dense rows
+        *are* the closed relations, just in id space.  Lazy schemas
+        intern on keys embedding the grouped rows (for dense schemas,
+        the id table plus both mask tables, which determine every
+        component) — key spaces disjoint from the eager
+        ``(classes, arrows, spec)`` key (tuple arities and element
+        shapes differ) except at the empty schema, where all denote the
+        same value.
         """
-        key = (classes, arrows, spec)
+        if arrows is None:
+            if dense is not None:
+                key: Tuple[object, ...] = (
+                    classes,
+                    dense.names,
+                    dense.succ,
+                    frozenset(dense.reach.items()),
+                )
+            else:
+                assert reach_index is not None and spec is not None
+                key = (
+                    classes,
+                    spec,
+                    frozenset(reach_index.items()),
+                )
+            hash_value: Optional[int] = None
+        else:
+            key = (classes, arrows, spec)
+            hash_value = hash(key)
         if cls is Schema:
             # Same guard as __new__: subclasses must not receive (or
             # leak) base-class instances through the intern table.
@@ -268,8 +348,10 @@ class Schema:
         object.__setattr__(instance, "_classes", classes)
         object.__setattr__(instance, "_arrows", arrows)
         object.__setattr__(instance, "_spec", spec)
-        object.__setattr__(instance, "_hash", hash(key))
+        object.__setattr__(instance, "_hash", hash_value)
         object.__setattr__(instance, "_reach_cache", reach_index)
+        object.__setattr__(instance, "_dense", dense)
+        object.__setattr__(instance, "_token", next(_TOKEN_COUNTER))
         if cls is Schema:
             _SCHEMA_INTERN.put(key, instance)
         return instance
@@ -387,13 +469,45 @@ class Schema:
 
     @property
     def arrows(self) -> FrozenSet[Arrow]:
-        """The full (W1/W2-closed) arrow relation ``E``."""
-        return self._arrows
+        """The full (W1/W2-closed) arrow relation ``E``.
+
+        Schemas produced by the dense closure engine carry the relation
+        as a reach index (or as id-space bitmask rows) and flatten it
+        here, once, on first access — derived data over an immutable
+        value, so the backfill is observationally pure.
+        """
+        cached = self._arrows
+        if cached is None:
+            cached = _index_arrows(self._reach_index())
+            object.__setattr__(self, "_arrows", cached)
+        return cached
+
+    def _arrow_count(self) -> int:
+        """``|E|`` without forcing lazy materialization."""
+        if self._arrows is not None:
+            return len(self._arrows)
+        if self._reach_cache is not None:
+            return sum(len(targets) for targets in self._reach_cache.values())
+        return sum(mask.bit_count() for mask in self._dense.reach.values())
+
+    def _spec_count(self) -> int:
+        """``|S|`` without forcing lazy materialization."""
+        if self._spec is not None:
+            return len(self._spec)
+        return sum(mask.bit_count() for mask in self._dense.succ)
 
     @property
     def spec(self) -> FrozenSet[SpecEdge]:
-        """The specialization partial order ``S`` (reflexive & transitive)."""
-        return self._spec
+        """The specialization partial order ``S`` (reflexive & transitive).
+
+        Dense-engine schemas carry ``S`` as id-space ``succ`` masks and
+        decode it here, once, on first access.
+        """
+        cached = self._spec
+        if cached is None:
+            cached = self._dense.decode_spec()
+            object.__setattr__(self, "_spec", cached)
+        return cached
 
     def __setattr__(self, key, val):  # pragma: no cover - immutability guard
         raise AttributeError("Schema is immutable")
@@ -404,21 +518,42 @@ class Schema:
             return True
         if not isinstance(other, Schema):
             return NotImplemented
-        if self._hash != other._hash:
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
             return False
-        return (
-            self._classes == other._classes
-            and self._arrows == other._arrows
-            and self._spec == other._spec
-        )
+        if self._classes != other._classes:
+            return False
+        mine = getattr(self, "_dense", None)
+        theirs = getattr(other, "_dense", None)
+        if mine is not None and theirs is not None and mine.names == theirs.names:
+            # Both dense over the same id table: compare the bitmask
+            # tables directly — no decoding at all.
+            return mine.succ == theirs.succ and mine.reach == theirs.reach
+        if self.spec != other.spec:
+            return False
+        if self._arrows is not None and other._arrows is not None:
+            return self._arrows == other._arrows
+        # The grouped indexes determine the flat relation (rows are
+        # never empty), so comparing them avoids flattening.
+        return self._reach_index() == other._reach_index()
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            # Lazy schemas hash exactly like eager ones — on the
+            # component triple — so mixed eager/lazy equality keeps the
+            # hash contract.  Computed once, cached.
+            h = hash((self._classes, self.arrows, self.spec))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return (
-            f"Schema(|C|={len(self._classes)}, |E|={len(self._arrows)}, "
-            f"|S|={len(self._spec)})"
+            f"Schema(|C|={len(self._classes)}, |E|={self._arrow_count()}, "
+            f"|S|={self._spec_count()})"
         )
 
     def __contains__(self, cls: NameLike) -> bool:
@@ -440,23 +575,110 @@ class Schema:
 
     def has_arrow(self, source: NameLike, label: Label, target: NameLike) -> bool:
         """Does ``source --label--> target`` hold (in the closed relation)?"""
-        return (name(source), label, name(target)) in self._arrows
+        targets = self._reach_index().get((name(source), label))
+        return targets is not None and name(target) in targets
 
     def is_spec(self, sub: NameLike, sup: NameLike) -> bool:
         """Does ``sub ==> sup`` hold?"""
-        return (name(sub), name(sup)) in self._spec
+        return (name(sub), name(sup)) in self.spec
 
     def strict_spec(self) -> FrozenSet[SpecEdge]:
         """The specialization pairs with distinct endpoints."""
-        return frozenset((p, q) for p, q in self._spec if p != q)
+        return frozenset((p, q) for p, q in self.spec if p != q)
+
+    def _fold_layout(
+        self,
+    ) -> Tuple[
+        Tuple[ClassName, ...],
+        Tuple[Tuple[int, int, Optional[Tuple[int, ...]]], ...],
+        Tuple[Tuple[int, Label, int, Optional[Tuple[int, ...]]], ...],
+    ]:
+        """A *generating* view of the schema as positions into its classes.
+
+        ``ClosureBuilder`` folds schemas repeatedly; resolving each
+        class name to a builder id once per schema (via the *order*
+        tuple) and then walking spec edges and reach rows as plain
+        index tuples keeps name hashing out of the per-element hot
+        loops entirely.  Because a schema's own ``S`` and reach index
+        are already W1/W2-closed, the fold does not need all of them:
+        any generating subset yields the identical union closure
+        (closing is monotone and idempotent, so
+        ``close(∪ Eᵢ) = close(∪ Gᵢ)`` whenever ``close(Gᵢ) = Eᵢ``).
+        Three parts: *order* (the classes), the spec *covers* grouped
+        per subclass as ``(sub_pos, first_sup_pos, rest)`` (transitive
+        and reflexive pairs are regenerated by the builder's rectangle
+        updates), and the reach *generator* rows as flat
+        ``(source_pos, label, first_target_pos, rest)`` quads — for
+        each ``(source, label)`` only the minimal targets not already
+        inherited from a strict superclass's row, since W2 restores
+        the upward target closure and W1 the downward source copies.
+        Cover groups and generator rows are overwhelmingly singular,
+        so the first position rides unwrapped and *rest* is ``None``
+        unless the entry genuinely holds more.
+        Populated on first use — derived data over an immutable value.
+        """
+        try:
+            return self._strict_cache
+        except AttributeError:
+            order = tuple(self._classes)
+            pos = {cls: k for k, cls in enumerate(order)}
+            strict = {(p, q) for p, q in self.spec if p != q}
+            depth: Dict[ClassName, int] = {}
+            for p, _q in strict:
+                depth[p] = depth.get(p, 0) + 1
+            ups: Dict[int, List[int]] = {}
+            for p, q in relations.covers(self.spec):
+                ups.setdefault(pos[p], []).append(pos[q])
+            # Superclasses first (ascending strict up-set size): each
+            # class's rectangle then propagates its fully-updated
+            # ancestor set in one shot instead of re-pushing later.
+            groups = tuple(
+                (i, sups[0], tuple(sups[1:]) if len(sups) > 1 else None)
+                for i, sups in sorted(
+                    ups.items(), key=lambda g: depth[order[g[0]]]
+                )
+            )
+            sup_names: Dict[ClassName, List[ClassName]] = {}
+            for p, q in strict:
+                sup_names.setdefault(p, []).append(q)
+            index = self._reach_index()
+            index_get = index.get
+            row_list: List[
+                Tuple[int, Label, int, Optional[Tuple[int, ...]]]
+            ] = []
+            for (source, label), targets in index.items():
+                extra = set(targets)
+                for q in sup_names.get(source, ()):
+                    inherited = index_get((q, label))
+                    if inherited:
+                        extra -= inherited
+                if not extra:
+                    continue
+                gen = tuple(
+                    pos[t]
+                    for t in extra
+                    if not any(e is not t and (e, t) in strict for e in extra)
+                )
+                row_list.append(
+                    (
+                        pos[source],
+                        label,
+                        gen[0],
+                        gen[1:] if len(gen) > 1 else None,
+                    )
+                )
+            rows = tuple(row_list)
+            layout = (order, groups, rows)
+            object.__setattr__(self, "_strict_cache", layout)
+            return layout
 
     def spec_covers(self) -> FrozenSet[SpecEdge]:
         """The Hasse edges of ``S`` — what the paper's figures draw."""
-        return relations.covers(self._spec)
+        return relations.covers(self.spec)
 
     def labels(self) -> FrozenSet[Label]:
         """Every arrow label used in the schema."""
-        return frozenset(label for _s, label, _t in self._arrows)
+        return frozenset(label for _s, label in self._reach_index())
 
     def _reach_index(self) -> Dict[Tuple[ClassName, Label], FrozenSet[ClassName]]:
         """``R(p, a)`` for every populated pair, built once per schema.
@@ -468,13 +690,17 @@ class Schema:
         """
         cached = self._reach_cache
         if cached is None:
-            collected: Dict[Tuple[ClassName, Label], set] = {}
-            for source, label, target in self._arrows:
-                collected.setdefault((source, label), set()).add(target)
-            cached = {
-                key: frozenset(targets)
-                for key, targets in collected.items()
-            }
+            dense = getattr(self, "_dense", None)
+            if dense is not None:
+                cached = dense.decode_index()
+            else:
+                collected: Dict[Tuple[ClassName, Label], set] = {}
+                for source, label, target in self._arrows:
+                    collected.setdefault((source, label), set()).add(target)
+                cached = {
+                    key: frozenset(targets)
+                    for key, targets in collected.items()
+                }
             object.__setattr__(self, "_reach_cache", cached)
         return cached
 
@@ -498,7 +724,11 @@ class Schema:
     def arrows_into(self, cls: NameLike) -> FrozenSet[Arrow]:
         """All arrows whose target is *cls*."""
         q = name(cls)
-        return frozenset(a for a in self._arrows if a[2] == q)
+        return frozenset(
+            (source, label, q)
+            for (source, label), targets in self._reach_index().items()
+            if q in targets
+        )
 
     def reach(self, cls: NameLike, label: Label) -> FrozenSet[ClassName]:
         """The paper's ``R(p, a)``: all classes reachable from *cls* by *label*."""
@@ -516,23 +746,23 @@ class Schema:
 
     def min_classes(self, subset: Iterable[NameLike]) -> FrozenSet[ClassName]:
         """The paper's ``MinS(X)`` relative to this schema's order."""
-        return relations.minimal_elements(names(subset), self._spec)
+        return relations.minimal_elements(names(subset), self.spec)
 
     def specializations_of(self, cls: NameLike) -> FrozenSet[ClassName]:
         """All ``p`` with ``p ==> cls`` (the down-set; includes *cls*)."""
-        return relations.down_set(name(cls), self._spec)
+        return relations.down_set(name(cls), self.spec)
 
     def generalizations_of(self, cls: NameLike) -> FrozenSet[ClassName]:
         """All ``q`` with ``cls ==> q`` (the up-set; includes *cls*)."""
-        return relations.up_set(name(cls), self._spec)
+        return relations.up_set(name(cls), self.spec)
 
     def root_classes(self) -> FrozenSet[ClassName]:
         """Classes with no strict generalization."""
-        return relations.maximal_elements(self._classes, self._spec)
+        return relations.maximal_elements(self._classes, self.spec)
 
     def leaf_classes(self) -> FrozenSet[ClassName]:
         """Classes with no strict specialization."""
-        return relations.minimal_elements(self._classes, self._spec)
+        return relations.minimal_elements(self._classes, self.spec)
 
     def is_empty(self) -> bool:
         """Is this the empty schema?"""
@@ -553,9 +783,9 @@ class Schema:
         return Schema(
             kept,
             frozenset(
-                (s, a, t) for s, a, t in self._arrows if s in kept and t in kept
+                (s, a, t) for s, a, t in self.arrows if s in kept and t in kept
             ),
-            relations.restrict(self._spec, kept),
+            relations.restrict(self.spec, kept),
         )
 
     def without_classes(self, drop: Iterable[NameLike]) -> "Schema":
@@ -586,8 +816,8 @@ class Schema:
             )
         return Schema(
             frozenset(new_classes),
-            frozenset((sub(s), a, sub(t)) for s, a, t in self._arrows),
-            frozenset((sub(p), sub(q)) for p, q in self._spec),
+            frozenset((sub(s), a, sub(t)) for s, a, t in self.arrows),
+            frozenset((sub(p), sub(q)) for p, q in self.spec),
         )
 
     def rename_labels(self, mapping: Mapping[Label, Label]) -> "Schema":
@@ -598,9 +828,9 @@ class Schema:
         return Schema(
             self._classes,
             frozenset(
-                (s, mapping.get(a, a), t) for s, a, t in self._arrows
+                (s, mapping.get(a, a), t) for s, a, t in self.arrows
             ),
-            self._spec,
+            self.spec,
         )
 
     def with_arrow(
@@ -619,11 +849,11 @@ class Schema:
         Endpoints not yet in ``C`` are added (with their reflexive
         specialization), mirroring :meth:`build`.
         """
-        additions = {_coerce_arrow(edge) for edge in edges} - self._arrows
+        additions = {_coerce_arrow(edge) for edge in edges} - self.arrows
         if not additions:
             return self
         classes = self._classes
-        spec = self._spec
+        spec = self.spec
         new_classes = frozenset(
             endpoint
             for source, _label, target in additions
@@ -640,7 +870,7 @@ class Schema:
                 relations.successors_map(spec),
             )
         )
-        return Schema._from_closed(classes, self._arrows | delta, spec)
+        return Schema._from_closed(classes, self.arrows | delta, spec)
 
     def with_spec(self, sub: NameLike, sup: NameLike) -> "Schema":
         """A new schema with one more specialization edge (delta-closed).
@@ -653,7 +883,7 @@ class Schema:
         """
         p, q = name(sub), name(sup)
         classes = self._classes
-        spec = self._spec
+        spec = self.spec
         added = frozenset(c for c in (p, q) if c not in classes)
         if added:
             classes = classes | added
@@ -661,7 +891,7 @@ class Schema:
         if (p, q) in spec:
             if not added:
                 return self
-            return Schema._from_closed(classes, self._arrows, spec)
+            return Schema._from_closed(classes, self.arrows, spec)
         if (q, p) in spec:
             raise IncompatibleSchemasError(
                 "specialization edges form a cycle: "
@@ -675,7 +905,7 @@ class Schema:
         # sub.  Only arrows touching those classes can close further.
         affected = [
             arrow
-            for arrow in self._arrows
+            for arrow in self.arrows
             if arrow[0] in up or arrow[2] in down
         ]
         delta = _index_arrows(
@@ -685,7 +915,7 @@ class Schema:
                 relations.successors_map(new_spec),
             )
         )
-        return Schema._from_closed(classes, self._arrows | delta, new_spec)
+        return Schema._from_closed(classes, self.arrows | delta, new_spec)
 
     def with_class(self, cls: NameLike) -> "Schema":
         """A new schema with one more (isolated) class."""
@@ -694,8 +924,8 @@ class Schema:
             return self
         return Schema(
             self._classes | {extra},
-            self._arrows,
-            self._spec | {(extra, extra)},
+            self.arrows,
+            self.spec | {(extra, extra)},
         )
 
     # ------------------------------------------------------------------
@@ -710,7 +940,7 @@ class Schema:
         """Arrows in a deterministic order."""
         return tuple(
             sorted(
-                self._arrows,
+                self.arrows,
                 key=lambda e: (sort_key(e[0]), e[1], sort_key(e[2])),
             )
         )
@@ -724,7 +954,7 @@ class Schema:
             "base_classes": len(self._classes) - implicit - general,
             "implicit_classes": implicit,
             "generalization_classes": general,
-            "arrows": len(self._arrows),
+            "arrows": self._arrow_count(),
             "spec_edges": len(self.strict_spec()),
             "labels": len(self.labels()),
         }

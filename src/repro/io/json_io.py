@@ -9,12 +9,20 @@ checked into repositories and fed to the CLI.
 Class names need care: implicit and generalization names are structured
 values, encoded recursively as ``{"implicit": [...]}`` /
 ``{"gen": [...]}``; base names are plain strings.
+
+Component snapshots (``repro.snapshot/1``) are the exception to the
+"walk the object graph" rule: they encode a
+:class:`~repro.perf.closure.DenseClosure` directly — the id table
+writes each name exactly once and every relation row is integers (hex
+bitmask strings), so serializing a service component never re-walks
+schema objects.  The decoder validates the dense invariants before
+trusting a document (see :func:`snapshot_from_dict`).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.keys import KeyFamily, KeyedSchema
 from repro.core.lower import AnnotatedSchema
@@ -31,12 +39,15 @@ from repro.exceptions import SerializationError
 from repro.instances.instance import Instance
 from repro.models.er import ERAttribute, ERDiagram, EREntity, ERRelationship
 from repro.models.oo import OOAttribute, OOClass, OODiagram
+from repro.perf.closure import DenseClosure
 
 __all__ = [
     "name_to_json",
     "name_from_json",
     "schema_to_dict",
     "schema_from_dict",
+    "snapshot_to_dict",
+    "snapshot_from_dict",
     "keyed_to_dict",
     "keyed_from_dict",
     "annotated_to_dict",
@@ -52,6 +63,7 @@ __all__ = [
 ]
 
 FORMAT_SCHEMA = "repro.schema/1"
+FORMAT_SNAPSHOT = "repro.snapshot/1"
 FORMAT_KEYED = "repro.keyed/1"
 FORMAT_ANNOTATED = "repro.annotated/1"
 FORMAT_INSTANCE = "repro.instance/1"
@@ -130,6 +142,82 @@ def schema_from_dict(doc: Dict[str, Any]) -> Schema:
         )
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"malformed schema document: {exc}") from exc
+
+
+def snapshot_to_dict(
+    dense: DenseClosure, component: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Encode a dense component closure — each name once, rows as ints.
+
+    The id table (``names``, position = dense id) is the serialization
+    dictionary: ``succ`` holds one hex bitmask per id (the reflexive-
+    transitive specialization closure) and ``reach`` one
+    ``[source_id, label, hex_targets]`` triple per closed arrow row.
+    Nothing here walks a :class:`~repro.core.schema.Schema` object
+    graph — the encoder reads the dense arrays as-is, which is what
+    makes service snapshot exports cheap.  *component* is an optional
+    metadata block (shard id, generation, ...) passed through verbatim.
+
+    >>> from repro.perf.closure import ClosureBuilder
+    >>> state = (ClosureBuilder().add_spec_edge("Puppy", "Dog")
+    ...          .add_arrow("Dog", "owner", "Person").dense_state())
+    >>> doc = snapshot_to_dict(state)
+    >>> doc["names"], doc["succ"]
+    (['Puppy', 'Dog', 'Person'], ['3', '2', '4'])
+    >>> snapshot_from_dict(doc) == state
+    True
+    """
+    doc: Dict[str, Any] = {
+        "format": FORMAT_SNAPSHOT,
+        "names": [name_to_json(c) for c in dense.names],
+        "succ": [format(mask, "x") for mask in dense.succ],
+        "reach": [
+            [src, label, format(tmask, "x")]
+            for (src, label), tmask in sorted(dense.reach.items())
+        ],
+    }
+    if component is not None:
+        doc["component"] = dict(component)
+    return doc
+
+
+def snapshot_from_dict(doc: Dict[str, Any]) -> DenseClosure:
+    """Decode a dense component closure, validating every invariant.
+
+    Unlike :func:`schema_from_dict` (which re-closes, so hand-written
+    documents are welcome), a snapshot claims to *be* closed — the
+    decoder checks reflexivity, transitivity, antisymmetry, id ranges
+    and W1/W2-closedness via :meth:`DenseClosure.validate
+    <repro.perf.closure.DenseClosure.validate>` and refuses documents
+    that fail, mapping the domain error onto
+    :class:`~repro.exceptions.SerializationError`.
+    """
+    if doc.get("format") != FORMAT_SNAPSHOT:
+        raise SerializationError(
+            f"expected format {FORMAT_SNAPSHOT!r}, got {doc.get('format')!r}"
+        )
+    try:
+        names = tuple(name_from_json(c) for c in doc.get("names", []))
+        succ = tuple(int(mask, 16) for mask in doc.get("succ", []))
+        reach: Dict[Tuple[int, str], int] = {}
+        for src, label, tmask in doc.get("reach", []):
+            if not isinstance(src, int) or not isinstance(label, str):
+                raise SerializationError(
+                    f"malformed reach row [{src!r}, {label!r}, ...]"
+                )
+            reach[(src, label)] = int(tmask, 16)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed snapshot document: {exc}"
+        ) from exc
+    if len(set(names)) != len(names):
+        raise SerializationError("snapshot id table repeats a name")
+    dense = DenseClosure(names, succ, reach)
+    try:
+        dense.validate()
+    except ValueError as exc:
+        raise SerializationError(f"invalid snapshot: {exc}") from exc
+    return dense
 
 
 def keyed_to_dict(keyed: KeyedSchema) -> Dict[str, Any]:
@@ -399,6 +487,7 @@ def oo_from_dict(doc: Dict[str, Any]) -> "OODiagram":
 
 _DECODERS = {
     FORMAT_SCHEMA: schema_from_dict,
+    FORMAT_SNAPSHOT: snapshot_from_dict,
     FORMAT_KEYED: keyed_from_dict,
     FORMAT_ANNOTATED: annotated_from_dict,
     FORMAT_INSTANCE: instance_from_dict,
@@ -408,6 +497,7 @@ _DECODERS = {
 
 _ENCODERS = [
     (Schema, schema_to_dict),
+    (DenseClosure, snapshot_to_dict),
     (KeyedSchema, keyed_to_dict),
     (AnnotatedSchema, annotated_to_dict),
     (Instance, instance_to_dict),

@@ -18,7 +18,13 @@ preserved cold-path reference implementations in
 * **bounded memoization** (:mod:`repro.perf.memo`) — ``is_sub``,
   ``compatible`` and ``annotated_leq`` results are cached keyed on the
   interned operands.  Immutability means there is no invalidation
-  protocol, only an LRU memory bound.
+  protocol, only an LRU memory bound;
+* **dense-id bitset kernels** (:mod:`repro.perf.namespace` +
+  :mod:`repro.perf.closure`) — each component's interned names map to
+  dense integer ids, class sets become Python-int bitmasks, and the
+  closure kernels run as bulk word-parallel OR/AND.  The pre-bitset
+  set-based engine is preserved verbatim in :mod:`repro.perf.setwise`
+  as the benchmark baseline and secondary test oracle.
 
 ``engine_stats()`` / ``clear_caches()`` are the operational surface:
 benchmarks report the former, tests use the latter to force cold paths.
@@ -54,7 +60,10 @@ from repro.perf.memo import MemoCache, cache_stats, clear_memo_caches
 __all__ = [
     "InternTable",
     "MemoCache",
+    "NameSpace",
     "ClosureBuilder",
+    "DenseClosure",
+    "SetwiseClosureBuilder",
     "intern_stats",
     "cache_stats",
     "engine_stats",
@@ -82,8 +91,16 @@ def clear_caches() -> None:
 
 
 def __getattr__(attr: str) -> Any:
-    if attr == "ClosureBuilder":
-        from repro.perf.closure import ClosureBuilder
+    if attr in ("ClosureBuilder", "DenseClosure"):
+        from repro.perf import closure
 
-        return ClosureBuilder
+        return getattr(closure, attr)
+    if attr == "NameSpace":
+        from repro.perf.namespace import NameSpace
+
+        return NameSpace
+    if attr == "SetwiseClosureBuilder":
+        from repro.perf.setwise import SetwiseClosureBuilder
+
+        return SetwiseClosureBuilder
     raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")

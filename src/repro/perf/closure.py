@@ -1,24 +1,39 @@
-"""Incremental closure: fold many schemas through one mutable builder.
+"""Incremental closure on dense ids: bitset kernels end to end.
 
-``join_all`` used to (a) compute the transitive closure of the union
-specialization once for the compatibility check, (b) recompute the very
-same closure inside ``Schema.build``, and (c) run the naive per-arrow
-W1/W2 closure.  Folding a *sequence* of joins (``reduce(join, ...)``)
-was worse still: n full re-closures for n schemas.
+``join_all`` folds many schemas through one mutable builder; the first
+engine generation did so with Python sets of interned names.  This
+generation re-represents everything on **dense integer ids**
+(:class:`repro.perf.namespace.NameSpace`): each node's up-/down-set in
+the specialization closure is one Python int used as a bitset, and the
+accumulated arrow pool becomes a table of ``(source_id, label) →
+target bitset`` rows.  The two closure kernels become per-node bulk
+int operations:
 
-:class:`ClosureBuilder` replaces all of that with one mutable
-specialization index, delta-updated per novel edge
-(:func:`repro.core.relations.closure_insert` — cycles surface at
-insertion time, so there is no separate compatibility pass), one raw
-arrow pool, and a single grouped arrow-closure at :meth:`build` time.
-The closure's reach index is handed to the finished
-:class:`~repro.core.schema.Schema` so the first ``reach`` query is free
-as well.
+* **edge insertion** (:func:`repro.core.relations.closure_insert_bits`)
+  delta-updates the ``down(sub) × up(sup)`` rectangle with one ``|``
+  per affected node — cycles still surface at insertion time, so there
+  is no separate compatibility pass;
+* the **grouped W1/W2 sweep** at :meth:`ClosureBuilder.build` expands
+  each arrow row's targets upward (OR of ``succ`` masks, memoized per
+  distinct target set) and pushes each row down the specialization
+  with one ``|`` per subclass.
+
+Bulk int OR/AND is *word-parallel*: CPython operates on the limbs of a
+big int in C, so a 60-class component's whole row updates in a couple
+of machine words instead of ~60 hash-and-probe set operations.  The
+swept rows are handed to the finished :class:`~repro.core.schema.Schema`
+*still in dense form* (:class:`DenseClosure`): the name-level reach
+index, the flat arrow relation and their hashes all materialize lazily,
+on first use — which is also what lets a component view serialize
+without re-walking schema object graphs (``repro.io.json_io``).
 
 The builder is the engine room of ``repro.core.ordering.join_all`` and
 is public API for callers that accumulate schemas over time (sessions,
 streaming merges): add schemas as they arrive, ``build()`` when a
-closed value is needed, keep adding afterwards.
+closed value is needed, keep adding afterwards.  The pre-rewrite
+set-based engine survives verbatim in :mod:`repro.perf.setwise` as the
+benchmark baseline, and :mod:`repro.perf.reference` remains the
+pre-engine property-test oracle.
 
 Process-wide work counters (``closure.inserts``,
 ``closure.arrows_swept``, ``closure.components_rebuilt``) report into
@@ -29,7 +44,7 @@ per-lookup hot paths.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core import relations
 from repro.core.names import ClassName, Label, name
@@ -37,60 +52,265 @@ from repro.core.schema import (
     Arrow,
     Schema,
     SpecEdge,
-    _closure_index,
     _coerce_arrow,
-    _index_arrows,
 )
 from repro.exceptions import IncompatibleSchemasError
 from repro.obs.metrics import REGISTRY
+from repro.perf.namespace import NameSpace
 
-__all__ = ["ClosureBuilder"]
+__all__ = ["ClosureBuilder", "DenseClosure"]
 
 _INSERTS = REGISTRY.counter("closure.inserts")
 _ARROWS_SWEPT = REGISTRY.counter("closure.arrows_swept")
 _REBUILDS = REGISTRY.counter("closure.components_rebuilt")
 
+#: One closed arrow-row table: ``(source_id, label) → bitset of target
+#: ids`` — the flat form carried by :class:`DenseClosure`.
+RowTable = Dict[Tuple[int, Label], int]
+
+#: Accumulated raw rows, grouped by source id: ``source_id → {label →
+#: OR of every asserted target bitset}``.  Two levels so the hot fold
+#: hashes one small int per source and one label string per row — no
+#: tuple keys on the per-row path.
+RawRows = Dict[int, Dict[Label, int]]
+
+
+def _sweep(succ: List[int], pred: List[int], rows: RowTable) -> RowTable:
+    """The grouped W1/W2 closure of id-keyed *rows*, entirely on bitmasks.
+
+    W2 first: each row's target set grows to the union of its targets'
+    up-sets (``succ`` masks, OR'd; memoized per distinct input mask —
+    rows repeat target sets heavily across a family).  W1 second: each
+    expanded row is pushed down to every subclass of its source with
+    one OR per subclass.  The result maps every populated
+    ``(class_id, label)`` to the closed reach bitset.
+
+    This standalone form serves :meth:`DenseClosure.validate` (closed
+    rows are a fixpoint of the sweep); the builder's build path runs
+    the same computation fused with target-set encoding in
+    :meth:`ClosureBuilder._fold_sweep`.
+    """
+    up_memo: Dict[int, int] = {}
+    out: RowTable = {}
+    for (src, label), tmask in rows.items():
+        up = up_memo.get(tmask)
+        if up is None:
+            acc = 0
+            mask = tmask
+            while mask:
+                low = mask & -mask
+                acc |= succ[low.bit_length() - 1]
+                mask ^= low
+            up = up_memo[tmask] = acc
+        mask = pred[src]
+        while mask:
+            low = mask & -mask
+            sub = low.bit_length() - 1
+            mask ^= low
+            key = (sub, label)
+            prev = out.get(key)
+            out[key] = up if prev is None else prev | up
+    return out
+
+
+def _decode_spec(
+    names: Tuple[ClassName, ...], succ: Iterable[int]
+) -> FrozenSet[SpecEdge]:
+    """The name-level specialization closure of a ``succ`` mask table."""
+    rows_memo: Dict[int, Tuple[ClassName, ...]] = {}
+    spec: Set[SpecEdge] = set()
+    for i, mask in enumerate(succ):
+        ups = rows_memo.get(mask)
+        if ups is None:
+            ups = rows_memo[mask] = tuple(
+                names[j] for j in relations.iter_bits(mask)
+            )
+        sub = names[i]
+        for sup in ups:
+            spec.add((sub, sup))
+    return frozenset(spec)
+
+
+class DenseClosure:
+    """One component's closed relations in dense form — a value.
+
+    The zero-copy unit of the engine: *names* is the id table (position
+    = dense id), *succ* the reflexive-transitive specialization closure
+    (``succ[i]`` bit *j* set ⇔ ``i ==> j``), *reach* the W1/W2-closed
+    arrow rows keyed on ``(source_id, label)``.  Every relation is
+    integers, so a snapshot encoder writes each name exactly once and
+    never walks a schema object graph (``repro.io.json_io``), and a
+    ``Schema`` backed by one of these decodes the name-level index
+    lazily, on first reach query.
+
+    >>> from repro.perf.closure import ClosureBuilder
+    >>> state = (ClosureBuilder().add_spec_edge("Puppy", "Dog")
+    ...          .add_arrow("Dog", "owner", "Person").dense_state())
+    >>> len(state.names), state.to_schema().has_arrow("Puppy", "owner", "Person")
+    (3, True)
+    """
+
+    __slots__ = ("names", "succ", "reach")
+
+    def __init__(
+        self,
+        names: Tuple[ClassName, ...],
+        succ: Tuple[int, ...],
+        reach: RowTable,
+    ) -> None:
+        self.names = names  # frozen-after-init
+        self.succ = succ  # frozen-after-init
+        self.reach = reach  # frozen-after-init
+
+    def validate(self) -> None:
+        """Check the dense invariants; raise :class:`ValueError` if broken.
+
+        Used by the snapshot decoder on untrusted documents.  All four
+        checks run on masks: reflexivity and range per node, transitivity
+        and antisymmetry per reachable pair, id-range of every arrow
+        row, and W1/W2-closedness by re-sweeping (the sweep is idempotent
+        on closed rows, so closed input must re-sweep to itself).
+        """
+        n = len(self.names)
+        if len(self.succ) != n:
+            raise ValueError("succ table length differs from the id table")
+        full = (1 << n) - 1 if n else 0
+        for i, mask in enumerate(self.succ):
+            if mask & ~full:
+                raise ValueError(f"succ[{i}] references ids outside the table")
+            if not (mask >> i) & 1:
+                raise ValueError(f"specialization not reflexive at id {i}")
+            rest = mask
+            while rest:
+                low = rest & -rest
+                j = low.bit_length() - 1
+                rest ^= low
+                if self.succ[j] & ~mask:
+                    raise ValueError("specialization not transitive")
+                if i != j and (self.succ[j] >> i) & 1:
+                    raise ValueError("specialization not antisymmetric")
+        pred = [0] * n
+        for i, mask in enumerate(self.succ):
+            bit = 1 << i
+            rest = mask
+            while rest:
+                low = rest & -rest
+                pred[low.bit_length() - 1] |= bit
+                rest ^= low
+        for (src, label), tmask in self.reach.items():
+            if not 0 <= src < n or tmask & ~full or not tmask:
+                raise ValueError(
+                    f"arrow row ({src}, {label!r}) references ids outside "
+                    "the table or is empty"
+                )
+        if _sweep(list(self.succ), pred, dict(self.reach)) != self.reach:
+            raise ValueError("arrow rows are not W1/W2-closed")
+
+    def decode_index(
+        self,
+    ) -> Dict[Tuple[ClassName, Label], FrozenSet[ClassName]]:
+        """The name-level reach index ``{(p, a): R(p, a)}`` of the rows.
+
+        Masks repeat heavily across rows (W1 pushes the same expanded
+        target set down a whole subtree), so target sets are decoded
+        once per distinct mask.
+        """
+        names = self.names
+        decode: Dict[int, FrozenSet[ClassName]] = {}
+        index: Dict[Tuple[ClassName, Label], FrozenSet[ClassName]] = {}
+        for (src, label), tmask in self.reach.items():
+            targets = decode.get(tmask)
+            if targets is None:
+                targets = decode[tmask] = frozenset(
+                    names[i] for i in relations.iter_bits(tmask)
+                )
+            index[(names[src], label)] = targets
+        return index
+
+    def decode_spec(self) -> FrozenSet[SpecEdge]:
+        """The name-level specialization closure of the ``succ`` table."""
+        return _decode_spec(self.names, self.succ)
+
+    def to_schema(self) -> Schema:
+        """The component view as a (lazily materializing) :class:`Schema`."""
+        return Schema._from_closed(frozenset(self.names), None, None, dense=self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenseClosure):
+            return NotImplemented
+        return (
+            self.names == other.names
+            and self.succ == other.succ
+            and self.reach == other.reach
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.succ))
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseClosure(classes={len(self.names)}, "
+            f"rows={len(self.reach)})"
+        )
+
 
 class ClosureBuilder:
     """A mutable accumulator whose ``build()`` is the LUB of everything added.
 
-    Invariants: ``_succ``/``_pred`` always hold the reflexive-transitive
-    closure of the specialization edges seen so far (every registered
-    class maps to a set containing itself), and ``_raw_arrows`` holds
-    un-closed input arrows.  Arrows are closed once, at build time —
-    closing them per addition would redo work the final grouped pass
-    does in one sweep.
+    Invariants: the per-component :class:`NameSpace` assigns dense ids
+    in first-appearance order; ``_succ[i]``/``_pred[i]`` always hold the
+    reflexive-transitive closure of the specialization edges seen so
+    far as bitsets (every registered node's own bit is set), and
+    ``_rows`` holds the un-closed input arrows as one raw target
+    bitset per ``(source_id, label)`` key (the OR of every asserted
+    row under that key).  Arrows are closed once, at build time —
+    closing them per addition would redo work the final grouped sweep
+    does in one pass.
     """
 
-    __slots__ = ("_classes", "_raw_arrows", "_succ", "_pred")
+    __slots__ = ("_ns", "_succ", "_pred", "_rows")
 
     def __init__(self, schemas: Iterable[Schema] = ()):
-        self._classes: Set[ClassName] = set()
-        self._raw_arrows: Set[Arrow] = set()
-        self._succ: Dict[ClassName, Set[ClassName]] = {}
-        self._pred: Dict[ClassName, Set[ClassName]] = {}
+        self._ns = NameSpace()
+        self._succ: List[int] = []
+        self._pred: List[int] = []
+        self._rows: RawRows = {}
         for schema in schemas:
             self.add_schema(schema)
 
+    def _intern(self, cls: ClassName) -> int:
+        """The dense id of *cls*, registering it (with its self-bit) if new."""
+        ns = self._ns
+        size = len(ns)
+        idx = ns.intern(cls)
+        if idx == size:
+            bit = 1 << idx
+            self._succ.append(bit)
+            self._pred.append(bit)
+        return idx
+
     def add_class(self, cls: ClassName) -> "ClosureBuilder":
         """Register a class (idempotent)."""
-        cls = name(cls)
-        if cls not in self._classes:
-            self._classes.add(cls)
-            self._succ.setdefault(cls, {cls})
-            self._pred.setdefault(cls, {cls})
+        self._intern(name(cls))
         return self
 
-    def _insert_edge(self, sub, sup, undo=None) -> None:
-        """closure_insert with the domain error both entry points share."""
+    def _insert_edge(self, sub: int, sup: int) -> None:
+        """closure_insert_bits with the domain error mapped on.
+
+        Serves the single-edge entry point (which needs no undo log:
+        the kernel checks for a cycle before mutating anything); the
+        bulk fold inlines the kernel call.  Counter discipline:
+        callers account ``closure.inserts``.
+        """
         try:
-            relations.closure_insert(self._succ, self._pred, sub, sup, undo)
-            _INSERTS.inc()
+            relations.closure_insert_bits(self._succ, self._pred, sub, sup)
         except ValueError:
+            ns = self._ns
+            cycle = (ns.name_of(sub), ns.name_of(sup), ns.name_of(sub))
             raise IncompatibleSchemasError(
                 "specialization edges form a cycle: "
-                + " ==> ".join(str(c) for c in (sub, sup, sub)),
-                cycle=(sub, sup, sub),
+                + " ==> ".join(str(c) for c in cycle),
+                cycle=cycle,
             ) from None
 
     def add_spec_edge(self, sub: ClassName, sup: ClassName) -> "ClosureBuilder":
@@ -99,74 +319,195 @@ class ClosureBuilder:
         Raises :class:`~repro.exceptions.IncompatibleSchemasError` the
         moment an edge closes a cycle — no separate compatibility pass.
         """
-        sub, sup = name(sub), name(sup)
-        self.add_class(sub)
-        self.add_class(sup)
-        self._insert_edge(sub, sup)
+        self._insert_edge(self._intern(name(sub)), self._intern(name(sup)))
+        _INSERTS.inc()
         return self
+
+    def _add_row(
+        self,
+        rows: RawRows,
+        source: ClassName,
+        label: Label,
+        target: ClassName,
+    ) -> None:
+        sid = self._intern(source)
+        bit = 1 << self._intern(target)
+        table = rows.get(sid)
+        if table is None:
+            rows[sid] = {label: bit}
+        else:
+            prev = table.get(label)
+            table[label] = bit if prev is None else prev | bit
 
     def add_arrow(
         self, source: ClassName, label: Label, target: ClassName
     ) -> "ClosureBuilder":
         """Add one raw arrow (closed at build time)."""
         arrow = _coerce_arrow((source, label, target))
-        self.add_class(arrow[0])
-        self.add_class(arrow[2])
-        self._raw_arrows.add(arrow)
+        self._add_row(self._rows, arrow[0], arrow[1], arrow[2])
         return self
 
     def add_schema(self, schema: Schema) -> "ClosureBuilder":
         """Fold a whole (closed) schema into the accumulator — atomically.
 
-        On :class:`~repro.exceptions.IncompatibleSchemasError` the
-        accumulator is rolled back to its pre-call state, so a streaming
-        caller can catch the error, drop the offending schema, and keep
-        going; ``build()`` then reflects exactly the accepted schemas.
-
-        Rollback uses :func:`repro.core.relations.closure_insert`'s undo
-        log — the pairs actually inserted are recorded and discarded
-        again on failure, so the cost is proportional to the work done,
-        not the accumulator size — and arrows are folded in last, after
-        nothing can fail.
+        Equivalent to ``add_schemas((schema,))`` — see there for the
+        rollback contract and the dense fold mechanics.
         """
-        added_classes = []
-        for cls in schema.classes:
-            if cls not in self._classes:
-                self.add_class(cls)
-                added_classes.append(cls)
+        return self.add_schemas((schema,))
+
+    def _fold_cycle(
+        self, a: int, b: int, snap: Optional[Tuple[List[int], List[int]]],
+        base: int,
+    ) -> IncompatibleSchemasError:
+        """Roll back a failed fold and build its cycle error (cold path).
+
+        Adding ``a ==> b`` would close a cycle.  The witness is named
+        while the id tail is still alive, then the accumulator is
+        restored to *base*: the pre-schema snapshot (when one was
+        taken) both clears gained bits and truncates the mask tables,
+        otherwise only the untouched fresh tail needs dropping.
+        """
+        ns = self._ns
+        cycle = (ns.name_of(a), ns.name_of(b), ns.name_of(a))
         succ = self._succ
         pred = self._pred
-        undo = []
+        if snap is not None:
+            succ[:], pred[:] = snap
+        elif len(ns) != base:
+            del succ[base:]
+            del pred[base:]
+        ns.truncate(base)
+        return IncompatibleSchemasError(
+            "specialization edges form a cycle: "
+            + " ==> ".join(str(c) for c in cycle),
+            cycle=cycle,
+        )
+
+    def add_schemas(self, schemas: Iterable[Schema]) -> "ClosureBuilder":
+        """Fold many (closed) schemas — each one atomically, in order.
+
+        On :class:`~repro.exceptions.IncompatibleSchemasError` the
+        accumulator is rolled back to its state before the *offending
+        schema* (schemas folded earlier in the same call remain), so a
+        streaming caller can catch the error, drop that schema, and
+        keep going; ``build()`` then reflects exactly the accepted
+        schemas.
+
+        Rollback is by snapshot: before a schema's first novel edge is
+        inserted, the pre-schema slice of both mask tables is copied
+        (two C-level list copies — gained-bit undo logs measured
+        slower); restoring it clears every gained bit *and* drops the
+        freshly interned id tail in one assignment (ids are assigned
+        contiguously, so the classes the failed fold introduced are
+        exactly the tail).
+
+        This is the engine's hottest entry point (``join_all`` folds
+        whole families through it), so the loop works on resolved ids:
+        each schema's cached fold layout is translated to builder ids
+        once (one table probe per class, a C-level ``map``), the
+        strict spec pairs and the reach rows then walk as plain index
+        tuples — no class-name hashing anywhere in the per-element
+        loops.  The layout is a *generating* view (spec covers, minimal
+        non-inherited reach rows — see ``Schema._fold_layout``): the
+        builder's own rectangle updates and build-time sweep regenerate
+        everything the layout omits, so the fold does strictly less
+        work for the identical closure.  Each generator row encodes
+        positionally through the translation and is OR'd into the raw
+        row table under its ``(source_id, label)`` key — closure is
+        deferred to the build-time sweep.
+        """
+        ns = self._ns
+        ids = ns._ids
+        ids_get = ids.get
+        intern = self._intern
+        succ = self._succ
+        pred = self._pred
+        rows = self._rows
+        rows_get = rows.get
+        inserts = 0
         try:
-            for sub, sup in schema.spec:
-                if sub is not sup and sub != sup and sup not in succ[sub]:
-                    self._insert_edge(sub, sup, undo)
-        except IncompatibleSchemasError:
-            for lower, upper in undo:
-                succ[lower].discard(upper)
-                pred[upper].discard(lower)
-            for cls in added_classes:
-                # Registered isolated this call; after the pair rollback
-                # they appear in no other class's sets — safe to drop.
-                self._classes.discard(cls)
-                succ.pop(cls, None)
-                pred.pop(cls, None)
-            raise
-        self._raw_arrows |= schema.arrows
+            for schema in schemas:
+                base = len(ids)
+                order, groups, row_layout = schema._fold_layout()
+                tr = list(map(ids_get, order))
+                if None in tr:
+                    for k, idx in enumerate(tr):
+                        if idx is None:
+                            tr[k] = intern(order[k])
+                snap = None
+                for i, j0, more in groups:
+                    a = tr[i]
+                    sa = succ[a]
+                    b = tr[j0]
+                    if (sa >> b) & 1:
+                        novel = 0
+                    else:
+                        if (succ[b] >> a) & 1:
+                            raise self._fold_cycle(a, b, snap, base)
+                        novel = succ[b]
+                        inserts += 1
+                    if more is not None:
+                        for j in more:
+                            b = tr[j]
+                            if not (sa >> b) & 1:
+                                if (succ[b] >> a) & 1:
+                                    raise self._fold_cycle(a, b, snap, base)
+                                novel |= succ[b]
+                                inserts += 1
+                    new_bits = novel & ~sa
+                    if new_bits:
+                        if snap is None:
+                            # Fresh ids past *base* carry only their
+                            # untouched self-bits; the snapshot excludes
+                            # them so restoring also truncates.
+                            snap = (succ[:base], pred[:base])
+                        # One rectangle for the whole up-set delta: every
+                        # subclass of *a* (which already reaches all of
+                        # ``sa``, by closure) gains exactly these bits,
+                        # and every newly reached node gains *a*'s
+                        # down-set.  OR is idempotent and rollback is by
+                        # snapshot, so no per-write gained-bit filtering.
+                        down_a = pred[a]
+                        mask = down_a
+                        while mask:
+                            low = mask & -mask
+                            succ[low.bit_length() - 1] |= new_bits
+                            mask ^= low
+                        mask = new_bits
+                        while mask:
+                            low = mask & -mask
+                            pred[low.bit_length() - 1] |= down_a
+                            mask ^= low
+                for spos, label, t0, rest in row_layout:
+                    acc = 1 << tr[t0]
+                    if rest is not None:
+                        for t in rest:
+                            acc |= 1 << tr[t]
+                    sid = tr[spos]
+                    table = rows_get(sid)
+                    if table is None:
+                        rows[sid] = {label: acc}
+                    else:
+                        table[label] = table.get(label, 0) | acc
+        finally:
+            if inserts:
+                _INSERTS.inc(inserts)
         return self
 
     @property
     def classes(self) -> FrozenSet[ClassName]:
         """Every class registered so far (a snapshot, not a live view)."""
-        return frozenset(self._classes)
+        return frozenset(self._ns.names())
 
     def clone(self) -> "ClosureBuilder":
         """An independent copy sharing no mutable state with the original.
 
-        The copy costs one pass over the accumulated index and is the
-        substrate of transactional callers (``repro.service``): apply a
-        whole batch to a clone, then either swap it in or throw it away
-        — the original is never half-updated.
+        Dense state makes this cheap: masks are immutable ints, so the
+        copy is two list copies and per-source dicts of shared ints
+        regardless of how dense the relations are.  This is the substrate of
+        transactional callers (``repro.service``): apply a whole batch
+        to a clone, then either swap it in or throw it away — the
+        original is never half-updated.
 
         >>> from repro.perf.closure import ClosureBuilder
         >>> original = ClosureBuilder().add_spec_edge("Puppy", "Dog")
@@ -176,24 +517,131 @@ class ClosureBuilder:
         (False, True)
         """
         twin = ClosureBuilder()
-        twin._classes = set(self._classes)
-        twin._raw_arrows = set(self._raw_arrows)
-        twin._succ = {cls: set(sups) for cls, sups in self._succ.items()}
-        twin._pred = {cls: set(subs) for cls, subs in self._pred.items()}
+        twin._ns = self._ns.clone()
+        twin._succ = list(self._succ)
+        twin._pred = list(self._pred)
+        twin._rows = {sid: dict(t) for sid, t in self._rows.items()}
         return twin
 
     def is_spec(self, sub: ClassName, sup: ClassName) -> bool:
         """Does ``sub ==> sup`` hold in the accumulated closure?"""
         sub, sup = name(sub), name(sup)
-        return sub == sup or sup in self._succ.get(sub, ())
+        if sub == sup:
+            return True
+        ns = self._ns
+        i = ns.id_of(sub)
+        j = ns.id_of(sup)
+        if i is None or j is None:
+            return False
+        return bool((self._succ[i] >> j) & 1)
 
     def spec_pairs(self) -> FrozenSet[SpecEdge]:
         """The current reflexive-transitive specialization closure."""
-        return frozenset(
-            (sub, sup)
-            for sub, sups in self._succ.items()
-            for sup in sups
-        )
+        return _decode_spec(self._ns.names(), self._succ)
+
+    def _fold_sweep(
+        self,
+        succ: List[int],
+        rows: RawRows,
+    ) -> Tuple[RowTable, int]:
+        """W1/W2-close the accumulated raw rows, entirely on bitmasks.
+
+        W2 first: each ``(source_id, label)`` key's raw target mask
+        expands up the specialization.  W1 second, but not by pushing
+        every row to every subclass of its source: rows propagate
+        *down the Hasse diagram* of the specialization in topological
+        order (supers first), so each node inherits its immediate
+        parents' already-closed label tables — ``O(covers × labels)``
+        merge operations instead of ``O(closure × rows)`` pushes, and a
+        node with one parent and no own rows shares the parent's table
+        outright (copy-on-write).  Returns the closed id-keyed rows and
+        the number of raw arrows swept (the ``closure.arrows_swept``
+        increment).
+        """
+        n = len(succ)
+        src_rows: List[Optional[Dict[Label, int]]] = [None] * n
+        swept = 0
+        for sid, table in rows.items():
+            expanded: Dict[Label, int] = {}
+            for label, tmask in table.items():
+                swept += tmask.bit_count()
+                acc = 0
+                mask = tmask
+                while mask:
+                    low = mask & -mask
+                    acc |= succ[low.bit_length() - 1]
+                    mask ^= low
+                expanded[label] = acc
+            src_rows[sid] = expanded
+        # W1 down the Hasse diagram.  Processing in ascending |succ|
+        # visits every strict ancestor before its descendants (p ==> q
+        # implies succ[q] ⊊ succ[p]), so each closed table is final
+        # when read.
+        closed: List[Optional[Dict[Label, int]]] = [None] * n
+        out: RowTable = {}
+        for i in sorted(range(n), key=lambda k: succ[k].bit_count()):
+            ups = succ[i] ^ (1 << i)
+            if ups:
+                # Immediate parents: strict ancestors not above another.
+                red = 0
+                mask = ups
+                while mask:
+                    low = mask & -mask
+                    red |= succ[low.bit_length() - 1] ^ low
+                    mask ^= low
+                parents = ups & ~red
+            else:
+                parents = 0
+            acc: Optional[Dict[Label, int]] = None
+            shared = False
+            mask = parents
+            while mask:
+                low = mask & -mask
+                inherited = closed[low.bit_length() - 1]
+                mask ^= low
+                if inherited is None:
+                    continue
+                if acc is None:
+                    acc = inherited
+                    shared = True
+                    continue
+                if shared:
+                    acc = dict(acc)
+                    shared = False
+                for label, up in inherited.items():
+                    prev = acc.get(label)
+                    if prev is None:
+                        acc[label] = up
+                    else:
+                        merged = prev | up
+                        if merged is not prev and merged != prev:
+                            acc[label] = merged
+            own = src_rows[i]
+            if own is not None:
+                if acc is None:
+                    acc = own
+                else:
+                    if shared:
+                        acc = dict(acc)
+                    for label, up in own.items():
+                        prev = acc.get(label)
+                        acc[label] = up if prev is None else prev | up
+            closed[i] = acc
+            if acc:
+                for label, up in acc.items():
+                    out[(i, label)] = up
+        return out, swept
+
+    def dense_state(self) -> DenseClosure:
+        """The fully closed component as a dense value (see DenseClosure).
+
+        Runs the same fold-and-sweep as :meth:`build` but stops at the
+        id-level representation — the input to zero-copy snapshot
+        serialization (``repro.service`` / ``repro.io.json_io``).  The
+        builder is not mutated.
+        """
+        out, _swept = self._fold_sweep(self._succ, self._rows)
+        return DenseClosure(self._ns.names(), tuple(self._succ), out)
 
     def build(
         self,
@@ -205,24 +653,32 @@ class ClosureBuilder:
         not a terminal operation; *extra_arrows* participate in this
         snapshot only (coerced and validated like every other input,
         with unseen endpoints appearing as isolated classes).
+
+        The returned schema is backed by the dense closure directly:
+        its name-level reach index, flat arrow relation and structural
+        hash all materialize lazily, on first use.
         """
-        raw = self._raw_arrows
-        _REBUILDS.inc()
-        _ARROWS_SWEPT.inc(len(raw))
-        classes = frozenset(self._classes)
-        spec = self.spec_pairs()
+        ns = self._ns
+        succ = self._succ
+        rows = self._rows
         extra = [_coerce_arrow(edge) for edge in extra_arrows]
         if extra:
-            raw = raw | set(extra)
-            new_classes = frozenset(
-                endpoint
-                for source, _label, target in extra
-                for endpoint in (source, target)
-                if endpoint not in classes
-            )
-            if new_classes:
-                classes |= new_classes
-                spec |= frozenset((cls, cls) for cls in new_classes)
-        index = _closure_index(raw, self._pred, self._succ)
-        arrows = _index_arrows(index)
-        return Schema._from_closed(classes, arrows, spec, reach_index=index)
+            # Work on copies: build() must not mutate the accumulator.
+            saved = (self._ns, self._succ, self._pred, self._rows)
+            self._ns = ns = ns.clone()
+            self._succ = succ = list(succ)
+            self._pred = list(self._pred)
+            self._rows = rows = {sid: dict(t) for sid, t in rows.items()}
+            try:
+                for source, label, target in extra:
+                    self._add_row(rows, source, label, target)
+                out, swept = self._fold_sweep(succ, rows)
+            finally:
+                self._ns, self._succ, self._pred, self._rows = saved
+        else:
+            out, swept = self._fold_sweep(succ, rows)
+        _REBUILDS.inc()
+        _ARROWS_SWEPT.inc(swept)
+        names = ns.names()
+        dense = DenseClosure(names, tuple(succ), out)
+        return Schema._from_closed(frozenset(names), None, None, dense=dense)

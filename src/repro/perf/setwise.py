@@ -1,0 +1,190 @@
+"""The set-based closure engine, frozen as the pre-bitset baseline.
+
+This is the :class:`~repro.perf.closure.ClosureBuilder` as it shipped
+before the dense-id rewrite: one mutable specialization index held as
+``dict`` of ``set`` of interned names, delta-updated per novel edge via
+:func:`repro.core.relations.closure_insert`, one raw arrow pool, one
+grouped W1/W2 sweep at build time.
+
+Like :mod:`repro.perf.reference` (the pre-*engine* cold path), it is
+kept for two jobs and must not be "improved":
+
+* the **benchmark baseline** — ``benchmarks/runner.py`` times
+  :func:`setwise_join_all` against the bitset engine's ``join_all`` and
+  gates the 320-schema speedup recorded in ``BENCH_merge_engine.json``;
+* a **secondary oracle** — the dense kernels are property-tested
+  against it (and against :mod:`repro.perf.reference`) in
+  ``tests/test_dense_kernels.py``.
+
+It deliberately reports no work counters: only the live engine feeds
+``closure.*`` telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.core import relations
+from repro.core.names import ClassName, Label, name
+from repro.core.schema import (
+    Arrow,
+    Schema,
+    SpecEdge,
+    _closure_index,
+    _coerce_arrow,
+    _index_arrows,
+)
+from repro.exceptions import IncompatibleSchemasError
+
+__all__ = ["SetwiseClosureBuilder", "setwise_join_all"]
+
+
+class SetwiseClosureBuilder:
+    """The pre-refactor accumulator: sets of interned names throughout.
+
+    Invariants as in the original: ``_succ``/``_pred`` always hold the
+    reflexive-transitive closure of the specialization edges seen so
+    far, ``_raw_arrows`` holds un-closed input arrows, and arrows are
+    closed once at build time by the grouped sweep.
+    """
+
+    __slots__ = ("_classes", "_raw_arrows", "_succ", "_pred")
+
+    def __init__(self, schemas: Iterable[Schema] = ()):
+        self._classes: Set[ClassName] = set()
+        self._raw_arrows: Set[Arrow] = set()
+        self._succ: Dict[ClassName, Set[ClassName]] = {}
+        self._pred: Dict[ClassName, Set[ClassName]] = {}
+        for schema in schemas:
+            self.add_schema(schema)
+
+    def add_class(self, cls: ClassName) -> "SetwiseClosureBuilder":
+        """Register a class (idempotent)."""
+        cls = name(cls)
+        if cls not in self._classes:
+            self._classes.add(cls)
+            self._succ.setdefault(cls, {cls})
+            self._pred.setdefault(cls, {cls})
+        return self
+
+    def _insert_edge(self, sub, sup, undo=None) -> None:
+        try:
+            relations.closure_insert(self._succ, self._pred, sub, sup, undo)
+        except ValueError:
+            raise IncompatibleSchemasError(
+                "specialization edges form a cycle: "
+                + " ==> ".join(str(c) for c in (sub, sup, sub)),
+                cycle=(sub, sup, sub),
+            ) from None
+
+    def add_spec_edge(
+        self, sub: ClassName, sup: ClassName
+    ) -> "SetwiseClosureBuilder":
+        """Add ``sub ==> sup``, delta-updating the closure."""
+        sub, sup = name(sub), name(sup)
+        self.add_class(sub)
+        self.add_class(sup)
+        self._insert_edge(sub, sup)
+        return self
+
+    def add_arrow(
+        self, source: ClassName, label: Label, target: ClassName
+    ) -> "SetwiseClosureBuilder":
+        """Add one raw arrow (closed at build time)."""
+        arrow = _coerce_arrow((source, label, target))
+        self.add_class(arrow[0])
+        self.add_class(arrow[2])
+        self._raw_arrows.add(arrow)
+        return self
+
+    def add_schema(self, schema: Schema) -> "SetwiseClosureBuilder":
+        """Fold a whole (closed) schema into the accumulator — atomically."""
+        added_classes = []
+        for cls in schema.classes:
+            if cls not in self._classes:
+                self.add_class(cls)
+                added_classes.append(cls)
+        succ = self._succ
+        pred = self._pred
+        undo = []
+        try:
+            for sub, sup in schema.spec:
+                if sub is not sup and sub != sup and sup not in succ[sub]:
+                    self._insert_edge(sub, sup, undo)
+        except IncompatibleSchemasError:
+            for lower, upper in undo:
+                succ[lower].discard(upper)
+                pred[upper].discard(lower)
+            for cls in added_classes:
+                self._classes.discard(cls)
+                succ.pop(cls, None)
+                pred.pop(cls, None)
+            raise
+        self._raw_arrows |= schema.arrows
+        return self
+
+    @property
+    def classes(self) -> FrozenSet[ClassName]:
+        """Every class registered so far (a snapshot, not a live view)."""
+        return frozenset(self._classes)
+
+    def clone(self) -> "SetwiseClosureBuilder":
+        """An independent copy sharing no mutable state with the original."""
+        twin = SetwiseClosureBuilder()
+        twin._classes = set(self._classes)
+        twin._raw_arrows = set(self._raw_arrows)
+        twin._succ = {cls: set(sups) for cls, sups in self._succ.items()}
+        twin._pred = {cls: set(subs) for cls, subs in self._pred.items()}
+        return twin
+
+    def is_spec(self, sub: ClassName, sup: ClassName) -> bool:
+        """Does ``sub ==> sup`` hold in the accumulated closure?"""
+        sub, sup = name(sub), name(sup)
+        return sub == sup or sup in self._succ.get(sub, ())
+
+    def spec_pairs(self) -> FrozenSet[SpecEdge]:
+        """The current reflexive-transitive specialization closure."""
+        return frozenset(
+            (sub, sup)
+            for sub, sups in self._succ.items()
+            for sup in sups
+        )
+
+    def build(self, extra_arrows: Iterable[Arrow] = ()) -> Schema:
+        """Close the accumulated components into an (interned) Schema."""
+        raw = self._raw_arrows
+        classes = frozenset(self._classes)
+        spec = self.spec_pairs()
+        extra = [_coerce_arrow(edge) for edge in extra_arrows]
+        if extra:
+            raw = raw | set(extra)
+            new_classes = frozenset(
+                endpoint
+                for source, _label, target in extra
+                for endpoint in (source, target)
+                if endpoint not in classes
+            )
+            if new_classes:
+                classes |= new_classes
+                spec |= frozenset((cls, cls) for cls in new_classes)
+        index = _closure_index(raw, self._pred, self._succ)
+        arrows = _index_arrows(index)
+        return Schema._from_closed(classes, arrows, spec, reach_index=index)
+
+
+def setwise_join_all(schemas: Iterable[Schema]) -> Schema:
+    """``join_all`` exactly as the set-based engine computed it.
+
+    Mirrors :func:`repro.core.ordering.join_all` minus the memo layer:
+    fold everything through one :class:`SetwiseClosureBuilder`, build
+    once.  This is the timed baseline for the ≥5x bitset-kernel gate.
+    """
+    schema_list: List[Schema] = list(schemas)
+    if not schema_list:
+        return Schema.empty()
+    if len(schema_list) == 1:
+        return schema_list[0]
+    builder = SetwiseClosureBuilder()
+    for g in schema_list:
+        builder.add_schema(g)
+    return builder.build()

@@ -57,10 +57,11 @@ from repro.service.api_types import API_FORMAT, QueryResult, RegisterReceipt
 from repro.service.http import HttpFrontend, serve_http
 from repro.service.service import MergeService
 from repro.service.shards import Shard, UnionFind, plan_groups
-from repro.service.snapshots import SnapshotCache
+from repro.service.snapshots import ComponentSnapshot, SnapshotCache
 
 __all__ = [
     "API_FORMAT",
+    "ComponentSnapshot",
     "HttpFrontend",
     "MergeService",
     "QueryResult",

@@ -77,7 +77,7 @@ import itertools
 import threading
 import weakref
 from time import perf_counter
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union, cast
 
 from repro.check.witness import LockLike, WitnessedLock, witness_active
 from repro.core.names import ClassName, name
@@ -94,7 +94,7 @@ from repro.obs.tracing import span
 from repro.perf.closure import ClosureBuilder
 from repro.service.api_types import QueryResult, RegisterReceipt
 from repro.service.shards import Shard, plan_groups
-from repro.service.snapshots import SnapshotCache
+from repro.service.snapshots import ComponentSnapshot, SnapshotCache
 
 __all__ = ["MergeService"]
 
@@ -769,6 +769,50 @@ class MergeService:
             key, answer, generation, stamp=(shard.sid, shard.generation)
         )
         return answer
+
+    def component_snapshot(self, component: ComponentRef) -> ComponentSnapshot:
+        """One component's merged view as a serialization-ready value.
+
+        The :class:`~repro.service.snapshots.ComponentSnapshot` carries
+        the shard's dense closure *with its id table*, so exporting a
+        component (``snapshot.to_dict()`` →
+        :func:`repro.io.json_io.snapshot_to_dict`) writes each name once
+        and never re-walks the merged schema's object graph.  Cached and
+        generation-stamped exactly like :meth:`query`: registrations in
+        other components re-validate instead of recomputing.
+        """
+        self._check_open()
+        shard = self._resolve(component)
+        key = ("snapshot", shard.sid)
+        generation = self._generation
+
+        def still_valid(stamp: Any) -> bool:
+            if stamp is None:
+                return False
+            sid, shard_generation = stamp
+            live = self._shards.get(sid)
+            return live is not None and live.generation == shard_generation
+
+        cached = self._snapshot_cache.lookup(key, generation, still_valid)
+        if cached is not _MISS:
+            return cast(ComponentSnapshot, cached)
+        merged, _outcome = self._component_schema(shard)
+        # Engine-built component views carry their dense state; fall
+        # back to re-deriving it from the shard's builder when the view
+        # came out of the intern table as a pre-existing eager schema.
+        dense = getattr(merged, "_dense", None)
+        if dense is None:
+            dense = shard.builder.dense_state()
+        snapshot = ComponentSnapshot(
+            sid=shard.sid,
+            generation=shard.generation,
+            schemas=len(shard.schemas),
+            dense=dense,
+        )
+        self._snapshot_cache.store(
+            key, snapshot, generation, stamp=(shard.sid, shard.generation)
+        )
+        return snapshot
 
     # ------------------------------------------------------------------
     # Introspection

@@ -41,12 +41,51 @@ True
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, NamedTuple, Optional
 
 from repro.obs.metrics import REGISTRY, Counter
+from repro.perf.closure import DenseClosure
 from repro.sentinels import Sentinel
 
-__all__ = ["SnapshotCache"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.schema import Schema
+
+__all__ = ["ComponentSnapshot", "SnapshotCache"]
+
+
+class ComponentSnapshot(NamedTuple):
+    """One component's merged view, frozen in dense id-table form.
+
+    The payload is the component shard's :class:`DenseClosure` — its
+    :class:`~repro.perf.namespace.NameSpace` id table plus the bitmask
+    closure arrays — so a snapshot serializes without re-walking any
+    schema object graph: each class name is written exactly once (at
+    its id position) and every relation row is integers.  ``sid`` /
+    ``generation`` identify which shard state the snapshot captured;
+    ``schemas`` counts the registered schemas folded into it.
+    """
+
+    sid: int
+    generation: int
+    schemas: int
+    dense: DenseClosure
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``repro.snapshot/1`` JSON document for this component."""
+        from repro.io.json_io import snapshot_to_dict
+
+        return snapshot_to_dict(
+            self.dense,
+            component={
+                "sid": self.sid,
+                "generation": self.generation,
+                "schemas": self.schemas,
+            },
+        )
+
+    def schema(self) -> "Schema":
+        """Decode back to an interned :class:`~repro.core.schema.Schema`."""
+        return self.dense.to_schema()
 
 
 class SnapshotCache:
