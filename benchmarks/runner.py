@@ -25,6 +25,12 @@ Current suites:
   with telemetry on, so records carry p50/p95/p99 request latencies and
   cache hit rates, and the acceptance workload's spans + metrics land
   in ``TELEMETRY_service.jsonl`` (uploaded by the CI smoke job).
+* ``persistence`` — the durable registry
+  (``benchmarks/bench_persistence.py``): snapshot-led warm restarts
+  and the write path's log-append cost.  Acceptance: the first
+  ``merged_view`` after restart ≥ ``--min-restart-speedup`` (10x) over
+  a cold ``join_all``, and the appends' software cost ≤ 10% of the
+  acceptance request stream (fsync reported separately).
 * ``http`` — the asyncio front end (``benchmarks/bench_http.py``): a
   real ``serve --http`` subprocess under 1/4/16 concurrent writer
   connections.  Acceptance (full mode, multi-core hosts): 16-writer
@@ -553,6 +559,80 @@ def service_suite(args: argparse.Namespace) -> SuiteResult:
     return records, meta
 
 
+@suite("persistence", "BENCH_persistence.json")
+def persistence_suite(args: argparse.Namespace) -> SuiteResult:
+    """The durable registry: warm restarts and log-append overhead.
+
+    Acceptance (full mode): the first ``merged_view`` after a
+    snapshot-led restart is ≥ ``--min-restart-speedup`` (10x) faster
+    than a cold ``join_all`` over the same 200-schema family, and the
+    software cost of the stream's log appends (encode + write + flush;
+    fsync priced separately as durability rent) stays within 10% of
+    the in-memory stream replay wall.  Restored-view equality with the
+    pre-restart service is asserted in every mode.
+    """
+    from bench_persistence import run_persistence_bench
+
+    print("persistence:")
+    result = run_persistence_bench(smoke=args.smoke)
+    summary = dict(result["summary"])
+    timings = result["timings"]
+    print(
+        f"  restart: cold join_all "
+        f"{timings['join_all_cold']['best_s'] * 1e3:.2f} ms, first view "
+        f"{timings['first_view_after_restart']['best_s'] * 1e6:.1f} us "
+        f"({summary['restart_speedup_vs_cold_join_all']:.0f}x); recovery "
+        f"{summary['recovery_wall_s'] * 1e3:.1f} ms (snapshot) / "
+        f"{summary['replay_recovery_wall_s'] * 1e3:.1f} ms (full replay)"
+    )
+    print(
+        f"  appends: software {summary['append_cost_soft_s'] * 1e3:.2f} ms "
+        f"({summary['stream_overhead_soft'] * 100:.1f}% of the stream), "
+        f"fsync'd {summary['append_cost_fsync_s'] * 1e3:.2f} ms "
+        f"({summary['stream_overhead_fsync'] * 100:.1f}%)"
+    )
+    records = [
+        record(
+            f"{summary['workload']}/{name}",
+            "persistence",
+            timings[name],
+            schemas=summary["schemas"],
+            **(
+                {
+                    "acceptance": True,
+                    "speedup_vs_cold_join_all": (
+                        summary["restart_speedup_vs_cold_join_all"]
+                    ),
+                }
+                if name == "first_view_after_restart"
+                else {}
+            ),
+        )
+        for name in sorted(timings)
+    ]
+    summary["min_restart_speedup_required"] = (
+        None if args.smoke else args.min_restart_speedup
+    )
+    summary["acceptance_pass"] = bool(
+        summary["append_overhead_ok"]
+        and (
+            args.smoke
+            or summary["restart_speedup_vs_cold_join_all"]
+            >= args.min_restart_speedup
+        )
+    )
+    if not summary["acceptance_pass"]:
+        print(
+            f"FAIL: persistence acceptance: restart speedup "
+            f"{summary['restart_speedup_vs_cold_join_all']:.1f}x "
+            f"(need ≥ {args.min_restart_speedup}x), append overhead "
+            f"{summary['stream_overhead_soft'] * 100:.1f}% "
+            f"(budget {summary['append_overhead_budget'] * 100:.0f}%)",
+            file=sys.stderr,
+        )
+    return records, {"summary": summary}
+
+
 @suite("http", "BENCH_http.json")
 def http_suite(args: argparse.Namespace) -> SuiteResult:
     """The asyncio HTTP front end under 1/4/16 concurrent writers.
@@ -673,6 +753,15 @@ def main(argv: List[str] = None) -> int:
         type=float,
         default=10.0,
         help="service acceptance floor: warm merged_view vs cold join_all",
+    )
+    parser.add_argument(
+        "--min-restart-speedup",
+        type=float,
+        default=10.0,
+        help=(
+            "persistence acceptance floor: first merged_view after a "
+            "snapshot-led restart vs cold join_all"
+        ),
     )
     parser.add_argument(
         "--skip-pytest-suite",

@@ -57,6 +57,7 @@ DOCTEST_MODULES = [
     "repro.service.service",
     "repro.service.shards",
     "repro.service.snapshots",
+    "repro.service.storage",
 ]
 
 DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]

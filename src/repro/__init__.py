@@ -64,20 +64,27 @@ from repro.service import (
     MergeService,
     QueryResult,
     RegisterReceipt,
+    RegistrationEntry,
+    RetireReceipt,
     serve_http,
 )
 from repro.tools.session import IntegrationSession
 from repro.exceptions import (
+    CorruptLogError,
+    CorruptSnapshotError,
     IncompatibleSchemaError,
     IncompatibleSchemasError,
     InconsistentSchemasError,
     KeyConstraintError,
     NotProperError,
+    RetiredSchemaError,
     SchemaError,
     SchemaValidationError,
     ServiceError,
     ServiceShutdownError,
+    StorageError,
     UnknownClassError,
+    UnknownSchemaError,
 )
 
 __version__ = "1.1.0"
@@ -91,6 +98,8 @@ __all__ = [
     "WEAK_ORDERING",
     "BaseName",
     "ConsistencyRelation",
+    "CorruptLogError",
+    "CorruptSnapshotError",
     "GenName",
     "ImplicitName",
     "IncompatibleSchemaError",
@@ -106,12 +115,17 @@ __all__ = [
     "Participation",
     "QueryResult",
     "RegisterReceipt",
+    "RegistrationEntry",
+    "RetireReceipt",
+    "RetiredSchemaError",
     "Schema",
     "SchemaError",
     "SchemaValidationError",
     "ServiceError",
     "ServiceShutdownError",
+    "StorageError",
     "UnknownClassError",
+    "UnknownSchemaError",
     "annotated_join",
     "annotated_leq",
     "annotated_meet",

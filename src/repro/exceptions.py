@@ -149,6 +149,60 @@ class InvalidRequestError(ServiceError, ValueError):
     """
 
 
+class UnknownSchemaError(ServiceError, KeyError):
+    """A lookup named a registered-schema *name* the registry never saw.
+
+    Distinct from :class:`UnknownClassError`: classes are merge inputs,
+    named schemas are registry entries with versions and a lifecycle.
+    Subclasses :class:`KeyError` like its sibling; the HTTP front end
+    maps it to ``404 Not Found``.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; read as a SchemaError.
+        return self.args[0] if self.args else ""
+
+
+class RetiredSchemaError(ServiceError):
+    """The named schema existed but every version has been retired.
+
+    Retirement is deliberate removal, not absence — the HTTP front end
+    maps it to ``410 Gone`` so clients can distinguish "never existed"
+    (404) from "withdrawn, stop asking" (410).
+    """
+
+
+class StorageError(ServiceError):
+    """Base class for durable-registry failures (``repro.service.storage``).
+
+    Covers backend I/O faults and recovery-time integrity violations;
+    the HTTP front end maps the family to ``500 Internal Server Error``
+    (persistence trouble is a server-side condition, never the
+    client's request).
+    """
+
+
+class CorruptLogError(StorageError):
+    """The append-only registration log fails its integrity checks.
+
+    Raised at recovery when a well-formed log record has a checksum
+    mismatch, the sequence numbers are not contiguous, or replaying a
+    record does not reproduce the generation it committed.  A torn
+    *final* record (a crash mid-append) is not corruption — recovery
+    truncates to the last durable record instead.
+    """
+
+
+class CorruptSnapshotError(StorageError):
+    """A persisted snapshot or manifest fails its integrity checks.
+
+    Raised when a snapshot file's checksum or encoding is invalid or
+    the decoded dense closure fails invariant re-validation.  A
+    *missing* snapshot is not corruption — recovery falls back to full
+    log replay.
+    """
+
+
 #: The service-facing singular alias: a *single* schema failing to fold
 #: into the registry raises the same condition the pairwise algebra
 #: reports for a whole family.

@@ -59,6 +59,7 @@ __all__ = [
     "oo_to_dict",
     "oo_from_dict",
     "dumps",
+    "canonical_dumps",
     "loads",
 ]
 
@@ -513,6 +514,28 @@ def dumps(artifact: Any, indent: int = 2) -> str:
             return json.dumps(encoder(artifact), indent=indent)
     raise SerializationError(
         f"cannot serialise objects of type {type(artifact).__name__}"
+    )
+
+
+def canonical_dumps(doc: Any) -> str:
+    """One canonical JSON text per document: sorted keys, no whitespace.
+
+    The checksum substrate of the durable registry
+    (``repro.service.storage``): log records and snapshot files store a
+    CRC of this encoding, so integrity verification must re-produce the
+    byte-identical text on every platform.  ``ensure_ascii`` keeps the
+    output 7-bit (checksums over codepoints, not encoder moods), and
+    rejecting NaN keeps the text round-trippable by any JSON parser.
+
+    >>> canonical_dumps({"b": 1, "a": [1, 2]})
+    '{"a":[1,2],"b":1}'
+    """
+    return json.dumps(
+        doc,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
     )
 
 

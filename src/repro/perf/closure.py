@@ -494,6 +494,54 @@ class ClosureBuilder:
                 _INSERTS.inc(inserts)
         return self
 
+    @classmethod
+    def from_dense(cls, dense: DenseClosure) -> "ClosureBuilder":
+        """A builder whose accumulated state *is* the given closed value.
+
+        The warm-restart path of ``repro.service.storage``: a component
+        restored from a snapshot re-enters service as a live builder
+        without re-folding its member schemas.  The id table is adopted
+        in order (dense ids are positions, so they survive the round
+        trip), ``succ`` is taken verbatim, ``pred`` is derived by one
+        pass over the succ bits, and the closed reach rows regroup into
+        the raw row table by source id.  Seeding raw rows with *closed*
+        rows is sound because the W1/W2 sweep is idempotent on closed
+        input (the same property :meth:`DenseClosure.validate` checks),
+        so the next ``build()`` reproduces exactly *dense* — and further
+        additions fold incrementally, as if the builder had never left
+        memory.
+
+        >>> from repro.perf.closure import ClosureBuilder
+        >>> state = (ClosureBuilder().add_spec_edge("Puppy", "Dog")
+        ...          .add_arrow("Dog", "owner", "Person").dense_state())
+        >>> revived = ClosureBuilder.from_dense(state)
+        >>> revived.dense_state() == state
+        True
+        >>> revived.add_spec_edge("Dog", "Animal").is_spec("Puppy", "Animal")
+        True
+        """
+        builder = cls()
+        builder._ns = NameSpace(dense.names)
+        succ = list(dense.succ)
+        builder._succ = succ
+        pred = [0] * len(succ)
+        for i, mask in enumerate(succ):
+            bit = 1 << i
+            while mask:
+                low = mask & -mask
+                pred[low.bit_length() - 1] |= bit
+                mask ^= low
+        builder._pred = pred
+        rows: RawRows = {}
+        for (src, label), tmask in dense.reach.items():
+            table = rows.get(src)
+            if table is None:
+                rows[src] = {label: tmask}
+            else:
+                table[label] = table.get(label, 0) | tmask
+        builder._rows = rows
+        return builder
+
     @property
     def classes(self) -> FrozenSet[ClassName]:
         """Every class registered so far (a snapshot, not a live view)."""

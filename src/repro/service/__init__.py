@@ -21,9 +21,17 @@ across requests* instead of recomputed per call:
   generation counter and revalidated per shard, including partial-hit
   reuse when only *other* shards changed;
 * **typed results** (:mod:`repro.service.api_types`) — ``register``
-  returns a :class:`RegisterReceipt`, ``query`` a :class:`QueryResult`;
-  both are frozen, thread-safe to share, and still read like the old
-  dicts through a one-release deprecation shim;
+  returns a :class:`RegisterReceipt`, ``query`` a :class:`QueryResult`,
+  ``retire`` a :class:`RetireReceipt`; all are frozen, thread-safe to
+  share, and still read like the old dicts through a one-release
+  deprecation shim;
+* **durable storage** (:mod:`repro.service.storage`) — every committed
+  batch appends one checksummed record to an append-only log behind a
+  pluggable :class:`StorageBackend` (:class:`MemoryBackend` by default,
+  :class:`FileBackend` on disk); ``MergeService.open(path)`` restarts
+  warm from the latest snapshot plus a log-suffix replay, and named
+  :class:`RegistrationEntry` registrations gain versions and a
+  retirement lifecycle (see ``docs/PERSISTENCE.md``);
 * **HTTP front end** (:mod:`repro.service.http`) — an asyncio server
   exposing the registry as ``POST /v1/schemas`` / ``GET /v1/query/...``
   with a versioned JSON wire format.
@@ -53,21 +61,37 @@ True
 
 from __future__ import annotations
 
-from repro.service.api_types import API_FORMAT, QueryResult, RegisterReceipt
+from repro.service.api_types import (
+    API_FORMAT,
+    QueryResult,
+    RegisterReceipt,
+    RetireReceipt,
+)
 from repro.service.http import HttpFrontend, serve_http
 from repro.service.service import MergeService
 from repro.service.shards import Shard, UnionFind, plan_groups
 from repro.service.snapshots import ComponentSnapshot, SnapshotCache
+from repro.service.storage import (
+    FileBackend,
+    MemoryBackend,
+    RegistrationEntry,
+    StorageBackend,
+)
 
 __all__ = [
     "API_FORMAT",
     "ComponentSnapshot",
+    "FileBackend",
     "HttpFrontend",
+    "MemoryBackend",
     "MergeService",
     "QueryResult",
     "RegisterReceipt",
+    "RegistrationEntry",
+    "RetireReceipt",
     "Shard",
     "SnapshotCache",
+    "StorageBackend",
     "UnionFind",
     "plan_groups",
     "serve_http",

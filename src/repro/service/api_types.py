@@ -33,7 +33,7 @@ from typing import Any, Dict, Iterator, Mapping, Tuple
 from repro.core.names import ClassName
 from repro.core.schema import Schema
 
-__all__ = ["API_FORMAT", "RegisterReceipt", "QueryResult"]
+__all__ = ["API_FORMAT", "RegisterReceipt", "QueryResult", "RetireReceipt"]
 
 #: Version tag stamped on every document the HTTP front end emits.
 API_FORMAT = "repro.api/1"
@@ -115,6 +115,31 @@ class RegisterReceipt(_DictCompat):
         """The pre-typed-API dict shape (JSON-ready)."""
         return {
             "accepted": self.accepted,
+            "components": self.components,
+            "generation": self.generation,
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class RetireReceipt(_DictCompat):
+    """The outcome of one ``retire()`` call.
+
+    *versions* lists the version numbers withdrawn by this call (already
+    retired versions never re-appear), *components* the live shard count
+    after the owning components were rebuilt, *generation* the registry
+    generation the retirement committed at.
+    """
+
+    name: str
+    versions: Tuple[int, ...]
+    components: int
+    generation: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready shape (versions as a list)."""
+        return {
+            "name": self.name,
+            "versions": list(self.versions),
             "components": self.components,
             "generation": self.generation,
         }

@@ -15,7 +15,12 @@ writers" guarantee carries through to the wire.
 ========  ===========================  =======================================
 method    path                         answer
 ========  ===========================  =======================================
-POST      ``/v1/schemas``              register a batch → receipt
+POST      ``/v1/schemas``              register a batch → receipt; an entry is
+                                       either a bare schema document or a
+                                       named wrapper ``{"name", "version",
+                                       "lifecycle", "schema": {...}}``
+GET       ``/v1/schemas/{name}``       lifecycle info for one named schema
+DELETE    ``/v1/schemas/{name}``       retire every live version → receipt
 GET       ``/v1/components/{id}/view`` one component's merged schema
 GET       ``/v1/query/{class}``        everything asserted about one class
 GET       ``/v1/stats``                Prometheus text (``?format=json`` for
@@ -25,9 +30,14 @@ GET       ``/v1/stats``                Prometheus text (``?format=json`` for
 **Status codes** follow the :mod:`repro.exceptions` taxonomy:
 :class:`~repro.exceptions.InvalidRequestError` and
 :class:`~repro.exceptions.SerializationError` → 400,
-:class:`~repro.exceptions.UnknownClassError` → 404,
+:class:`~repro.exceptions.UnknownClassError` and
+:class:`~repro.exceptions.UnknownSchemaError` → 404,
 :class:`~repro.exceptions.IncompatibleSchemasError` → 409 (the batch
 rolled back; the registry is unchanged),
+:class:`~repro.exceptions.RetiredSchemaError` → 410 (deliberately
+withdrawn, as opposed to never registered),
+:class:`~repro.exceptions.StorageError` → 500 (persistence trouble is
+the server's problem, never the client's request),
 :class:`~repro.exceptions.ServiceShutdownError` → 503.
 
 >>> import http.client, json
@@ -57,15 +67,19 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from repro.exceptions import (
     IncompatibleSchemasError,
     InvalidRequestError,
+    RetiredSchemaError,
     SchemaError,
     SerializationError,
     ServiceShutdownError,
+    StorageError,
     UnknownClassError,
+    UnknownSchemaError,
 )
 from repro.io.json_io import schema_from_dict, schema_to_dict
 from repro.obs import prometheus_text
 from repro.service.api_types import API_FORMAT
 from repro.service.service import MergeService
+from repro.service.storage import RegistrationEntry
 
 __all__ = ["HttpFrontend", "serve_http", "status_for"]
 
@@ -76,10 +90,13 @@ __all__ = ["HttpFrontend", "serve_http", "status_for"]
 #: exceptions — genuine bugs — fall through to 500.
 _STATUS_MAP: Tuple[Tuple[type, int], ...] = (
     (UnknownClassError, 404),
+    (UnknownSchemaError, 404),
+    (RetiredSchemaError, 410),
     (ServiceShutdownError, 503),
     (IncompatibleSchemasError, 409),
     (InvalidRequestError, 400),
     (SerializationError, 400),
+    (StorageError, 500),
     (SchemaError, 400),
 )
 
@@ -89,6 +106,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    410: "Gone",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -316,6 +334,21 @@ class HttpFrontend:
                 if method != "POST":
                     return 405, {"error": "POST required"}, "application/json"
                 return await self._post_schemas(body)
+            if path.startswith("/v1/schemas/"):
+                from urllib.parse import unquote
+
+                name = unquote(path[len("/v1/schemas/"):])
+                if not name:
+                    raise InvalidRequestError("empty schema name")
+                if method == "GET":
+                    return self._get_schema(name)
+                if method == "DELETE":
+                    return await self._delete_schema(name)
+                return (
+                    405,
+                    {"error": "GET or DELETE required"},
+                    "application/json",
+                )
             if method != "GET":
                 return 405, {"error": "GET required"}, "application/json"
             if path.startswith("/v1/components/") and path.endswith("/view"):
@@ -354,10 +387,42 @@ class HttpFrontend:
         docs = doc.get("schemas")
         if not isinstance(docs, list):
             raise InvalidRequestError("'schemas' must be a list")
-        schemas = [schema_from_dict(d) for d in docs]
+        entries = [self._decode_entry(d) for d in docs]
         loop = asyncio.get_running_loop()
         receipt = await loop.run_in_executor(
-            self._pool, self._service.register, schemas
+            self._pool, self._service.register, entries
+        )
+        payload = {"format": API_FORMAT}
+        payload.update(receipt.to_dict())
+        return 200, payload, "application/json"
+
+    @staticmethod
+    def _decode_entry(doc: Any) -> RegistrationEntry:
+        """A batch element: bare schema document or named-entry wrapper."""
+        if isinstance(doc, dict) and "schema" in doc:
+            if not isinstance(doc.get("name"), str) or not doc["name"]:
+                raise InvalidRequestError(
+                    "a named entry needs a non-empty string 'name'"
+                )
+            return RegistrationEntry(
+                schema_from_dict(doc["schema"]),
+                name=doc["name"],
+                version=doc.get("version"),
+                lifecycle=doc.get("lifecycle"),
+            )
+        return RegistrationEntry(schema_from_dict(doc))
+
+    def _get_schema(self, name: str) -> Tuple[int, Dict[str, Any], str]:
+        payload: Dict[str, Any] = {"format": API_FORMAT}
+        payload.update(self._service.schema_info(name))
+        return 200, payload, "application/json"
+
+    async def _delete_schema(
+        self, name: str
+    ) -> Tuple[int, Dict[str, Any], str]:
+        loop = asyncio.get_running_loop()
+        receipt = await loop.run_in_executor(
+            self._pool, self._service.retire, name
         )
         payload = {"format": API_FORMAT}
         payload.update(receipt.to_dict())

@@ -79,22 +79,41 @@ import weakref
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union, cast
 
+from dataclasses import replace as _dc_replace
+from pathlib import Path
+
 from repro.check.witness import LockLike, WitnessedLock, witness_active
 from repro.core.names import ClassName, name
 from repro.core.schema import Schema
 from repro.exceptions import (
+    CorruptLogError,
     IncompatibleSchemasError,
     InvalidRequestError,
+    RetiredSchemaError,
     ServiceShutdownError,
     UnknownClassError,
+    UnknownSchemaError,
 )
 from repro.obs import _state as _obs_state
 from repro.obs.metrics import Counter, Gauge, Histogram, REGISTRY
 from repro.obs.tracing import span
 from repro.perf.closure import ClosureBuilder
-from repro.service.api_types import QueryResult, RegisterReceipt
+from repro.service.api_types import QueryResult, RegisterReceipt, RetireReceipt
 from repro.service.shards import Shard, plan_groups
 from repro.service.snapshots import ComponentSnapshot, SnapshotCache
+from repro.service.storage import (
+    RECOVERIES,
+    REPLAYS,
+    ComponentState,
+    FileBackend,
+    LogRecord,
+    MemoryBackend,
+    RegistrationEntry,
+    ServiceState,
+    StorageBackend,
+    VersionState,
+    _LazyMembers,
+)
 
 __all__ = ["MergeService"]
 
@@ -258,11 +277,13 @@ class MergeService:
 
     def __init__(
         self,
-        schemas: Iterable[Schema] = (),
+        schemas: Iterable[Union[Schema, RegistrationEntry]] = (),
         *,
         component_cache_size: int = 4096,
         snapshot_cache_size: int = 256,
         telemetry_sample_every: int = 64,
+        storage: Optional[StorageBackend] = None,
+        snapshot_every: Optional[int] = None,
     ) -> None:
         if telemetry_sample_every < 1 or (
             telemetry_sample_every & (telemetry_sample_every - 1)
@@ -270,6 +291,10 @@ class MergeService:
             raise InvalidRequestError(
                 "telemetry_sample_every must be a power of two, got "
                 f"{telemetry_sample_every!r}"
+            )
+        if snapshot_every is not None and snapshot_every < 1:
+            raise InvalidRequestError(
+                f"snapshot_every must be positive, got {snapshot_every!r}"
             )
         #: Guards the registry maps below; held only for plan/validate/
         #: commit — never while closure work runs.
@@ -297,10 +322,61 @@ class MergeService:
             "service.snapshots", maxsize=snapshot_cache_size
         )
         self._telemetry = _ServiceTelemetry(self)  # frozen-after-init
+        #: The binding never changes after construction; the *object* is
+        #: mutated (``append``) only under the topology lock, which is
+        #: what makes log order equal commit order.
+        self._storage: StorageBackend = (  # guarded-by(writes): _topology
+            storage if storage is not None else MemoryBackend()
+        )
+        self._snapshot_every = snapshot_every  # frozen-after-init
+        self._log_seq = 0  # guarded-by(writes): _topology
+        self._last_cut_seq = 0  # guarded-by(writes): _topology
+        #: The schema-lifecycle table: name → version records, sorted by
+        #: version.  Values are replaced wholesale, never mutated.
+        self._series: Dict[str, Tuple[VersionState, ...]] = {}  # guarded-by(writes): _topology
+        #: True only while single-threaded recovery replays the log —
+        #: suppresses re-appending and snapshot cuts.
+        self._replaying = False
+        #: During replay: the component sids the record being applied
+        #: committed, forced onto fresh groups so the recovered registry
+        #: hands out the same component ids the original did (rollbacks
+        #: and plan retries burn ids that committed history never sees).
+        self._replay_sids: Optional[Tuple[int, ...]] = None
         _SERVICES.add(self)
+        self._recover()
         initial = list(schemas)
         if initial:
             self.register(initial)
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        *,
+        component_cache_size: int = 4096,
+        snapshot_cache_size: int = 256,
+        telemetry_sample_every: int = 64,
+        snapshot_every: Optional[int] = None,
+        fsync: bool = True,
+    ) -> "MergeService":
+        """A service durably backed by directory *path* (warm restart).
+
+        Creates the directory on first use; on every later open the
+        registry is restored from the newest complete snapshot cut and
+        the log suffix is replayed through the ordinary registration
+        code path — the decoder re-validates every restored component's
+        closure invariants before the service answers anything.  Raises
+        :class:`~repro.exceptions.CorruptLogError` /
+        :class:`~repro.exceptions.CorruptSnapshotError` when the
+        persisted artifacts fail their integrity checks.
+        """
+        return cls(
+            component_cache_size=component_cache_size,
+            snapshot_cache_size=snapshot_cache_size,
+            telemetry_sample_every=telemetry_sample_every,
+            storage=FileBackend(path, fsync=fsync),
+            snapshot_every=snapshot_every,
+        )
 
     @property
     def telemetry(self) -> _ServiceTelemetry:
@@ -313,38 +389,247 @@ class MergeService:
         return self._closed
 
     def close(self) -> None:
-        """Refuse further requests (idempotent; in-flight calls finish)."""
+        """Refuse further requests (idempotent; in-flight calls finish).
+
+        Also releases the storage backend's resources.  Durability does
+        not depend on a clean close — every committed mutation was
+        fsync'd when it was logged — so a killed process loses nothing
+        a closed one keeps.
+        """
         with self._topology:
             self._closed = True
+        self._storage.close()
 
     def _check_open(self) -> None:
         if self._closed:
             raise ServiceShutdownError("the merge service has been shut down")
 
     # ------------------------------------------------------------------
+    # Durability (storage backend, recovery, snapshot cuts)
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Restore from the backend: newest snapshot cut + log suffix.
+
+        Runs single-threaded during construction, before the instance
+        is shared.  Replayed records go through the ordinary
+        ``register``/``retire`` code paths (with re-appending
+        suppressed), so a warm restart and a cold re-registration of
+        the same log are the *same computation* — the restart-
+        equivalence property the recovery tests pin down.
+        """
+        state = self._storage.load_state()
+        base_seq = 0
+        if state is not None:
+            self._restore_state(state)
+            base_seq = state.seq
+        replayed = 0
+        last_seq = base_seq
+        self._replaying = True
+        try:
+            for seq, record in self._storage.records(after=base_seq):
+                if seq <= base_seq:  # backends may ignore the hint
+                    continue
+                self._apply_record(seq, record)
+                last_seq = seq
+                replayed += 1
+        finally:
+            self._replaying = False
+        with self._topology:
+            self._log_seq = last_seq
+            self._last_cut_seq = base_seq
+        if replayed:
+            REPLAYS.inc(replayed)
+        if state is not None or replayed:
+            RECOVERIES.inc()
+            # Recovery ends with a ready-to-serve registry: assembling
+            # the global view here (still single-threaded, before the
+            # instance is shared) means the first post-restart
+            # ``merged_view`` is a cache hit instead of a latency spike
+            # that re-materializes every component's closed relations.
+            self._global_view()
+
+    def _restore_state(self, state: ServiceState) -> None:
+        """Adopt a decoded snapshot cut as the live registry layout.
+
+        Each component's dense closure (already invariant-validated by
+        the decoder) seeds a live builder via
+        :meth:`ClosureBuilder.from_dense` — no member re-folding — and
+        its merged view is pre-warmed into the component cache, which
+        is what makes the first post-restart ``merged_view`` cheap.
+        """
+        with self._topology:
+            for component in state.components:
+                builder = ClosureBuilder.from_dense(component.dense)
+                # The member sequence is adopted as-is: a FileBackend
+                # hands back a lazily-decoded view whose hydration cost
+                # is only paid by a later mutation of this shard.
+                shard = Shard(
+                    component.sid,
+                    builder,
+                    component.members,
+                    component.generation,
+                )
+                self._shards[component.sid] = shard
+                self._shard_locks[component.sid] = _new_shard_lock(
+                    component.sid
+                )
+                for cls in builder.classes:
+                    self._class_to_sid[cls] = component.sid
+            self._series = {
+                schema_name: tuple(versions)
+                for schema_name, versions in state.series.items()
+            }
+            self._generation = state.generation
+            self._next_sid = max(state.next_sid, self._next_sid)
+        for component in state.components:
+            self._component_cache.store(
+                component.sid,
+                component.dense.to_schema(),
+                component.generation,
+            )
+
+    def _apply_record(self, seq: int, record: LogRecord) -> None:
+        """Replay one log record; reject a log that no longer determines
+        the state it recorded (Hellerstein-style: same log, same state)."""
+        try:
+            if record.kind == "register":
+                self._replay_sids = record.sids or None
+                try:
+                    self.register(record.entries)
+                finally:
+                    self._replay_sids = None
+            elif record.kind == "retire":
+                if record.name is None:
+                    raise CorruptLogError(
+                        f"log record {seq} retires without a schema name"
+                    )
+                self.retire(record.name)
+            else:
+                raise CorruptLogError(
+                    f"log record {seq} has unknown kind {record.kind!r}"
+                )
+        except CorruptLogError:
+            raise
+        except Exception as exc:
+            # Only committed mutations are ever logged, so a replay that
+            # fails (incompatible batch, duplicate version, unknown
+            # name) means the log does not match the state it claims.
+            raise CorruptLogError(
+                f"log record {seq} no longer applies cleanly: {exc}"
+            ) from exc
+        if self._generation != record.generation:
+            raise CorruptLogError(
+                f"replaying log record {seq} produced generation "
+                f"{self._generation}, but the record committed "
+                f"generation {record.generation} — the log and the "
+                f"registry have diverged"
+            )
+
+    def _append_log(self, record: LogRecord) -> None:  # requires-lock: _topology
+        """Append one committed mutation (no-op while replaying).
+
+        Called inside the commit critical section so log order equals
+        commit order — the property that makes replay deterministic.
+        The fsync happens under the topology lock: readers never take
+        that lock, so only concurrent *writers* wait behind the flush.
+        """
+        if self._replaying:
+            return
+        self._log_seq = self._storage.append(record)
+
+    def save(self) -> int:
+        """Cut a full snapshot set now; returns the covered log position.
+
+        Also runs automatically every *snapshot_every* committed log
+        records.  The capture is consistent (taken under the topology
+        lock) but the expensive part — sweeping each component's dense
+        state and writing the files — happens outside every lock, off
+        immutable shard objects.
+        """
+        self._check_open()
+        state = self._capture_state()
+        self._storage.save_state(state)
+        with self._topology:
+            if state.seq > self._last_cut_seq:
+                self._last_cut_seq = state.seq
+        return state.seq
+
+    def _capture_state(self) -> ServiceState:
+        with self._topology:
+            shards = sorted(self._shards.values(), key=lambda s: s.sid)
+            series = dict(self._series)
+            generation = self._generation
+            next_sid = self._next_sid
+            seq = self._log_seq
+        components = tuple(
+            ComponentState(
+                sid=shard.sid,
+                generation=shard.generation,
+                dense=shard.builder.dense_state(),
+                # Keep a still-lazy member view as-is (a cut right
+                # after recovery re-writes the raw docs verbatim);
+                # lists are copied because later commits replace them.
+                members=(
+                    shard.schemas
+                    if isinstance(shard.schemas, _LazyMembers)
+                    else tuple(shard.schemas)
+                ),
+            )
+            for shard in shards
+        )
+        return ServiceState(
+            seq=seq,
+            generation=generation,
+            next_sid=next_sid,
+            components=components,
+            series=series,
+        )
+
+    def _maybe_cut(self) -> None:
+        """Cut a snapshot when the log has grown past the cadence."""
+        every = self._snapshot_every
+        if every is None or self._replaying:
+            return
+        with self._topology:
+            due = self._log_seq - self._last_cut_seq >= every
+        if due:
+            self.save()
+
+    # ------------------------------------------------------------------
     # Registration (writers)
     # ------------------------------------------------------------------
 
-    def register(self, schemas: Iterable[Schema]) -> RegisterReceipt:
+    def register(
+        self, schemas: Iterable[Union[Schema, RegistrationEntry]]
+    ) -> RegisterReceipt:
         """Fold a batch of schemas into the registry — atomically.
+
+        Items may be bare :class:`~repro.core.schema.Schema` values
+        (anonymous) or :class:`~repro.service.storage.RegistrationEntry`
+        wrappers that name the schema and enroll it in the lifecycle
+        table (see :meth:`resolve_schema` / :meth:`retire`).
 
         The whole batch is applied to *clones* of the touched shards'
         builders first, while holding only those shards' locks — writes
         to disjoint components proceed in parallel; only if every schema
         folds in cleanly is the new layout swapped in (one generation
         bump for the batch).  On
-        :class:`~repro.exceptions.IncompatibleSchemasError` nothing is
-        committed: shard layout, generation and every cached answer are
-        exactly as before the call.
+        :class:`~repro.exceptions.IncompatibleSchemasError` (or a
+        version conflict on a named entry) nothing is committed: shard
+        layout, lifecycle table, generation and every cached answer are
+        exactly as before the call — and nothing reaches the log, which
+        records committed mutations only.
 
         With telemetry enabled the call produces a span tree —
         ``service.register`` → ``service.plan`` → one
         ``service.rebuild`` per touched component → ``service.snapshot``
         — and its duration lands in ``service.register.duration``.
         """
-        incoming = list(schemas)
+        incoming = [self._coerce_entry(item) for item in schemas]
         # Empty schemas assert nothing and belong to no component.
-        batch = [g for g in incoming if not g.is_empty()]
+        batch_entries = [e for e in incoming if not e.schema.is_empty()]
+        batch = [e.schema for e in batch_entries]
         tel = self._telemetry
         with span("service.register", schemas=len(incoming)) as register_span:
             self._check_open()
@@ -371,12 +656,31 @@ class MergeService:
                     raise
                 with span("service.snapshot"):
                     with self._topology:
+                        try:
+                            series_update, logged = self._stage_series(
+                                batch_entries
+                            )
+                        except InvalidRequestError:
+                            tel.rollbacks.inc()
+                            register_span.set(rolled_back=True)
+                            self._abandon(groups)
+                            raise
                         generation, components = self._commit(
                             staged, len(batch)
+                        )
+                        self._series.update(series_update)
+                        self._append_log(
+                            LogRecord(
+                                kind="register",
+                                generation=generation,
+                                entries=logged,
+                                sids=tuple(plan.sid for plan in groups),
+                            )
                         )
             finally:
                 for lock in reversed(held):
                     lock.release()
+            self._maybe_cut()
             if timing:
                 tel.register_duration.observe(perf_counter() - start)
             register_span.set(components=components, generation=generation)
@@ -385,6 +689,83 @@ class MergeService:
                 components=components,
                 generation=generation,
             )
+
+    @staticmethod
+    def _coerce_entry(
+        item: Union[Schema, RegistrationEntry]
+    ) -> RegistrationEntry:
+        if isinstance(item, RegistrationEntry):
+            entry = item
+        elif isinstance(item, Schema):
+            entry = RegistrationEntry(item)
+        else:
+            raise InvalidRequestError(
+                "register() accepts Schema or RegistrationEntry items, "
+                f"got {type(item).__name__}"
+            )
+        if entry.name is not None and entry.schema.is_empty():
+            raise InvalidRequestError(
+                f"named registration {entry.name!r} must assert at least "
+                "one class (empty schemas have no component to retire)"
+            )
+        return entry
+
+    def _stage_series(  # requires-lock: _topology
+        self, entries: List[RegistrationEntry]
+    ) -> Tuple[
+        Dict[str, Tuple[VersionState, ...]], Tuple[RegistrationEntry, ...]
+    ]:
+        """Validate named entries and compute the lifecycle-table delta.
+
+        Topology lock held by the caller (versions must be checked
+        against the same series state the commit publishes into).
+        Returns the per-name replacement tuples plus the entries with
+        versions and lifecycles *resolved* — the form that enters the
+        log, so replay never depends on re-deriving defaults.  Raises
+        :class:`~repro.exceptions.InvalidRequestError` on a version
+        conflict, before anything is published.
+        """
+        update: Dict[str, Tuple[VersionState, ...]] = {}
+        logged: List[RegistrationEntry] = []
+        for entry in entries:
+            if entry.name is None:
+                logged.append(entry)
+                continue
+            current = update.get(entry.name)
+            if current is None:
+                current = self._series.get(entry.name, ())
+            existing = {v.version for v in current}
+            version = entry.version
+            if version is None:
+                version = max(existing, default=0) + 1
+            elif version in existing:
+                raise InvalidRequestError(
+                    f"schema {entry.name!r} already has a version "
+                    f"{version} (version numbers are never reused)"
+                )
+            lifecycle = (
+                entry.lifecycle if entry.lifecycle is not None
+                else "recommended"
+            )
+            versions = list(current)
+            if lifecycle == "recommended":
+                # The supersede chain: a new recommended version demotes
+                # the previous one to "supported".
+                versions = [
+                    _dc_replace(v, lifecycle="supported")
+                    if v.lifecycle == "recommended" and not v.retired
+                    else v
+                    for v in versions
+                ]
+            versions.append(
+                VersionState(version, lifecycle, False, entry.schema)
+            )
+            versions.sort(key=lambda v: v.version)
+            update[entry.name] = tuple(versions)
+            logged.append(
+                RegistrationEntry(entry.schema, entry.name, version, lifecycle)
+            )
+        return update, tuple(logged)
 
     def _plan_and_lock(
         self, batch: List[Schema]
@@ -463,17 +844,41 @@ class MergeService:
         group's target sid so contending writers plan onto our lock.
         """
         groups: List[_GroupPlan] = []
+        forced = self._replay_sids
+        if forced is not None and len(forced) != len(plans):
+            raise CorruptLogError(
+                f"log record committed {len(forced)} component groups, "
+                f"but the batch plans {len(plans)} — the log and the "
+                f"registry have diverged"
+            )
         # The loop's only acquire targets a fresh, unpublished lock (see
         # below) — no ordering constraint applies.
-        for existing_sids, batch_indices in plans:  # check: ignore[lock-order]
+        for group_index, (existing_sids, batch_indices) in enumerate(  # check: ignore[lock-order]
+            plans
+        ):
             absorbed_sids = sorted(existing_sids)
             if absorbed_sids:
                 sid = min(absorbed_sids)
+                if forced is not None and forced[group_index] != sid:
+                    raise CorruptLogError(
+                        f"log record committed into component "
+                        f"{forced[group_index]}, but replay resolves the "
+                        f"group to component {sid}"
+                    )
                 absorbed = [self._shards[old] for old in absorbed_sids]
                 is_new = False
             else:
-                sid = self._next_sid
-                self._next_sid += 1
+                if forced is not None:
+                    sid = forced[group_index]
+                    if sid in self._shards or sid in self._shard_locks:
+                        raise CorruptLogError(
+                            f"log record allocates component {sid}, "
+                            f"which already exists at replay time"
+                        )
+                    self._next_sid = max(self._next_sid, sid + 1)
+                else:
+                    sid = self._next_sid
+                    self._next_sid += 1
                 absorbed = []
                 is_new = True
                 lock = _new_shard_lock(sid)
@@ -587,6 +992,238 @@ class MergeService:
                 self._reserved.pop(cls, None)
             if plan.is_new:
                 self._shard_locks.pop(plan.sid, None)
+
+    # ------------------------------------------------------------------
+    # Schema lifecycle (named versions, retire)
+    # ------------------------------------------------------------------
+
+    def _live_versions(  # requires-lock: _topology
+        self, schema_name: str
+    ) -> List[VersionState]:
+        """The not-yet-retired versions of a name; typed errors otherwise."""
+        versions = self._series.get(schema_name)
+        if versions is None:
+            raise UnknownSchemaError(
+                f"no registered schema is named {schema_name!r}"
+            )
+        live = [v for v in versions if not v.retired]
+        if not live:
+            raise RetiredSchemaError(
+                f"schema {schema_name!r} has been retired"
+            )
+        return live
+
+    @staticmethod
+    def _preferred(live: List[VersionState]) -> VersionState:
+        """Supersede-chain resolution: best lifecycle, then highest version."""
+        for lifecycle in ("recommended", "supported", "obsolete"):
+            candidates = [v for v in live if v.lifecycle == lifecycle]
+            if candidates:
+                return max(candidates, key=lambda v: v.version)
+        return max(live, key=lambda v: v.version)
+
+    def _owning_sids(  # requires-lock: _topology
+        self, versions: List[VersionState]
+    ) -> List[int]:
+        """The shard ids the given versions' classes live in, ascending."""
+        sids: set[int] = set()
+        for version in versions:
+            for cls in version.schema.classes:
+                sid = self._class_to_sid.get(cls)
+                if sid is not None:
+                    sids.add(sid)
+        return sorted(sids)
+
+    def resolve_schema(self, schema_name: str) -> Schema:
+        """The version the supersede chain currently recommends.
+
+        A new ``recommended`` registration demotes its predecessor to
+        ``supported``, so resolution always lands on the newest
+        recommended version (falling back to the highest supported,
+        then obsolete, version).  Raises
+        :class:`~repro.exceptions.UnknownSchemaError` for names never
+        registered and :class:`~repro.exceptions.RetiredSchemaError`
+        once every version is retired.
+        """
+        self._check_open()
+        with self._topology:
+            live = self._live_versions(schema_name)
+        return self._preferred(live).schema
+
+    def schema_info(self, schema_name: str) -> Dict[str, Any]:
+        """One named schema's lifecycle card: versions, states, component."""
+        self._check_open()
+        with self._topology:
+            live = self._live_versions(schema_name)
+            preferred = self._preferred(live)
+            sid: Optional[int] = None
+            for cls in preferred.schema.classes:
+                sid = self._class_to_sid.get(cls)
+                if sid is not None:
+                    break
+            versions = self._series[schema_name]
+        return {
+            "name": schema_name,
+            "recommended": preferred.version,
+            "component": sid,
+            "versions": [
+                {
+                    "version": v.version,
+                    "lifecycle": v.lifecycle,
+                    "retired": v.retired,
+                    "classes": len(v.schema.classes),
+                }
+                for v in versions
+            ],
+        }
+
+    def retire(self, schema_name: str) -> RetireReceipt:
+        """Withdraw every live version of a named schema — atomically.
+
+        The first removal path: each owning component is *rebuilt* from
+        its remaining member schemas (one occurrence of each retired
+        version's schema is dropped; an equal anonymous registration
+        survives), classes asserted only by the retired versions leave
+        the registry, and the generation bump invalidates exactly the
+        touched components' cached answers — untouched components keep
+        their stamps and stay warm.  A component with no remaining
+        members is dropped outright.  The retirement is logged like any
+        other mutation, so restarts replay it.
+
+        Locking mirrors :meth:`register`: plan under the topology lock,
+        acquire the owning shard locks in ascending sid order, rebuild
+        outside the topology lock, commit under it.  Raises
+        :class:`~repro.exceptions.UnknownSchemaError` /
+        :class:`~repro.exceptions.RetiredSchemaError` like
+        :meth:`resolve_schema`.
+        """
+        tel = self._telemetry
+        with span("service.retire", schema=schema_name) as retire_span:
+            self._check_open()
+            while True:
+                with self._topology:
+                    live = self._live_versions(schema_name)
+                    sids = sorted(self._owning_sids(live))
+                    maybe_locks = [
+                        (sid, self._shard_locks.get(sid)) for sid in sids
+                    ]
+                lock_for: Dict[int, LockLike] = {
+                    sid: lock for sid, lock in maybe_locks if lock is not None
+                }
+                if len(lock_for) != len(sids):
+                    tel.retries.inc()
+                    continue
+                held: List[LockLike] = []
+                for sid in sids:
+                    lock_for[sid].acquire()
+                    held.append(lock_for[sid])
+                with self._topology:
+                    try:
+                        current_live = self._live_versions(schema_name)
+                    except RetiredSchemaError:
+                        # A racing retire won; surface it as already done.
+                        for lock in reversed(held):
+                            lock.release()
+                        raise
+                    valid = (
+                        current_live == live
+                        and sorted(self._owning_sids(current_live)) == sids
+                        and all(
+                            self._shard_locks.get(sid) is lock_for[sid]
+                            for sid in sids
+                        )
+                    )
+                    shards = (
+                        [self._shards[sid] for sid in sids] if valid else []
+                    )
+                if valid:
+                    break
+                for lock in reversed(held):
+                    lock.release()
+                tel.retries.inc()
+            try:
+                drop = [v.schema for v in live]
+                rebuilt: List[
+                    Tuple[int, Optional[ClosureBuilder], List[Schema]]
+                ] = []
+                for shard in shards:
+                    remaining = list(shard.schemas)
+                    for schema in drop:
+                        try:
+                            remaining.remove(schema)
+                        except ValueError:
+                            pass
+                    with span(
+                        "service.rebuild",
+                        component=shard.sid,
+                        schemas=len(remaining),
+                    ):
+                        builder = (
+                            ClosureBuilder(remaining) if remaining else None
+                        )
+                    rebuilt.append((shard.sid, builder, remaining))
+                with self._topology:
+                    generation = self._commit_retire(
+                        schema_name, live, shards, rebuilt
+                    )
+                    self._append_log(
+                        LogRecord(
+                            kind="retire",
+                            generation=generation,
+                            name=schema_name,
+                            versions=tuple(v.version for v in live),
+                        )
+                    )
+            finally:
+                for lock in reversed(held):
+                    lock.release()
+            self._maybe_cut()
+            retire_span.set(generation=generation)
+            return RetireReceipt(
+                name=schema_name,
+                versions=tuple(v.version for v in live),
+                components=len(self._shards),
+                generation=generation,
+            )
+
+    def _commit_retire(  # requires-lock: _topology
+        self,
+        schema_name: str,
+        live: List[VersionState],
+        shards: List[Shard],
+        rebuilt: List[Tuple[int, Optional[ClosureBuilder], List[Schema]]],
+    ) -> int:  # publishes: _shards, _class_to_sid, _generation
+        """Publish a retirement.  Topology lock held by the caller.
+
+        Same stale-reads-only publication order as :meth:`_commit`:
+        (1) rebuilt shard objects, (2) class-map removals, (3) emptied
+        shards dropped, (4) the lifecycle table, (5) the generation
+        bump last.
+        """
+        generation = self._generation + 1
+        for sid, builder, remaining in rebuilt:
+            if builder is not None:
+                self._shards[sid] = Shard(sid, builder, remaining, generation)
+        for (sid, builder, _remaining), old in zip(rebuilt, shards):
+            kept = (
+                builder.classes if builder is not None else frozenset()
+            )
+            for cls in old.builder.classes - kept:
+                if self._class_to_sid.get(cls) == sid:
+                    del self._class_to_sid[cls]
+        for sid, builder, _remaining in rebuilt:
+            if builder is None:
+                self._shards.pop(sid, None)
+                self._shard_locks.pop(sid, None)
+        retired = {v.version for v in live}
+        self._series[schema_name] = tuple(
+            _dc_replace(v, lifecycle="obsolete", retired=True)
+            if v.version in retired
+            else v
+            for v in self._series[schema_name]
+        )
+        self._generation = generation
+        return generation
 
     # ------------------------------------------------------------------
     # Queries (lock-free readers)
@@ -852,11 +1489,26 @@ class MergeService:
         collected.
         """
         tel = self._telemetry
+        with self._topology:
+            series = dict(self._series)
+            log_seq = self._log_seq
+            last_cut_seq = self._last_cut_seq
         return {
             "components": len(self._shards),
             "registered_schemas": tel.schemas.value,
             "generation": self._generation,
             "requests_served": self._requests,
+            "storage": {
+                "log_seq": log_seq,
+                "last_cut_seq": last_cut_seq,
+                "named_schemas": len(series),
+                "retired_versions": sum(
+                    1
+                    for versions in series.values()
+                    for v in versions
+                    if v.retired
+                ),
+            },
             "component_cache": self._component_cache.stats(),
             "snapshot_cache": self._snapshot_cache.stats(),
             "telemetry": {

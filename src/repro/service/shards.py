@@ -75,6 +75,11 @@ class Shard:
     *generation* is the service generation of the last mutation; the
     snapshot caches compare against it to decide whether an answer
     derived from this shard is still current.
+
+    *schemas* is any immutable-after-handoff sequence: commits build
+    plain lists, but a snapshot-led recovery hands over a lazily
+    decoded view whose members only materialize when a later mutation
+    (or introspection) actually reads them.
     """
 
     __slots__ = ("sid", "builder", "schemas", "generation")
@@ -83,7 +88,7 @@ class Shard:
         self,
         sid: int,
         builder: ClosureBuilder,
-        schemas: List[Schema],
+        schemas: Sequence[Schema],
         generation: int,
     ) -> None:
         self.sid = sid  # frozen-after-init

@@ -306,6 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="127.0.0.1",
         help="bind address for --http (default 127.0.0.1)",
     )
+    serve.add_argument(
+        "--data-dir",
+        metavar="PATH",
+        help=(
+            "persist the registry under PATH (append-only log + "
+            "snapshots) and recover from it on start; omit for a "
+            "memory-only registry"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        metavar="N",
+        help=(
+            "cut a snapshot after every N log appends (needs "
+            "--data-dir; default: only on :save)"
+        ),
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -608,10 +626,12 @@ def _dispatch(args: argparse.Namespace) -> int:
 _SERVE_HELP = """\
 commands:
   register FILE [FILE...]   fold schema files into the registry (atomic batch)
+  retire NAME               withdraw every live version of a named schema
   view [CLASS|#SID]         merged view of one component (or of everything)
   query CLASS               what the merged view asserts about CLASS
   components                per-component summary
   stats                     service_stats() as JSON
+  :save                     cut a snapshot now (needs --data-dir)
   :stats                    the metrics registry, Prometheus text format
   :trace                    recent spans as a tree (needs --telemetry)
   help                      this text
@@ -627,7 +647,20 @@ def _serve(args: argparse.Namespace) -> int:
 
     if args.telemetry:
         obs.enable()
-    service = MergeService()
+    if args.snapshot_every and not args.data_dir:
+        print("error: --snapshot-every needs --data-dir", file=sys.stderr)
+        return 2
+    if args.data_dir:
+        service = MergeService.open(
+            args.data_dir, snapshot_every=args.snapshot_every
+        )
+        if service.service_stats()["generation"]:
+            print(
+                f"recovered registry from {args.data_dir} at "
+                f"generation {service.service_stats()['generation']}"
+            )
+    else:
+        service = MergeService()
     initial = [_load_schema(path) for path in args.schemas]
     if args.workload:
         from repro.generators.workloads import get_request_stream
@@ -664,6 +697,7 @@ def _serve(args: argparse.Namespace) -> int:
         command, rest = words[0].lower(), words[1:]
         try:
             if command in ("quit", "exit"):
+                service.close()
                 return 0
             elif command == "help":
                 print(_SERVE_HELP)
@@ -678,6 +712,23 @@ def _serve(args: argparse.Namespace) -> int:
                     f"generation {receipt.generation}: "
                     f"{receipt.components} components"
                 )
+            elif command == "retire":
+                if len(rest) != 1:
+                    print("retire takes exactly one schema name")
+                    continue
+                retired = service.retire(rest[0])
+                print(
+                    f"retired {rest[0]} versions "
+                    f"{list(retired.versions)}; "
+                    f"{retired.components} components at "
+                    f"generation {retired.generation}"
+                )
+            elif command == ":save":
+                if not args.data_dir:
+                    print("no --data-dir; nothing to save to")
+                    continue
+                seq = service.save()
+                print(f"snapshot cut at log record {seq}")
             elif command == "view":
                 target = rest[0] if rest else None
                 if target is not None and target.startswith("#"):

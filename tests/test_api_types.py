@@ -15,12 +15,24 @@ import warnings
 import pytest
 
 from repro.core.schema import Schema
-from repro.service import MergeService, QueryResult, RegisterReceipt
+from repro.service import (
+    MergeService,
+    QueryResult,
+    RegisterReceipt,
+    RegistrationEntry,
+    RetireReceipt,
+)
 
 
 @pytest.fixture
 def receipt() -> RegisterReceipt:
     return RegisterReceipt(accepted=2, components=2, generation=1)
+
+
+@pytest.fixture
+def retirement() -> RetireReceipt:
+    return RetireReceipt(name="pets", versions=(1, 2), components=3,
+                         generation=7)
 
 
 @pytest.fixture
@@ -84,6 +96,52 @@ class TestRegisterReceipt:
             warnings.simplefilter("error")
             assert "generation" in receipt
             assert "nope" not in receipt
+
+
+class TestRetireReceipt:
+    def test_service_returns_the_typed_receipt(self):
+        service = MergeService()
+        service.register(
+            [RegistrationEntry(Schema.build(classes=["A"]), name="alpha")]
+        )
+        outcome = service.retire("alpha")
+        assert isinstance(outcome, RetireReceipt)
+        assert outcome == RetireReceipt(
+            name="alpha", versions=(1,), components=0, generation=2
+        )
+
+    def test_frozen(self, retirement):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            retirement.generation = 9
+
+    def test_to_dict_is_json_ready(self, retirement):
+        doc = json.loads(json.dumps(retirement.to_dict()))
+        assert doc == {
+            "name": "pets",
+            "versions": [1, 2],
+            "components": 3,
+            "generation": 7,
+        }
+
+    def test_equality_with_mapping_is_silent(self, retirement):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert retirement == {
+                "name": "pets",
+                "versions": [1, 2],
+                "components": 3,
+                "generation": 7,
+            }
+
+    def test_subscription_works_but_warns(self, retirement):
+        with pytest.warns(DeprecationWarning):
+            assert retirement["versions"] == [1, 2]
+
+    def test_hashable(self, retirement):
+        assert hash(retirement) == hash(
+            RetireReceipt(name="pets", versions=(1, 2), components=3,
+                          generation=7)
+        )
 
 
 class TestQueryResult:

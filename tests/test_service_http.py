@@ -15,10 +15,15 @@ import pytest
 
 from repro.core.schema import Schema
 from repro.exceptions import (
+    CorruptLogError,
+    CorruptSnapshotError,
     IncompatibleSchemasError,
     InvalidRequestError,
+    RetiredSchemaError,
     ServiceShutdownError,
+    StorageError,
     UnknownClassError,
+    UnknownSchemaError,
 )
 from repro.io.json_io import schema_from_dict, schema_to_dict
 from repro.service import API_FORMAT, HttpFrontend, MergeService
@@ -125,6 +130,76 @@ class TestRoutes:
             assert doc["class"] == "Dog"
 
 
+class TestSchemaLifecycleRoutes:
+    def register_named(self, conn, name="pets", lifecycle=None):
+        entry = {
+            "name": name,
+            "schema": schema_doc(
+                Schema.build(arrows=[("Dog", "owner", "Person")])
+            ),
+        }
+        if lifecycle is not None:
+            entry["lifecycle"] = lifecycle
+        return post(
+            conn, "/v1/schemas", {"format": API_FORMAT, "schemas": [entry]}
+        )
+
+    def test_named_entry_registers_and_reads_back(self, conn):
+        status, doc = self.register_named(conn)
+        assert status == 200
+        status, info = get(conn, "/v1/schemas/pets")
+        assert status == 200
+        assert info["name"] == "pets"
+        assert info["recommended"] == 1
+        assert info["versions"][0]["lifecycle"] == "recommended"
+
+    def test_supersede_chain_over_the_wire(self, conn):
+        self.register_named(conn)
+        self.register_named(conn)
+        status, info = get(conn, "/v1/schemas/pets")
+        assert status == 200
+        assert info["recommended"] == 2
+        assert [v["lifecycle"] for v in info["versions"]] == [
+            "supported",
+            "recommended",
+        ]
+
+    def test_delete_retires_and_subsequent_reads_are_410(self, conn):
+        self.register_named(conn)
+        conn.request("DELETE", "/v1/schemas/pets")
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+        assert response.status == 200
+        assert doc["name"] == "pets"
+        assert doc["versions"] == [1]
+        status, doc = get(conn, "/v1/schemas/pets")
+        assert status == 410
+        assert doc["type"] == "RetiredSchemaError"
+
+    def test_unknown_schema_name_is_404(self, conn):
+        status, doc = get(conn, "/v1/schemas/never-registered")
+        assert status == 404
+        assert doc["type"] == "UnknownSchemaError"
+
+    def test_delete_unknown_schema_is_404(self, conn):
+        conn.request("DELETE", "/v1/schemas/never-registered")
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+        assert response.status == 404
+        assert doc["type"] == "UnknownSchemaError"
+
+    def test_bad_lifecycle_is_400(self, conn):
+        status, doc = self.register_named(conn, lifecycle="zombie")
+        assert status == 400
+        assert doc["type"] == "InvalidRequestError"
+
+    def test_put_on_schema_name_is_405(self, conn):
+        conn.request("PUT", "/v1/schemas/pets")
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 405
+
+
 class TestStatusMapping:
     def test_unknown_class_is_404(self, conn):
         status, doc = get(conn, "/v1/query/Unicorn")
@@ -194,9 +269,14 @@ class TestStatusMapping:
 
     def test_status_for_covers_the_taxonomy(self):
         assert status_for(UnknownClassError("x")) == 404
+        assert status_for(UnknownSchemaError("x")) == 404
+        assert status_for(RetiredSchemaError("x")) == 410
         assert status_for(InvalidRequestError("x")) == 400
         assert status_for(IncompatibleSchemasError("x")) == 409
         assert status_for(ServiceShutdownError("x")) == 503
+        assert status_for(StorageError("x")) == 500
+        assert status_for(CorruptLogError("x")) == 500
+        assert status_for(CorruptSnapshotError("x")) == 500
         assert status_for(Exception("x")) == 500
 
 
